@@ -1,0 +1,104 @@
+"""Ablation — automatic layout search vs fixed layouts, and LUT address mapping.
+
+Two of the design choices DESIGN.md calls out:
+
+* **Layout search (Eq. 11)** — compare the modelled sweep time of the layout
+  the search selects against fixed layouts (the ConvStencil-style 16x1, a
+  square 4x4 and the naive 1x1) on every Table-2 kernel.
+* **Lookup-table address mapping (§3.3)** — compare the host time to build
+  ``B'`` through the precomputed tables against re-deriving the addresses
+  with the direct (div/mod-style) morphing routine, and report the table
+  sizes shipped to the device.
+
+Regenerate with::
+
+    pytest benchmarks/bench_ablation_layout.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_results
+from repro.core.layout_search import search_layout
+from repro.core.lookup_table import build_lookup_table, gather_b_matrix
+from repro.core.morphing import MorphConfig, morph_input_matrix
+from repro.core.perf_model import estimate_layout
+from repro.stencils.catalog import table2_benchmarks
+from repro.stencils.grid import make_grid
+
+GRIDS = {1: (65536,), 2: (1024, 1024), 3: (96, 96, 96)}
+
+FIXED_LAYOUTS = {"convstencil-16x1": (16, 1), "square-4x4": (4, 4), "naive-1x1": (1, 1)}
+
+_SEARCH_ROWS: dict = {}
+
+
+@pytest.mark.parametrize("config", table2_benchmarks(), ids=lambda c: c.name)
+def test_ablation_layout_search(benchmark, config):
+    pattern = config.pattern
+    grid_shape = GRIDS[pattern.ndim]
+    out_last = grid_shape[-1] - pattern.diameter + 1
+
+    def run():
+        searched = search_layout(pattern, grid_shape).best.estimate
+        rows = {"searched": {"r1": searched.r1, "r2": searched.r2,
+                             "t_sweep": searched.t_total}}
+        for name, (r1, r2) in FIXED_LAYOUTS.items():
+            r1 = min(r1, out_last)
+            r2 = 1 if pattern.ndim == 1 else r2
+            est = estimate_layout(
+                pattern, grid_shape,
+                MorphConfig.from_r1_r2(pattern.ndim, r1, r2))
+            rows[name] = {"r1": r1, "r2": r2, "t_sweep": est.t_total}
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    _SEARCH_ROWS[config.name] = rows
+
+    print(f"\nLayout-search ablation — {config.name} on {grid_shape}")
+    base = rows["searched"]["t_sweep"]
+    for name, row in rows.items():
+        slowdown = row["t_sweep"] / base
+        print(f"  {name:>16}: r1={row['r1']:<3} r2={row['r2']:<3} "
+              f"sweep {row['t_sweep'] * 1e6:9.2f} us  ({slowdown:4.2f}x of searched)")
+
+    # The searched layout is never slower than any fixed layout.
+    assert all(row["t_sweep"] >= base * 0.999 for row in rows.values())
+
+
+def test_ablation_lookup_table(benchmark, results_dir):
+    pattern = table2_benchmarks()[5].pattern      # Box-2D49P
+    grid_shape = (512, 512)
+    config = MorphConfig.from_r1_r2(2, 8, 4)
+    data = make_grid(grid_shape, kind="random", seed=3).data
+
+    def run():
+        start = time.perf_counter()
+        lut = build_lookup_table(pattern, grid_shape, config)
+        build_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        via_lut = gather_b_matrix(lut, data)
+        gather_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        direct, _, _, _ = morph_input_matrix(pattern, data, config)
+        direct_seconds = time.perf_counter() - start
+
+        assert np.allclose(via_lut, direct)
+        return {"lut_build_s": build_seconds, "lut_gather_s": gather_seconds,
+                "direct_morph_s": direct_seconds, "lut_bytes": lut.nbytes}
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\nLookup-table ablation — Box-2D49P, 512x512, layout (8, 4)")
+    print(f"  LUT build      : {stats['lut_build_s'] * 1e3:8.2f} ms "
+          f"({stats['lut_bytes'] / 1024:.1f} KiB shipped once)")
+    print(f"  LUT gather     : {stats['lut_gather_s'] * 1e3:8.2f} ms per sweep")
+    print(f"  direct morph   : {stats['direct_morph_s'] * 1e3:8.2f} ms per sweep")
+
+    save_results("ablation_layout_and_lut",
+                 {"layout_search": _SEARCH_ROWS, "lookup_table": stats})

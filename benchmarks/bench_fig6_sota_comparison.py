@@ -1,0 +1,85 @@
+"""Figure 6 — performance comparison of SparStencil with the state of the art.
+
+For every Table-2 benchmark kernel, run SparStencil and all baselines
+(cuDNN, AMOS, Brick, DRStencil, TCStencil, ConvStencil, plus the naive CUDA
+kernel) on the same simulated A100 and report GStencil/s and the speedup of
+SparStencil over each baseline.  ConvStencil and SparStencil use 3x temporal
+fusion for small kernels, as in the paper.
+
+Regenerate with::
+
+    pytest benchmarks/bench_fig6_sota_comparison.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import BENCH_GRIDS, BENCH_ITERATIONS, fusion_protocol, save_results
+from repro.analysis import compare_methods, geometric_mean
+from repro.baselines import all_methods
+from repro.stencils.catalog import table2_benchmarks
+from repro.stencils.grid import make_grid
+
+_ROWS: dict = {}
+
+
+def _run_kernel(config):
+    grid = make_grid(BENCH_GRIDS[config.pattern.ndim], kind="random", seed=6)
+    comparison = compare_methods(
+        config.pattern, grid, BENCH_ITERATIONS, all_methods(),
+        temporal_fusion=fusion_protocol(config.pattern.points),
+    )
+    spar_time = comparison.results["SparStencil"].elapsed_seconds
+    row = {
+        "gstencil_per_s": comparison.gstencil(),
+        "speedup_of_sparstencil": {
+            name: result.elapsed_seconds / spar_time
+            for name, result in comparison.results.items()
+            if name != "SparStencil"
+        },
+    }
+    return comparison, row
+
+
+@pytest.mark.parametrize("config", table2_benchmarks(), ids=lambda c: c.name)
+def test_figure6_kernel(benchmark, config):
+    comparison, row = benchmark.pedantic(
+        _run_kernel, args=(config,), rounds=1, iterations=1)
+    _ROWS[config.name] = row
+
+    print(f"\nFigure 6 — {config.name} "
+          f"({config.pattern.points} taps, grid {BENCH_GRIDS[config.pattern.ndim]})")
+    for name, gstencil in sorted(row["gstencil_per_s"].items(),
+                                 key=lambda kv: -kv[1]):
+        speed = row["speedup_of_sparstencil"].get(name)
+        suffix = f"  (SparStencil {speed:4.2f}x faster)" if speed else ""
+        print(f"  {name:>12}: {gstencil:9.2f} GStencil/s{suffix}")
+
+    # Headline shape checks: SparStencil leads every baseline on every kernel
+    # except near-ties with the strongest dense-TCU layout method.
+    for name, speed in row["speedup_of_sparstencil"].items():
+        assert speed > 0.95, (config.name, name, speed)
+    assert row["speedup_of_sparstencil"]["cuDNN"] > 2.0
+
+
+def test_figure6_summary(benchmark, results_dir):
+    """Aggregate speedups across kernels (the paper's 'average speedup' claim)."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _ROWS:
+        pytest.skip("per-kernel benchmarks did not run")
+    baselines = sorted(next(iter(_ROWS.values()))["speedup_of_sparstencil"])
+    summary = {}
+    for baseline in baselines:
+        values = [row["speedup_of_sparstencil"][baseline] for row in _ROWS.values()]
+        summary[baseline] = {
+            "geomean_speedup": geometric_mean(values),
+            "max_speedup": max(values),
+            "min_speedup": min(values),
+        }
+    print("\nFigure 6 — SparStencil speedup summary (geomean / max over Table-2 kernels)")
+    for baseline, stats in summary.items():
+        print(f"  vs {baseline:>12}: {stats['geomean_speedup']:5.2f}x geomean, "
+              f"{stats['max_speedup']:5.2f}x max")
+    save_results("fig6_sota_comparison", {"per_kernel": _ROWS, "summary": summary})

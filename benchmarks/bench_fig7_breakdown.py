@@ -1,0 +1,53 @@
+"""Figure 7 — performance breakdown of SparStencil on Box-2D49P.
+
+Models the incremental gain of each stage (CUDA -> +Layout Morphing on dense
+TCUs -> +PIT on sparse TCUs -> +Optimizations) across problem sizes, mirroring
+the paper's breakdown figure.
+
+Regenerate with::
+
+    pytest benchmarks/bench_fig7_breakdown.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_results
+from repro.analysis.breakdown import BREAKDOWN_STAGES, performance_breakdown
+from repro.stencils.catalog import get_benchmark
+
+#: The problem sizes of Figure 7 (square 2D grids).
+PROBLEM_SIZES = (256, 768, 2560, 5120, 10240)
+
+
+def test_figure7_breakdown(benchmark):
+    pattern = get_benchmark("Box-2D49P").pattern
+    rows = benchmark.pedantic(
+        performance_breakdown, args=(pattern, PROBLEM_SIZES), rounds=1, iterations=1)
+
+    by_size = {}
+    for row in rows:
+        by_size.setdefault(row.problem_size, {})[row.stage] = row
+
+    print("\nFigure 7 — Box-2D49P breakdown (speedup over the CUDA baseline)")
+    header = f"{'size':>7} " + " ".join(f"{stage:>30}" for stage in BREAKDOWN_STAGES)
+    print(header)
+    payload = {}
+    for size in PROBLEM_SIZES:
+        stages = by_size[size]
+        print(f"{size:>7} " + " ".join(
+            f"{stages[stage].speedup_over_cuda:>29.2f}x" for stage in BREAKDOWN_STAGES))
+        payload[size] = {stage: stages[stage].speedup_over_cuda
+                         for stage in BREAKDOWN_STAGES}
+
+    # Shape checks: each stage improves on the previous one at large problem
+    # sizes (the paper notes PIT can regress at very small sizes).
+    large = by_size[PROBLEM_SIZES[-1]]
+    assert large["+Layout Morphing (dense TCU)"].speedup_over_cuda > 1.2
+    assert large["+PIT (sparse TCU)"].speedup_over_cuda > \
+        large["+Layout Morphing (dense TCU)"].speedup_over_cuda
+    assert large["+Optimizations"].speedup_over_cuda > \
+        large["+PIT (sparse TCU)"].speedup_over_cuda
+
+    save_results("fig7_breakdown", payload)

@@ -1,0 +1,63 @@
+"""Figure 8 — preprocessing overhead (transformation / metadata / LUT).
+
+For each Table-2 kernel the host-side preprocessing cost (layout
+transformation, sparse-metadata generation, lookup-table construction) is
+measured on a real compilation and expressed as a percentage of total runtime
+for increasing iteration counts, reproducing the "overhead is minimal and
+quickly amortised" behaviour of Figure 8.
+
+Host preprocessing here is Python rather than the paper's C++, so absolute
+percentages are larger at low iteration counts; the decay *shape* is the
+reproduced quantity.
+
+Regenerate with::
+
+    pytest benchmarks/bench_fig8_overhead.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_results
+from repro.analysis.overhead import preprocessing_overhead
+from repro.stencils.catalog import table2_benchmarks
+
+#: Grids used for the overhead measurement: large enough that one device
+#: sweep is meaningful, small enough that host-side LUT construction stays
+#: within a Python-friendly budget (scaled from the paper's problem sizes).
+OVERHEAD_GRIDS = {1: (1_048_576,), 2: (4096, 4096), 3: (192, 192, 192)}
+
+ITERATION_COUNTS = (1, 10, 100, 1000, 10000)
+
+_ROWS: dict = {}
+
+
+@pytest.mark.parametrize("config", table2_benchmarks(), ids=lambda c: c.name)
+def test_figure8_overhead(benchmark, config):
+    grid_shape = OVERHEAD_GRIDS[config.pattern.ndim]
+    report = benchmark.pedantic(
+        preprocessing_overhead, args=(config.pattern, grid_shape),
+        kwargs={"iteration_counts": ITERATION_COUNTS}, rounds=1, iterations=1)
+
+    print(f"\nFigure 8 — {config.name}: overhead share of total runtime (%)")
+    print(f"  categories: TS=transformation, MD=metadata, LUT=lookup table")
+    for count in ITERATION_COUNTS:
+        shares = report.percentages[count]
+        print(f"  iterations={count:>6}:  TS {shares['transformation']:6.2f}  "
+              f"MD {shares['metadata']:6.2f}  LUT {shares['lookup_table']:6.2f}  "
+              f"(total {sum(shares.values()):6.2f})")
+
+    # Shape check: the overhead decays monotonically with the iteration count
+    # and is a small fraction of runtime at the paper's iteration counts.
+    totals = [report.total_percentage(c) for c in ITERATION_COUNTS]
+    assert all(b <= a + 1e-9 for a, b in zip(totals, totals[1:]))
+    _ROWS[config.name] = {str(c): report.percentages[c] for c in ITERATION_COUNTS}
+
+
+def test_figure8_save(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _ROWS:
+        pytest.skip("per-kernel benchmarks did not run")
+    save_results("fig8_overhead", _ROWS)
+    print(f"\nFigure 8 data saved for {len(_ROWS)} kernels")

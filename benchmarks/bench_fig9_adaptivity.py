@@ -1,0 +1,124 @@
+"""Figure 9 — adaptivity and sparsity across stencil sizes and layouts.
+
+Top half: throughput and residual sparsity across stencil sizes (k = 3..9,
+star and box) on both sparse-fragment geometries, versus the dense-TCU
+execution of the same morphed layout.  Temporal fusion is disabled, as in
+§4.5 of the paper.
+
+Bottom half: the (r1, r2) performance / compute-density heatmaps for the two
+representative 2D kernels (Box-2D9P, Box-2D49P).
+
+Regenerate with::
+
+    pytest benchmarks/bench_fig9_adaptivity.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_results
+from repro.analysis.sparsity import analyze_sparsity
+from repro.core.layout_search import search_layout
+from repro.core.morphing import MorphConfig
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import stencil_points_updated
+from repro.tcu.spec import DENSE_FRAGMENTS, SPARSE_FRAGMENTS
+
+GRID = (2048, 2048)
+STENCIL_SIZES = (3, 5, 7, 9)          # kernel diameters k
+KINDS = ("star", "box")
+
+_TOP: dict = {}
+_HEATMAPS: dict = {}
+
+
+def _throughput(pattern, fragment, engine):
+    result = search_layout(pattern, GRID, fragment=fragment, engine=engine)
+    est = result.best.estimate
+    points = stencil_points_updated(pattern, GRID, 1)
+    return points / est.t_total / 1e9, result
+
+
+@pytest.mark.parametrize("kind", KINDS)
+@pytest.mark.parametrize("k", STENCIL_SIZES)
+def test_figure9_stencil_sizes(benchmark, kind, k):
+    radius = k // 2
+    pattern = getattr(StencilPattern, kind)(2, radius, name=f"{kind}-2d-k{k}")
+
+    def run():
+        rows = {}
+        for fragment in SPARSE_FRAGMENTS:
+            gstencil, search = _throughput(pattern, fragment, "sparse_mma")
+            best = search.best
+            report = analyze_sparsity(
+                pattern, MorphConfig.from_r1_r2(2, best.r1, best.r2))
+            rows[fragment.label] = {
+                "gstencil_per_s": gstencil,
+                "sparsity": report.converted_sparsity,
+                "r1": best.r1,
+                "r2": best.r2,
+            }
+        dense_gstencil, _ = _throughput(pattern, DENSE_FRAGMENTS[0], "dense_mma")
+        rows["dense_baseline"] = {"gstencil_per_s": dense_gstencil}
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    _TOP[f"{kind}-k{k}"] = rows
+
+    print(f"\nFigure 9 (top) — {kind} stencil, k={k}")
+    dense = rows["dense_baseline"]["gstencil_per_s"]
+    for label, row in rows.items():
+        if label == "dense_baseline":
+            print(f"  dense TCU baseline : {dense:9.1f} GStencil/s")
+            continue
+        speedup = row["gstencil_per_s"] / dense
+        print(f"  sparse {label:>12}: {row['gstencil_per_s']:9.1f} GStencil/s "
+              f"({speedup:4.2f}x vs dense, sparsity {row['sparsity']:.2f}, "
+              f"r1={row['r1']}, r2={row['r2']})")
+
+    # Paper shape: SparStencil never loses to the dense execution of the same
+    # morphed layout.  Box kernels keep the converted sparsity in the paper's
+    # <60% band; wide star kernels sit higher because their zero-weight taps
+    # never enter the kernel matrix in the first place (see EXPERIMENTS.md).
+    for label in (f.label for f in SPARSE_FRAGMENTS):
+        assert rows[label]["gstencil_per_s"] >= dense * 0.99
+        assert rows[label]["sparsity"] <= (0.80 if kind == "box" else 0.95)
+
+
+@pytest.mark.parametrize("kernel", ["box-2d9p", "box-2d49p"])
+def test_figure9_heatmaps(benchmark, kernel):
+    radius = 1 if kernel == "box-2d9p" else 3
+    pattern = StencilPattern.box(2, radius, name=kernel)
+
+    def run():
+        search = search_layout(pattern, GRID)
+        grid, r2_values, r1_values = search.density_grid()
+        return search, grid, r2_values, r1_values
+
+    search, grid, r2_values, r1_values = benchmark.pedantic(run, rounds=1, iterations=1)
+    _HEATMAPS[kernel] = {
+        "r1_values": r1_values,
+        "r2_values": r2_values,
+        "compute_density": np.where(np.isnan(grid), None, grid).tolist(),
+        "best": {"r1": search.best.r1, "r2": search.best.r2},
+    }
+
+    print(f"\nFigure 9 (bottom) — compute-density heatmap for {kernel}")
+    print("        " + " ".join(f"r1={r1:<4}" for r1 in r1_values))
+    for i, r2 in enumerate(r2_values):
+        row = " ".join(f"{grid[i, j]:7.3f}" if np.isfinite(grid[i, j]) else "      -"
+                       for j in range(len(r1_values)))
+        print(f"  r2={r2:<3} {row}")
+    print(f"  best layout: r1={search.best.r1}, r2={search.best.r2}")
+
+    # the optimum is an interior sweet spot, not the trivial (1, 1) layout
+    assert (search.best.r1, search.best.r2) != (1, 1)
+
+
+def test_figure9_save(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if not _TOP:
+        pytest.skip("figure-9 rows not collected")
+    save_results("fig9_adaptivity", {"stencil_sizes": _TOP, "heatmaps": _HEATMAPS})

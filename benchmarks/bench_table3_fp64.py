@@ -1,0 +1,88 @@
+"""Table 3 — FP64 performance on dense Tensor Cores (GFlops/s).
+
+Sparse Tensor Cores have no FP64 path, so SparStencil falls back to its
+dense-TCU execution while keeping the adaptive layout morphing and search.
+The table compares AMOS, cuDNN, DRStencil, ConvStencil and SparStencil on
+Heat-2D, Box-2D9P, Star-2D13P and Box-2D49P at FP64, mirroring Table 3.
+
+Regenerate with::
+
+    pytest benchmarks/bench_table3_fp64.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_results
+from repro.baselines import (
+    AMOSBaseline,
+    ConvStencilBaseline,
+    CudnnBaseline,
+    DRStencilBaseline,
+    SparStencilMethod,
+)
+from repro.stencils.catalog import get_benchmark
+from repro.stencils.grid import make_grid
+from repro.tcu.spec import DataType
+
+KERNELS = ("Heat-2D", "Box-2D9P", "Star-2D13P", "Box-2D49P")
+METHODS = ("AMOS", "cuDNN", "DRStencil", "ConvStencil", "SparStencil")
+GRID = (160, 160)
+ITERATIONS = 2
+
+_TABLE: dict = {}
+
+
+def _method(name):
+    return {
+        "AMOS": AMOSBaseline,
+        "cuDNN": CudnnBaseline,
+        "DRStencil": DRStencilBaseline,
+        "ConvStencil": ConvStencilBaseline,
+        "SparStencil": SparStencilMethod,
+    }[name]()
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_table3_kernel(benchmark, kernel):
+    pattern = get_benchmark(kernel).pattern
+    grid = make_grid(GRID, kind="random", seed=13)
+
+    def run():
+        row = {}
+        for name in METHODS:
+            result = _method(name).run(pattern, grid, ITERATIONS,
+                                       dtype=DataType.FP64)
+            row[name] = result.gflops_per_second
+        return row
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    _TABLE[kernel] = row
+
+    print(f"\nTable 3 — {kernel} (FP64, GFlops/s, simulated device)")
+    for name in METHODS:
+        print(f"  {name:>12}: {row[name]:9.2f}")
+
+    # Shape checks from Table 3: SparStencil leads (or sits within a small
+    # margin of) every method, and AMOS trails by a wide factor.  On the
+    # simulated device DRStencil edges ahead on Star-2D13P because the scalar
+    # FP64 pipeline and the dense FP64 Tensor Cores have comparable peaks and
+    # the star kernel leaves most fragment lanes idle — recorded as a known
+    # deviation in EXPERIMENTS.md.
+    best_other = max(row[m] for m in METHODS if m != "SparStencil")
+    assert row["SparStencil"] >= 0.80 * best_other
+    assert row["SparStencil"] > row["AMOS"] * 3.0
+    assert row["SparStencil"] > row["cuDNN"]
+
+
+def test_table3_save(benchmark, results_dir):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    if len(_TABLE) < len(KERNELS):
+        pytest.skip("per-kernel rows missing")
+    print("\nTable 3 — summary (GFlops/s)")
+    header = f"{'Method':>12} " + " ".join(f"{k:>12}" for k in KERNELS)
+    print(header)
+    for name in METHODS:
+        print(f"{name:>12} " + " ".join(f"{_TABLE[k][name]:>12.2f}" for k in KERNELS))
+    save_results("table3_fp64", _TABLE)

@@ -1,0 +1,59 @@
+"""Compare SparStencil against every baseline on a Table-2 kernel.
+
+A small-scale rendition of the Figure-6 experiment: all methods run the same
+Box-2D49P workload on the simulated A100 and the script prints a ranking with
+speedups relative to SparStencil, plus the correctness error of each method
+against the golden reference.
+
+Run with::
+
+    python examples/baseline_showdown.py [kernel-name]
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import get_benchmark, make_grid, run_stencil_iterations
+from repro.analysis import compare_methods
+from repro.baselines import all_methods
+
+GRID_2D = (192, 192)
+ITERATIONS = 3
+
+
+def main(kernel_name: str = "Box-2D49P") -> None:
+    config = get_benchmark(kernel_name)
+    pattern = config.pattern
+    shape = {1: (8192,), 2: GRID_2D, 3: (48, 48, 48)}[pattern.ndim]
+    grid = make_grid(shape, kind="random", seed=42)
+
+    # Figure-6 protocol: 3x temporal fusion for the TCU layout methods on
+    # small kernels.
+    fusion = {"SparStencil": 3, "ConvStencil": 3} if pattern.points <= 9 else {}
+
+    print(f"Workload: {config.name} ({pattern.points} taps) on {shape}, "
+          f"{ITERATIONS} iterations, fp16")
+    comparison = compare_methods(pattern, grid, ITERATIONS, all_methods(),
+                                 temporal_fusion=fusion)
+    reference = run_stencil_iterations(pattern, grid, ITERATIONS)
+    errors = comparison.max_error_vs(reference)
+    speedups = comparison.speedup_over("SparStencil")
+
+    print(f"\n{'method':>14} {'GStencil/s':>12} {'vs SparStencil':>15} "
+          f"{'bound':>8} {'max err':>10}")
+    ranked = sorted(comparison.results.items(),
+                    key=lambda kv: kv[1].elapsed_seconds)
+    for name, result in ranked:
+        rel = 1.0 / speedups[name]
+        print(f"{name:>14} {result.gstencil_per_second:>12.1f} "
+              f"{rel:>14.2f}x {result.bound:>8} {errors[name]:>10.2e}")
+
+    fastest = comparison.fastest()
+    print(f"\nFastest method: {fastest}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "Box-2D49P")

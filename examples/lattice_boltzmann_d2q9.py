@@ -1,0 +1,62 @@
+"""Lattice-Boltzmann-style relaxation with the D2Q9 neighbourhood.
+
+Lattice Boltzmann methods are one of the nine application domains of the
+paper's 79-kernel suite.  This example runs a BGK-like relaxation of a
+density field toward local equilibrium using the D2Q9 equilibrium-weighted
+neighbourhood as a single fused stencil, executed on the simulated sparse
+Tensor Cores, and verifies mass conservation.
+
+Run with::
+
+    python examples/lattice_boltzmann_d2q9.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import compile_stencil, run_stencil, run_stencil_iterations
+from repro.stencils.domains import lbm_d2q9
+from repro.stencils.grid import Grid
+
+GRID_SIZE = 128
+STEPS = 16
+
+
+def main() -> None:
+    d2q9 = lbm_d2q9()
+    print(f"Stencil: {d2q9}  weights sum to {sum(d2q9.weights):.6f}")
+
+    # Initial density: a short-wavelength perturbation on a uniform background
+    # (short wavelengths relax quickly under the D2Q9 smoothing).
+    x = np.linspace(0.0, 2.0 * np.pi, GRID_SIZE)
+    xx, yy = np.meshgrid(x, x, indexing="ij")
+    density = 1.0 + 0.05 * np.sin(8.0 * xx) * np.cos(8.0 * yy)
+    grid = Grid(data=density, dtype=np.float16)
+
+    compiled = compile_stencil(d2q9, grid.shape)
+    print("Selected layout:", compiled.config.r1, "x", compiled.config.r2,
+          "| engine:", compiled.engine)
+
+    result = run_stencil(compiled, grid, iterations=STEPS)
+    reference = run_stencil_iterations(d2q9, grid, STEPS)
+    error = float(np.max(np.abs(result.output - reference)))
+    print(f"Max |error| vs reference after {STEPS} steps: {error:.2e}")
+
+    # The D2Q9 weights sum to one, so interior mass is (approximately)
+    # conserved and the perturbation amplitude decays monotonically.
+    initial_amplitude = float(np.abs(density - 1.0).max())
+    final_amplitude = float(np.abs(result.output[8:-8, 8:-8] - 1.0).max())
+    print(f"Perturbation amplitude: {initial_amplitude:.4f} -> {final_amplitude:.4f}")
+    assert final_amplitude < initial_amplitude
+
+    interior_mean = result.output[8:-8, 8:-8].mean()
+    print(f"Interior mean density: {interior_mean:.6f} (expected ~1.0)")
+    assert abs(interior_mean - 1.0) < 1e-2
+
+    print(f"\nModelled device time: {result.elapsed_seconds * 1e6:.1f} us "
+          f"({result.gstencil_per_second:.1f} GStencil/s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Explore the (r1, r2) layout space for a kernel (the Figure-9 heatmap data).
+
+The automatic kernel generator evaluates every candidate layout with the
+analytical roofline of Eq. 6-10 and keeps the fastest.  This script prints
+the full candidate table for Box-2D49P, shows the compute-density heatmap the
+bottom half of Figure 9 plots, and demonstrates how the chosen layout differs
+between a small star kernel and a large box kernel.
+
+Run with::
+
+    python examples/layout_exploration.py
+"""
+
+from __future__ import annotations
+
+from repro import StencilPattern, search_layout
+from repro.analysis.sparsity import analyze_sparsity
+from repro.core.morphing import MorphConfig
+
+GRID = (2048, 2048)
+
+
+def explore(pattern: StencilPattern) -> None:
+    print(f"\n=== {pattern.name}  ({pattern.points} taps, k={pattern.diameter}) "
+          f"on a {GRID[0]}x{GRID[1]} grid ===")
+    result = search_layout(pattern, GRID)
+    table = result.as_table()
+    table.sort(key=lambda row: row["t_total"])
+
+    header = f"{'r1':>4} {'r2':>4} {'t_sweep(us)':>12} {'bound':>8} " \
+             f"{'k_padded':>9} {'sparsity':>9} {'density':>8}"
+    print(header)
+    print("-" * len(header))
+    for row in table[:10]:
+        print(f"{row['r1']:>4} {row['r2']:>4} {row['t_total'] * 1e6:>12.2f} "
+              f"{row['bound']:>8} {row['k_padded']:>9} {row['sparsity']:>9.2f} "
+              f"{row['compute_density']:>8.3f}")
+
+    best = result.best
+    print(f"--> selected (r1={best.r1}, r2={best.r2}), "
+          f"modelled sweep {best.t_total * 1e6:.2f} us")
+
+    report = analyze_sparsity(pattern, MorphConfig.from_r1_r2(2, best.r1, best.r2))
+    print(f"    morphed sparsity {report.morphed_sparsity:.2f} -> "
+          f"converted sparsity {report.converted_sparsity:.2f} "
+          f"({report.padded_columns} zero columns added, "
+          f"K {report.k_prime} -> {report.k_padded})")
+
+    grid, r2_values, r1_values = result.density_grid()
+    print("\nCompute-density heatmap (rows = r2, cols = r1):")
+    print("      " + " ".join(f"{r1:>6}" for r1 in r1_values))
+    for i, r2 in enumerate(r2_values):
+        cells = " ".join(
+            f"{grid[i, j]:6.3f}" if grid[i, j] == grid[i, j] else "     -"
+            for j in range(len(r1_values)))
+        print(f"r2={r2:<3} {cells}")
+
+
+def main() -> None:
+    explore(StencilPattern.box(2, 3, name="box-2d49p"))
+    explore(StencilPattern.star(2, 1, name="heat-2d"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""SparStencil reproduction.
+
+A Python reproduction of *SparStencil: Retargeting Sparse Tensor Cores to
+Scientific Stencil Computations via Structured Sparsity Transformation*
+(SC'25).  The package contains:
+
+* :mod:`repro.stencils` — stencil patterns, grids, golden references and the
+  benchmark catalog;
+* :mod:`repro.tcu` — a functional + cost model of an A100-class GPU with
+  dense and 2:4-sparse Tensor Cores;
+* :mod:`repro.core` — the paper's contribution: Adaptive Layout Morphing,
+  Structured Sparsity Conversion and Automatic Kernel Generation;
+* :mod:`repro.baselines` — cuDNN / AMOS / Brick / DRStencil / TCStencil /
+  ConvStencil comparators on the same simulated device;
+* :mod:`repro.analysis` — metrics, sparsity/utilisation/overhead analysis and
+  the per-figure experiment support.
+
+Quickstart
+----------
+>>> from repro import StencilPattern, make_grid, compile_stencil, run_stencil
+>>> heat = StencilPattern.star(2, 1, weights=[0.6, 0.1, 0.1, 0.1, 0.1])
+>>> grid = make_grid((64, 64), kind="gaussian")
+>>> compiled = compile_stencil(heat, grid.shape)
+>>> result = run_stencil(compiled, grid, iterations=4)
+>>> result.output.shape
+(64, 64)
+"""
+
+from repro.stencils import (
+    StencilPattern,
+    StencilKind,
+    Grid,
+    make_grid,
+    apply_stencil_reference,
+    run_stencil_iterations,
+    table2_benchmarks,
+    get_benchmark,
+    full_catalog,
+    catalog_by_domain,
+)
+from repro.tcu import (
+    DataType,
+    FragmentShape,
+    GPUSpec,
+    A100_SPEC,
+    SPARSE_FRAGMENTS,
+    DENSE_FRAGMENTS,
+)
+from repro.core import (
+    MorphConfig,
+    morph_stencil,
+    convert_to_24,
+    search_layout,
+    generate_kernel,
+    render_cuda_source,
+    compile_stencil,
+    run_stencil,
+    SparStencilCompiler,
+)
+from repro.core.pipeline import sparstencil_solve
+from repro.baselines import get_baseline, available_baselines, all_methods
+from repro.analysis import compare_methods
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "StencilPattern",
+    "StencilKind",
+    "Grid",
+    "make_grid",
+    "apply_stencil_reference",
+    "run_stencil_iterations",
+    "table2_benchmarks",
+    "get_benchmark",
+    "full_catalog",
+    "catalog_by_domain",
+    "DataType",
+    "FragmentShape",
+    "GPUSpec",
+    "A100_SPEC",
+    "SPARSE_FRAGMENTS",
+    "DENSE_FRAGMENTS",
+    "MorphConfig",
+    "morph_stencil",
+    "convert_to_24",
+    "search_layout",
+    "generate_kernel",
+    "render_cuda_source",
+    "compile_stencil",
+    "run_stencil",
+    "sparstencil_solve",
+    "SparStencilCompiler",
+    "get_baseline",
+    "available_baselines",
+    "all_methods",
+    "compare_methods",
+    "__version__",
+]

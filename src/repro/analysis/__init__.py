@@ -1,0 +1,41 @@
+"""Analysis and experiment-support utilities.
+
+These modules turn raw run results into the quantities the paper's evaluation
+section reports: GStencil/s and GFlops/s throughput, compute density,
+sparsity ratios, NCU-style utilisation reports, preprocessing-overhead splits
+and the stage-by-stage performance breakdown.
+"""
+
+from repro.analysis.metrics import (
+    gstencil_per_second,
+    gflops_per_second,
+    compute_density,
+    speedup,
+    geometric_mean,
+    MethodComparison,
+    compare_methods,
+)
+from repro.analysis.sparsity import SparsityReport, analyze_sparsity
+from repro.analysis.utilization import utilization_comparison
+from repro.analysis.overhead import OverheadBreakdown, preprocessing_overhead
+from repro.analysis.breakdown import BreakdownStage, performance_breakdown
+from repro.analysis.report import render_markdown_report, write_report
+
+__all__ = [
+    "gstencil_per_second",
+    "gflops_per_second",
+    "compute_density",
+    "speedup",
+    "geometric_mean",
+    "MethodComparison",
+    "compare_methods",
+    "SparsityReport",
+    "analyze_sparsity",
+    "utilization_comparison",
+    "OverheadBreakdown",
+    "preprocessing_overhead",
+    "BreakdownStage",
+    "performance_breakdown",
+    "render_markdown_report",
+    "write_report",
+]

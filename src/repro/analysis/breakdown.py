@@ -1,0 +1,126 @@
+"""Stage-by-stage performance breakdown (Figure 7).
+
+Figure 7 shows the incremental gain of each SparStencil stage on Box-2D49P
+across problem sizes:
+
+1. **CUDA** — the naive scalar kernel;
+2. **+ Layout Morphing** — the morphed matrix product on *dense* Tensor
+   Cores, without compute/transfer overlap;
+3. **+ PIT (sparse TCU)** — the 2:4-converted product on sparse Tensor Cores,
+   still without overlap (at small problem sizes the extra padded reduction
+   depth can make this step a slight regression, as the paper notes for
+   sizes 256 and 768);
+4. **+ Optimizations** — the full generated kernel: lookup tables and the
+   double-buffered pipeline that overlaps loads with MMA
+   (``T = max(T_compute, T_memory)`` instead of their sum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.layout_search import search_layout
+from repro.core.morphing import MorphConfig
+from repro.core.perf_model import estimate_layout
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import stencil_points_updated
+from repro.tcu.memory import memory_time
+from repro.tcu.spec import (
+    A100_SPEC,
+    DENSE_FRAGMENTS,
+    DataType,
+    GPUSpec,
+    SPARSE_FRAGMENTS,
+)
+from repro.tcu.timing import ffma_time
+from repro.util.validation import require
+
+__all__ = ["BreakdownStage", "performance_breakdown", "BREAKDOWN_STAGES"]
+
+BREAKDOWN_STAGES = (
+    "CUDA",
+    "+Layout Morphing (dense TCU)",
+    "+PIT (sparse TCU)",
+    "+Optimizations",
+)
+
+
+@dataclass(frozen=True)
+class BreakdownStage:
+    """One bar of Figure 7: a stage's modelled throughput at one problem size."""
+
+    stage: str
+    problem_size: int
+    seconds_per_sweep: float
+    gstencil_per_second: float
+    speedup_over_cuda: float
+
+
+def _cuda_seconds(pattern: StencilPattern, grid_shape, dtype: DataType,
+                  spec: GPUSpec) -> float:
+    """Naive-kernel roofline (mirrors :class:`~repro.baselines.naive.NaiveCudaBaseline`)."""
+    points = stencil_points_updated(pattern, grid_shape, 1)
+    itemsize = dtype.itemsize
+    ffma_dtype = dtype if dtype is DataType.FP64 else DataType.TF32
+    flops = 2.0 * pattern.points * points / 0.75
+    compute = ffma_time(flops, spec, dtype=ffma_dtype)
+    from repro.tcu.memory import MemoryTraffic
+    traffic = MemoryTraffic(
+        global_read_bytes=2.0 * float(np.prod(grid_shape)) * itemsize,
+        global_write_bytes=float(points) * itemsize,
+    )
+    return max(compute, memory_time(traffic, spec))
+
+
+def performance_breakdown(
+    pattern: StencilPattern,
+    problem_sizes: Sequence[int],
+    *,
+    dtype: DataType = DataType.FP16,
+    spec: GPUSpec = A100_SPEC,
+) -> List[BreakdownStage]:
+    """Model the four Figure-7 stages for square grids of the given sizes."""
+    require(pattern.ndim == 2, "the Figure-7 breakdown uses a 2D kernel")
+    rows: List[BreakdownStage] = []
+    for size in problem_sizes:
+        grid_shape = (int(size), int(size))
+        points = stencil_points_updated(pattern, grid_shape, 1)
+
+        cuda_seconds = _cuda_seconds(pattern, grid_shape, dtype, spec)
+
+        # Stages 2 and 3 use the fixed ConvStencil-style layout (r1=16, r2=1)
+        # and no compute/transfer overlap; the layout search and the
+        # double-buffered pipeline are part of stage 4's "optimizations".
+        out_last = size - pattern.diameter + 1
+        fixed = MorphConfig.from_r1_r2(2, min(16, out_last), 1)
+
+        dense_est = estimate_layout(
+            pattern, grid_shape, fixed, fragment=DENSE_FRAGMENTS[0],
+            dtype=dtype, spec=spec, engine="dense_mma")
+        morphing_seconds = dense_est.t_compute + dense_est.t_memory
+
+        sparse_fixed_est = estimate_layout(
+            pattern, grid_shape, fixed, fragment=SPARSE_FRAGMENTS[1],
+            dtype=dtype, spec=spec, engine="sparse_mma")
+        pit_seconds = sparse_fixed_est.t_compute + sparse_fixed_est.t_memory
+
+        sparse_search = search_layout(
+            pattern, grid_shape, fragment=SPARSE_FRAGMENTS[1], dtype=dtype,
+            spec=spec, engine="sparse_mma")
+        optimized_seconds = sparse_search.best.estimate.t_total
+
+        for stage, seconds in zip(
+            BREAKDOWN_STAGES,
+            (cuda_seconds, morphing_seconds, pit_seconds, optimized_seconds),
+        ):
+            rows.append(BreakdownStage(
+                stage=stage,
+                problem_size=int(size),
+                seconds_per_sweep=seconds,
+                gstencil_per_second=points / seconds / 1e9,
+                speedup_over_cuda=cuda_seconds / seconds,
+            ))
+    return rows

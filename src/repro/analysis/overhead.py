@@ -1,0 +1,92 @@
+"""Preprocessing-overhead analysis (Figure 8).
+
+SparStencil performs three host-side preprocessing steps once per compiled
+stencil: the layout transformation (morphing + conversion + layout search),
+sparse-metadata generation and lookup-table construction.  Their cost is
+fixed while kernel time grows with the iteration count, so the overhead
+percentage decays roughly as ``1 / iterations`` — the behaviour Figure 8
+shows, with 1D kernels spiking early (tiny kernels, relatively costly LUTs)
+and 3D kernels staying flat.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.pipeline import CompiledStencil, compile_stencil
+from repro.stencils.pattern import StencilPattern
+from repro.tcu.spec import A100_SPEC, DataType, GPUSpec
+from repro.util.validation import require, require_positive_int
+
+__all__ = ["OverheadBreakdown", "preprocessing_overhead"]
+
+#: Figure 8 category labels.
+CATEGORIES = ("transformation", "metadata", "lookup_table")
+
+
+@dataclass(frozen=True)
+class OverheadBreakdown:
+    """Overhead percentages for one kernel across iteration counts.
+
+    ``percentages[iterations][category]`` is the share of total runtime
+    (host preprocessing + modelled device time) spent in that preprocessing
+    category when the stencil runs for ``iterations`` time steps.
+    """
+
+    pattern_name: str
+    grid_shape: Tuple[int, ...]
+    overhead_seconds: Dict[str, float]
+    sweep_seconds: float
+    percentages: Dict[int, Dict[str, float]]
+
+    def total_percentage(self, iterations: int) -> float:
+        return sum(self.percentages[iterations].values())
+
+    def amortized(self, threshold: float = 0.05) -> bool:
+        """Whether the total overhead drops below ``threshold`` for the largest
+        iteration count measured."""
+        largest = max(self.percentages)
+        return self.total_percentage(largest) < threshold * 100.0
+
+
+def preprocessing_overhead(
+    pattern: StencilPattern,
+    grid_shape: Tuple[int, ...],
+    iteration_counts: Sequence[int] = (1, 10, 100, 1000, 10000),
+    *,
+    dtype: DataType = DataType.FP16,
+    spec: GPUSpec = A100_SPEC,
+    compiled: CompiledStencil | None = None,
+) -> OverheadBreakdown:
+    """Measure the Figure-8 overhead split for one kernel.
+
+    The host-side stage timings come from an actual compilation; device time
+    per sweep comes from the compiled plan's analytical estimate (so the
+    percentages reflect the paper-scale problem rather than the scaled-down
+    simulation grid).
+    """
+    require(len(iteration_counts) > 0, "need at least one iteration count")
+    for count in iteration_counts:
+        require_positive_int(count, "iteration count")
+
+    if compiled is None:
+        compiled = compile_stencil(pattern, grid_shape, dtype=dtype, spec=spec)
+    overhead = {name: compiled.overhead_seconds.get(name, 0.0) for name in CATEGORIES}
+    sweep_seconds = compiled.plan.estimate.t_total
+
+    percentages: Dict[int, Dict[str, float]] = {}
+    for count in iteration_counts:
+        device_seconds = sweep_seconds * count
+        total = device_seconds + sum(overhead.values())
+        percentages[int(count)] = {
+            name: (100.0 * value / total if total > 0 else 0.0)
+            for name, value in overhead.items()
+        }
+    return OverheadBreakdown(
+        pattern_name=pattern.name,
+        grid_shape=tuple(grid_shape),
+        overhead_seconds=overhead,
+        sweep_seconds=sweep_seconds,
+        percentages=percentages,
+    )

@@ -1,0 +1,130 @@
+"""Render a consolidated markdown report from the benchmark results.
+
+The benchmark harness writes each figure/table's rows to
+``benchmarks/results/*.json``.  This module turns whatever subset of those
+files exists into one human-readable markdown report — handy for comparing a
+fresh run against EXPERIMENTS.md without re-reading nine JSON files.
+
+Usage::
+
+    from repro.analysis.report import write_report
+    write_report("benchmarks/results", "benchmarks/results/REPORT.md")
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["render_markdown_report", "write_report"]
+
+
+def _load(results_dir: Path, name: str) -> Optional[dict]:
+    path = results_dir / f"{name}.json"
+    if not path.exists():
+        return None
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines.extend("| " + " | ".join(str(c) for c in row) + " |" for row in rows)
+    return lines
+
+
+def _section_fig6(data: dict) -> List[str]:
+    lines = ["## Figure 6 — comparison with state-of-the-art", ""]
+    summary = data.get("summary", {})
+    rows = [[baseline,
+             f"{stats['geomean_speedup']:.2f}x",
+             f"{stats['max_speedup']:.2f}x",
+             f"{stats['min_speedup']:.2f}x"]
+            for baseline, stats in sorted(summary.items())]
+    lines += _table(["SparStencil speedup vs", "geomean", "max", "min"], rows)
+    return lines + [""]
+
+
+def _section_fig7(data: dict) -> List[str]:
+    lines = ["## Figure 7 — stage breakdown (Box-2D49P, speedup over CUDA)", ""]
+    sizes = sorted(data, key=lambda s: int(s))
+    stages = list(data[sizes[0]].keys())
+    rows = [[size] + [f"{data[size][stage]:.2f}x" for stage in stages]
+            for size in sizes]
+    lines += _table(["size"] + stages, rows)
+    return lines + [""]
+
+
+def _section_fig10(data: dict) -> List[str]:
+    lines = ["## Figure 10 — 79-kernel catalog", ""]
+    summary = data.get("summary", {})
+    rows = [[key, f"{value:.2f}" if isinstance(value, float) else str(value)]
+            for key, value in summary.items()]
+    lines += _table(["quantity", "value"], rows)
+    return lines + [""]
+
+
+def _section_fig11(data: dict) -> List[str]:
+    lines = ["## Figure 11 — hardware utilisation (percent)", ""]
+    methods = list(data.keys())
+    metrics = list(next(iter(data.values())).keys())
+    rows = [[metric] + [f"{data[m][metric]:.1f}" for m in methods]
+            for metric in metrics]
+    lines += _table(["metric"] + methods, rows)
+    return lines + [""]
+
+
+def _section_table3(data: dict) -> List[str]:
+    lines = ["## Table 3 — FP64 on dense Tensor Cores (GFlops/s, simulated)", ""]
+    kernels = list(data.keys())
+    methods = list(next(iter(data.values())).keys())
+    rows = [[method] + [f"{data[kernel][method]:.1f}" for kernel in kernels]
+            for method in methods]
+    lines += _table(["method"] + kernels, rows)
+    return lines + [""]
+
+
+_SECTIONS = {
+    "fig6_sota_comparison": _section_fig6,
+    "fig7_breakdown": _section_fig7,
+    "fig10_catalog": _section_fig10,
+    "fig11_utilization": _section_fig11,
+    "table3_fp64": _section_table3,
+}
+
+
+def render_markdown_report(results_dir: str | Path) -> str:
+    """Render a markdown report from whatever results files are present.
+
+    Missing files are skipped (their section simply does not appear), so the
+    report can be produced after running any subset of the benchmarks.
+    """
+    results_dir = Path(results_dir)
+    lines: List[str] = [
+        "# SparStencil reproduction — benchmark report",
+        "",
+        "Generated from the JSON files in `benchmarks/results/`; see",
+        "EXPERIMENTS.md for the paper-vs-measured discussion.",
+        "",
+    ]
+    rendered_any = False
+    for name, renderer in _SECTIONS.items():
+        data = _load(results_dir, name)
+        if data is None:
+            continue
+        lines.extend(renderer(data))
+        rendered_any = True
+    if not rendered_any:
+        lines.append("_No benchmark results found — run "
+                     "`pytest benchmarks/ --benchmark-only` first._")
+    return "\n".join(lines) + "\n"
+
+
+def write_report(results_dir: str | Path, output_path: str | Path) -> Path:
+    """Render the report and write it to ``output_path``."""
+    output_path = Path(output_path)
+    output_path.parent.mkdir(parents=True, exist_ok=True)
+    output_path.write_text(render_markdown_report(results_dir))
+    return output_path

@@ -1,0 +1,55 @@
+"""Hardware-utilisation comparison (Figure 11).
+
+Runs SparStencil, ConvStencil and cuDNN on the same workload and collects the
+six NCU-style counters the simulator derives for each launch.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.baselines.base import Baseline
+from repro.baselines.convstencil import ConvStencilBaseline
+from repro.baselines.cudnn import CudnnBaseline
+from repro.baselines.sparstencil_adapter import SparStencilMethod
+from repro.stencils.grid import Grid
+from repro.stencils.pattern import StencilPattern
+from repro.tcu.spec import A100_SPEC, DataType, GPUSpec
+from repro.util.validation import require
+
+__all__ = ["utilization_comparison", "FIGURE11_METHODS"]
+
+#: The three methods Figure 11 profiles.
+FIGURE11_METHODS = ("SparStencil", "ConvStencil", "cuDNN")
+
+
+def utilization_comparison(
+    pattern: StencilPattern,
+    grid: Grid,
+    iterations: int = 3,
+    *,
+    methods: Sequence[Baseline] | None = None,
+    dtype: DataType = DataType.FP16,
+    spec: GPUSpec = A100_SPEC,
+    temporal_fusion: Dict[str, int] | None = None,
+) -> Dict[str, Dict[str, float]]:
+    """Return ``{method: {metric: percent}}`` for the Figure-11 metrics.
+
+    ``temporal_fusion`` follows the Figure-6 protocol (3x fusion for the
+    Tensor-Core layout methods on small kernels); by default SparStencil and
+    ConvStencil fuse 3 steps when ``iterations`` allows it, cuDNN never does.
+    """
+    if methods is None:
+        methods = (SparStencilMethod(), ConvStencilBaseline(), CudnnBaseline())
+    if temporal_fusion is None:
+        fuse = 3 if iterations % 3 == 0 else 1
+        temporal_fusion = {"SparStencil": fuse, "ConvStencil": fuse}
+    report: Dict[str, Dict[str, float]] = {}
+    for method in methods:
+        fusion = int(temporal_fusion.get(method.name, 1))
+        result = method.run(pattern, grid, iterations, dtype=dtype, spec=spec,
+                            temporal_fusion=fusion)
+        require(result.utilization is not None,
+                f"method {method.name} did not produce a utilization report")
+        report[method.name] = result.utilization.as_dict()
+    return report

@@ -1,0 +1,40 @@
+"""State-of-the-art baselines the paper compares against (§4.1).
+
+Each baseline is re-implemented as (a) a numerically correct execution path
+and (b) a cost model on the same simulated A100, so Figure 6/10 and Table 3
+comparisons measure *how much work each mapping performs* on identical
+hardware assumptions — the quantity the paper's comparison is really about.
+"""
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.baselines.naive import NaiveCudaBaseline
+from repro.baselines.cudnn import CudnnBaseline
+from repro.baselines.tcstencil import TCStencilBaseline
+from repro.baselines.convstencil import ConvStencilBaseline
+from repro.baselines.drstencil import DRStencilBaseline
+from repro.baselines.brick import BrickBaseline
+from repro.baselines.amos import AMOSBaseline
+from repro.baselines.sparstencil_adapter import SparStencilMethod
+from repro.baselines.registry import (
+    available_baselines,
+    get_baseline,
+    all_methods,
+    FIGURE6_BASELINES,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineResult",
+    "NaiveCudaBaseline",
+    "CudnnBaseline",
+    "TCStencilBaseline",
+    "ConvStencilBaseline",
+    "DRStencilBaseline",
+    "BrickBaseline",
+    "AMOSBaseline",
+    "SparStencilMethod",
+    "available_baselines",
+    "get_baseline",
+    "all_methods",
+    "FIGURE6_BASELINES",
+]

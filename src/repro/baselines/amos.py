@@ -1,0 +1,92 @@
+"""AMOS baseline (Zheng et al., ISCA'22): automatic mapping to tensor units.
+
+AMOS maps depth-wise convolutions (equivalent to stencils) onto Tensor Cores
+through a generic hardware-abstraction search.  Because the abstraction is
+not stencil-aware, the generated mappings replicate data heavily and leave
+most fragment lanes idle — the paper measures it an order of magnitude behind
+the stencil-specialised systems (Table 3: ~10 GFlops/s at FP64).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.core.flatten import flatten_stencil
+from repro.stencils.grid import Grid
+from repro.stencils.pattern import StencilPattern
+from repro.tcu.executor import KernelLaunch, execute_launch
+from repro.tcu.memory import MemoryTraffic
+from repro.tcu.spec import A100_SPEC, DENSE_FRAGMENTS, DataType, FragmentShape, GPUSpec
+
+__all__ = ["AMOSBaseline"]
+
+
+class AMOSBaseline(Baseline):
+    """Generic tensorisation of the stencil with a stencil-agnostic mapping."""
+
+    name = "AMOS"
+
+    #: The auto-generated mapping issues this many times more fragment work
+    #: than the minimal flattened GEMM (padding every software axis to the
+    #: hardware intrinsic independently).
+    mapping_inefficiency = 4.0
+
+    def __init__(self, fragment: FragmentShape = DENSE_FRAGMENTS[0]) -> None:
+        self.fragment = fragment
+
+    def run(
+        self,
+        pattern: StencilPattern,
+        grid: Grid,
+        iterations: int,
+        *,
+        dtype: DataType = DataType.FP16,
+        spec: GPUSpec = A100_SPEC,
+        temporal_fusion: int = 1,
+    ) -> BaselineResult:
+        self._validate(pattern, grid, iterations)
+        dtype = DataType(dtype)
+        radius = pattern.radius
+        interior = tuple(slice(radius, s - radius) for s in grid.shape)
+        itemsize = dtype.itemsize
+
+        current = grid.data.copy()
+        elapsed = compute_s = memory_s = 0.0
+        utilization = None
+        for _ in range(iterations):
+            flattened = flatten_stencil(pattern, current)
+            k_dim, p_cols = flattened.b_matrix.shape
+            traffic = MemoryTraffic(
+                global_read_bytes=(current.size + 2.0 * k_dim * p_cols) * itemsize,
+                global_write_bytes=(p_cols + k_dim * p_cols) * itemsize,
+                shared_read_bytes=2.0 * k_dim * p_cols * itemsize,
+                shared_write_bytes=2.0 * k_dim * p_cols * itemsize,
+            )
+            launch = KernelLaunch(
+                name=f"amos/{pattern.name}",
+                engine="dense_mma",
+                a=flattened.a_vector,
+                b=flattened.b_matrix,
+                fragment=self.fragment,
+                dtype=dtype,
+                traffic=traffic,
+                threads_per_block=128,
+                blocks=max(1, p_cols // 64),
+                registers_per_thread=128,
+            )
+            result = execute_launch(launch, spec)
+            assert result.output is not None
+            current[interior] = result.output.reshape(flattened.out_shape)
+            # AMOS's mapping inefficiency multiplies the issued fragment work.
+            elapsed += max(result.compute_seconds * self.mapping_inefficiency,
+                           result.memory_seconds)
+            compute_s += result.compute_seconds * self.mapping_inefficiency
+            memory_s += result.memory_seconds
+            utilization = result.utilization
+
+        return self._package(
+            pattern, grid, iterations, current,
+            elapsed=elapsed,
+            compute_seconds=compute_s,
+            memory_seconds=memory_s,
+            utilization=utilization,
+        )

@@ -1,0 +1,106 @@
+"""Common interface for all execution methods (baselines and SparStencil).
+
+Every method implements :meth:`Baseline.run`, which executes ``iterations``
+time steps of a stencil over a grid on the simulated device and returns a
+:class:`BaselineResult` with the functional output and the modelled metrics.
+Keeping the interface identical across methods is what lets the benchmark
+harness produce the paper's comparison figures from one loop.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.stencils.grid import Grid
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import stencil_points_updated
+from repro.tcu.counters import UtilizationReport
+from repro.tcu.spec import A100_SPEC, DataType, GPUSpec
+from repro.util.validation import require, require_positive_int
+
+__all__ = ["Baseline", "BaselineResult"]
+
+
+@dataclass(frozen=True)
+class BaselineResult:
+    """Outcome of one method executing a stencil workload."""
+
+    method: str
+    output: np.ndarray
+    iterations: int
+    elapsed_seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    gstencil_per_second: float
+    gflops_per_second: float
+    utilization: Optional[UtilizationReport] = None
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bound(self) -> str:
+        return "compute" if self.compute_seconds >= self.memory_seconds else "memory"
+
+
+class Baseline(abc.ABC):
+    """A stencil execution method with a cost model on the simulated device."""
+
+    #: Display name used in figures and tables (matches the paper's labels).
+    name: str = "baseline"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        pattern: StencilPattern,
+        grid: Grid,
+        iterations: int,
+        *,
+        dtype: DataType = DataType.FP16,
+        spec: GPUSpec = A100_SPEC,
+        temporal_fusion: int = 1,
+    ) -> BaselineResult:
+        """Execute ``iterations`` sweeps of ``pattern`` over ``grid``."""
+
+    # ------------------------------------------------------------------ #
+    # shared helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _validate(pattern: StencilPattern, grid: Grid, iterations: int) -> None:
+        require_positive_int(iterations, "iterations")
+        require(grid.ndim == pattern.ndim,
+                f"grid ndim {grid.ndim} does not match pattern ndim {pattern.ndim}")
+        require(all(s >= pattern.diameter for s in grid.shape),
+                f"grid {grid.shape} too small for pattern {pattern.name}")
+
+    def _package(
+        self,
+        pattern: StencilPattern,
+        grid: Grid,
+        iterations: int,
+        output: np.ndarray,
+        elapsed: float,
+        compute_seconds: float,
+        memory_seconds: float,
+        utilization: Optional[UtilizationReport] = None,
+        extra: Optional[Dict[str, float]] = None,
+    ) -> BaselineResult:
+        """Assemble a :class:`BaselineResult` with the standard throughput metrics."""
+        points = stencil_points_updated(pattern, grid.shape, iterations)
+        gstencil = points / elapsed / 1e9 if elapsed > 0 else 0.0
+        flops = 2.0 * pattern.points * points
+        gflops = flops / elapsed / 1e9 if elapsed > 0 else 0.0
+        return BaselineResult(
+            method=self.name,
+            output=output,
+            iterations=iterations,
+            elapsed_seconds=elapsed,
+            compute_seconds=compute_seconds,
+            memory_seconds=memory_seconds,
+            gstencil_per_second=gstencil,
+            gflops_per_second=gflops,
+            utilization=utilization,
+            extra=dict(extra or {}),
+        )

@@ -1,0 +1,76 @@
+"""Brick baseline (Zhao et al., SC'19): fine-grained data blocking.
+
+Bricks reorganise the grid into small fixed-size blocks so neighbouring
+points are contiguous in memory, which gives excellent locality and
+vectorisation on both CPUs and GPUs.  Like DRStencil it runs on the scalar
+pipeline; its strength is memory behaviour, not arithmetic throughput.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.stencils.grid import Grid
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import run_stencil_iterations, stencil_points_updated
+from repro.tcu.executor import KernelLaunch, execute_launch
+from repro.tcu.memory import MemoryTraffic
+from repro.tcu.spec import A100_SPEC, DataType, GPUSpec
+
+__all__ = ["BrickBaseline"]
+
+
+class BrickBaseline(Baseline):
+    """FFMA stencil over a bricked data layout."""
+
+    name = "Brick"
+
+    #: Sustained fraction of FFMA peak (bricks vectorise well).
+    compute_efficiency = 0.75
+    #: Bricked layouts re-read a small halo per brick.
+    halo_read_factor = 1.15
+
+    def run(
+        self,
+        pattern: StencilPattern,
+        grid: Grid,
+        iterations: int,
+        *,
+        dtype: DataType = DataType.FP16,
+        spec: GPUSpec = A100_SPEC,
+        temporal_fusion: int = 1,
+    ) -> BaselineResult:
+        self._validate(pattern, grid, iterations)
+        dtype = DataType(dtype)
+        output = run_stencil_iterations(pattern, grid, iterations)
+
+        points_per_iter = stencil_points_updated(pattern, grid.shape, 1)
+        itemsize = dtype.itemsize
+        # Scalar arithmetic runs on the fp32 pipeline for half-precision data.
+        ffma_dtype = dtype if dtype is DataType.FP64 else DataType.TF32
+        flops_per_iter = 2.0 * pattern.points * points_per_iter / self.compute_efficiency
+        traffic = MemoryTraffic(
+            global_read_bytes=float(grid.size) * self.halo_read_factor * itemsize,
+            global_write_bytes=float(points_per_iter) * itemsize,
+            shared_read_bytes=float(grid.size) * 0.5 * itemsize,
+            shared_write_bytes=float(grid.size) * 0.5 * itemsize,
+        )
+        launch = KernelLaunch(
+            name=f"brick/{pattern.name}",
+            engine="ffma",
+            dtype=ffma_dtype,
+            flops=flops_per_iter,
+            traffic=traffic,
+            precomputed_result=output,
+            threads_per_block=256,
+            blocks=max(1, points_per_iter // 512),
+            registers_per_thread=64,
+            repeats=iterations,
+        )
+        result = execute_launch(launch, spec)
+        return self._package(
+            pattern, grid, iterations, output,
+            elapsed=result.elapsed_seconds,
+            compute_seconds=result.compute_seconds,
+            memory_seconds=result.memory_seconds,
+            utilization=result.utilization,
+        )

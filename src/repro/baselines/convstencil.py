@@ -1,0 +1,71 @@
+"""ConvStencil baseline (Chen et al., PPoPP'24): layout-transformed dense TCUs.
+
+ConvStencil also reshapes the stencil into a matrix–matrix product, but runs
+it on *dense* Tensor Cores with a fixed (hand-derived) tiling rather than an
+automatic layout search, and the clustered sparsity of its kernel matrix is
+simply computed through.  It is the strongest baseline in the paper; the gap
+to SparStencil comes from (a) the 2x sparse-TCU rate once the kernel matrix
+is 2:4-converted and (b) the layout exploration.
+
+The reproduction reuses SparStencil's own morphing machinery with the dense
+engine and a fixed ``r1 = 16, r2 = 1``-style layout — i.e. "Layout Morphing
+on dense TCUs", the middle bar of the Figure-7 breakdown.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.core.pipeline import compile_stencil, run_stencil
+from repro.stencils.grid import Grid
+from repro.stencils.pattern import StencilPattern
+from repro.tcu.spec import A100_SPEC, DENSE_FRAGMENTS, DataType, FragmentShape, GPUSpec
+
+__all__ = ["ConvStencilBaseline"]
+
+
+class ConvStencilBaseline(Baseline):
+    """Dense-Tensor-Core stencil with a fixed ConvStencil-style layout."""
+
+    name = "ConvStencil"
+
+    def __init__(self, fragment: FragmentShape = DENSE_FRAGMENTS[0],
+                 r1: int = 16, r2: int = 1) -> None:
+        self.fragment = fragment
+        self.r1 = int(r1)
+        self.r2 = int(r2)
+
+    def run(
+        self,
+        pattern: StencilPattern,
+        grid: Grid,
+        iterations: int,
+        *,
+        dtype: DataType = DataType.FP16,
+        spec: GPUSpec = A100_SPEC,
+        temporal_fusion: int = 1,
+    ) -> BaselineResult:
+        self._validate(pattern, grid, iterations)
+        dtype = DataType(dtype)
+
+        # Clamp the fixed layout to the output extents of (the fused) kernel.
+        out_last = grid.shape[-1] - pattern.diameter + 1
+        r1 = max(1, min(self.r1, out_last))
+        r2 = 1 if pattern.ndim == 1 else max(
+            1, min(self.r2, grid.shape[-2] - pattern.diameter + 1))
+
+        compiled = compile_stencil(
+            pattern, tuple(grid.shape),
+            dtype=dtype, spec=spec,
+            engine="dense_mma", fragment=self.fragment,
+            search=False, r1=r1, r2=r2,
+            temporal_fusion=temporal_fusion,
+        )
+        result = run_stencil(compiled, grid, iterations)
+        return self._package(
+            pattern, grid, iterations, result.output,
+            elapsed=result.elapsed_seconds,
+            compute_seconds=result.compute_seconds,
+            memory_seconds=result.memory_seconds,
+            utilization=result.utilization,
+            extra={"r1": float(r1), "r2": float(r2)},
+        )

@@ -1,0 +1,76 @@
+"""Naive CUDA baseline: one thread per output point, scalar FFMA arithmetic.
+
+This is the "CUDA" bar of Figure 7: every tap is read straight from global
+memory (no staging, no reuse between neighbouring threads beyond what the
+cost model's read volume implies) and the arithmetic runs on the regular FFMA
+pipeline rather than Tensor Cores.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.stencils.grid import Grid
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import run_stencil_iterations, stencil_points_updated
+from repro.tcu.executor import KernelLaunch, execute_launch
+from repro.tcu.memory import MemoryTraffic
+from repro.tcu.spec import A100_SPEC, DataType, GPUSpec
+
+__all__ = ["NaiveCudaBaseline"]
+
+
+class NaiveCudaBaseline(Baseline):
+    """Straightforward CUDA stencil kernel (no Tensor Cores, no tiling)."""
+
+    name = "CUDA"
+
+    #: Sustained fraction of FFMA peak an untiled kernel reaches.
+    compute_efficiency = 0.75
+
+    def run(
+        self,
+        pattern: StencilPattern,
+        grid: Grid,
+        iterations: int,
+        *,
+        dtype: DataType = DataType.FP16,
+        spec: GPUSpec = A100_SPEC,
+        temporal_fusion: int = 1,
+    ) -> BaselineResult:
+        self._validate(pattern, grid, iterations)
+        dtype = DataType(dtype)
+        output = run_stencil_iterations(pattern, grid, iterations)
+
+        points_per_iter = stencil_points_updated(pattern, grid.shape, 1)
+        itemsize = dtype.itemsize
+        # Scalar stencil arithmetic runs through the fp32 FFMA pipeline
+        # regardless of the (half-precision) storage type, at a sustained
+        # fraction of peak typical for untiled kernels.
+        ffma_dtype = dtype if dtype is DataType.FP64 else DataType.TF32
+        flops_per_iter = 2.0 * pattern.points * points_per_iter / self.compute_efficiency
+        traffic = MemoryTraffic(
+            # Loads along the contiguous axis hit in cache; cross-row accesses
+            # cost roughly one extra pass over the grid.
+            global_read_bytes=2.0 * grid.size * itemsize,
+            global_write_bytes=float(points_per_iter) * itemsize,
+        )
+        launch = KernelLaunch(
+            name=f"cuda/{pattern.name}",
+            engine="ffma",
+            dtype=ffma_dtype,
+            flops=flops_per_iter,
+            traffic=traffic,
+            precomputed_result=output,
+            threads_per_block=256,
+            blocks=max(1, points_per_iter // 256),
+            registers_per_thread=40,
+            repeats=iterations,
+        )
+        result = execute_launch(launch, spec)
+        return self._package(
+            pattern, grid, iterations, output,
+            elapsed=result.elapsed_seconds,
+            compute_seconds=result.compute_seconds,
+            memory_seconds=result.memory_seconds,
+            utilization=result.utilization,
+        )

@@ -1,0 +1,58 @@
+"""Registry of execution methods for the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from repro.baselines.amos import AMOSBaseline
+from repro.baselines.base import Baseline
+from repro.baselines.brick import BrickBaseline
+from repro.baselines.convstencil import ConvStencilBaseline
+from repro.baselines.cudnn import CudnnBaseline
+from repro.baselines.drstencil import DRStencilBaseline
+from repro.baselines.naive import NaiveCudaBaseline
+from repro.baselines.sparstencil_adapter import SparStencilMethod
+from repro.baselines.tcstencil import TCStencilBaseline
+from repro.util.validation import ValidationError
+
+__all__ = ["available_baselines", "get_baseline", "all_methods", "FIGURE6_BASELINES"]
+
+_REGISTRY: Dict[str, Type[Baseline]] = {
+    "cuda": NaiveCudaBaseline,
+    "cudnn": CudnnBaseline,
+    "amos": AMOSBaseline,
+    "brick": BrickBaseline,
+    "drstencil": DRStencilBaseline,
+    "tcstencil": TCStencilBaseline,
+    "convstencil": ConvStencilBaseline,
+    "sparstencil": SparStencilMethod,
+}
+
+#: The comparison set of Figure 6 (plus SparStencil itself).
+FIGURE6_BASELINES = (
+    "cudnn", "amos", "brick", "drstencil", "tcstencil", "convstencil",
+)
+
+
+def available_baselines() -> List[str]:
+    """Registered method keys (lowercase)."""
+    return sorted(_REGISTRY)
+
+
+def get_baseline(name: str, **kwargs) -> Baseline:
+    """Instantiate a method by its registry key or display name."""
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ValidationError(
+            f"unknown method {name!r}; available: {available_baselines()}")
+    return _REGISTRY[key](**kwargs)
+
+
+def all_methods(include_sparstencil: bool = True) -> List[Baseline]:
+    """Instantiate every registered method (optionally without SparStencil)."""
+    methods = []
+    for key in available_baselines():
+        if key == "sparstencil" and not include_sparstencil:
+            continue
+        methods.append(get_baseline(key))
+    return methods

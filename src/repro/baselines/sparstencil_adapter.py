@@ -1,0 +1,70 @@
+"""SparStencil wrapped in the common method interface.
+
+The benchmark harness iterates over "methods" uniformly; this adapter exposes
+the full SparStencil pipeline (layout search + structured sparsity conversion
++ sparse-TCU execution, or the dense-TCU FP64 fallback) through the same
+:class:`~repro.baselines.base.Baseline` interface the comparators use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import Baseline, BaselineResult
+from repro.core.pipeline import compile_stencil, run_stencil
+from repro.stencils.grid import Grid
+from repro.stencils.pattern import StencilPattern
+from repro.tcu.spec import A100_SPEC, DataType, FragmentShape, GPUSpec
+
+__all__ = ["SparStencilMethod"]
+
+
+class SparStencilMethod(Baseline):
+    """The paper's system as a benchmark method."""
+
+    name = "SparStencil"
+
+    def __init__(self, fragment: Optional[FragmentShape] = None,
+                 search: bool = True,
+                 conversion_method: str = "auto") -> None:
+        self.fragment = fragment
+        self.search = search
+        self.conversion_method = conversion_method
+
+    def run(
+        self,
+        pattern: StencilPattern,
+        grid: Grid,
+        iterations: int,
+        *,
+        dtype: DataType = DataType.FP16,
+        spec: GPUSpec = A100_SPEC,
+        temporal_fusion: int = 1,
+    ) -> BaselineResult:
+        self._validate(pattern, grid, iterations)
+        dtype = DataType(dtype)
+        compiled = compile_stencil(
+            pattern, tuple(grid.shape),
+            dtype=dtype, spec=spec,
+            engine="auto",
+            fragment=self.fragment,
+            search=self.search,
+            temporal_fusion=temporal_fusion,
+            conversion_method=self.conversion_method,
+        )
+        result = run_stencil(compiled, grid, iterations)
+        extra = {
+            "r1": float(compiled.config.r1),
+            "r2": float(compiled.config.r2),
+            "sparsity": float(compiled.plan.estimate.sparsity),
+            "compute_density": float(compiled.plan.estimate.compute_density),
+        }
+        extra.update({f"overhead_{k}": v for k, v in result.overhead_seconds.items()})
+        return self._package(
+            pattern, grid, iterations, result.output,
+            elapsed=result.elapsed_seconds,
+            compute_seconds=result.compute_seconds,
+            memory_seconds=result.memory_seconds,
+            utilization=result.utilization,
+            extra=extra,
+        )

@@ -1,0 +1,281 @@
+"""Automatic Kernel Generation (§3.3): kernel plans and CUDA-like source.
+
+A :class:`KernelPlan` bundles everything the simulated device needs to run a
+compiled stencil sweep — the converted kernel operand and its sparse
+metadata, the lookup tables, the fragment/precision choice, the memory-traffic
+estimate and the launch geometry — plus a rendered CUDA-C-like source string
+mirroring the three-stage double-buffered pipeline the paper's generator
+emits (async LUT-driven loads → sparse MMA with metadata → write-back).
+
+The rendered source is illustrative output of the code generator (there is no
+CUDA toolchain in this environment); the *plan* is what actually executes on
+the simulator via :mod:`repro.core.pipeline`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.conversion import ConversionResult, convert_to_24
+from repro.core.lookup_table import LookupTable, build_lookup_table
+from repro.core.metadata import SparseMetadata, build_metadata
+from repro.core.morphing import MorphConfig, morph_kernel_matrix
+from repro.core.perf_model import PerfEstimate, estimate_layout
+from repro.core.staircase import block_structure_from_morph
+from repro.stencils.pattern import StencilPattern
+from repro.tcu.spec import A100_SPEC, DataType, FragmentShape, GPUSpec, SPARSE_FRAGMENTS
+from repro.util.validation import require, require_in
+
+__all__ = ["KernelPlan", "generate_kernel", "render_cuda_source"]
+
+
+@dataclass(frozen=True)
+class KernelPlan:
+    """A fully lowered stencil kernel, ready for the simulated device."""
+
+    pattern: StencilPattern
+    grid_shape: Tuple[int, ...]
+    config: MorphConfig
+    fragment: FragmentShape
+    dtype: DataType
+    engine: str
+    a_prime: np.ndarray
+    a_operand: np.ndarray
+    conversion: Optional[ConversionResult]
+    metadata: Optional[SparseMetadata]
+    lut: LookupTable
+    estimate: PerfEstimate
+    threads_per_block: int
+    blocks: int
+    cuda_source: str = ""
+
+    @property
+    def m_prime(self) -> int:
+        return int(self.a_operand.shape[0])
+
+    @property
+    def k_operand(self) -> int:
+        """Reduction depth of the operand actually issued to the MMA engine."""
+        return int(self.a_operand.shape[1])
+
+    @property
+    def n_prime(self) -> int:
+        return self.lut.n_prime
+
+    def summary(self) -> dict:
+        """Human-readable plan summary (used by examples and reports)."""
+        return {
+            "pattern": self.pattern.name,
+            "grid": self.grid_shape,
+            "engine": self.engine,
+            "fragment": self.fragment.label,
+            "dtype": self.dtype.value,
+            "r1": self.config.r1,
+            "r2": self.config.r2,
+            "m_prime": self.m_prime,
+            "k_prime": int(self.a_prime.shape[1]),
+            "k_operand": self.k_operand,
+            "n_prime": self.n_prime,
+            "n_mma_per_sweep": self.estimate.n_mma,
+            "sparsity": self.estimate.sparsity,
+            "compute_density": self.estimate.compute_density,
+            "modeled_sweep_seconds": self.estimate.t_total,
+            "bound": self.estimate.bound,
+        }
+
+
+def _launch_geometry(plan_blocks_hint: Optional[Tuple[int, ...]],
+                     n_prime: int, spec: GPUSpec) -> Tuple[int, int]:
+    """Derive (threads_per_block, blocks) from a Table-2 block hint or defaults."""
+    if plan_blocks_hint:
+        threads = int(np.prod(plan_blocks_hint))
+    else:
+        threads = 256
+    threads = max(32, min(1024, threads))
+    blocks = max(1, min(spec.sm_count * 32, -(-n_prime // max(1, threads // 32))))
+    return threads, blocks
+
+
+def generate_kernel(
+    pattern: StencilPattern,
+    grid_shape: Tuple[int, ...],
+    config: MorphConfig,
+    *,
+    fragment: FragmentShape = SPARSE_FRAGMENTS[0],
+    dtype: DataType = DataType.FP16,
+    spec: GPUSpec = A100_SPEC,
+    engine: str = "sparse_mma",
+    conversion_method: str = "auto",
+    block_hint: Optional[Tuple[int, ...]] = None,
+    render_source: bool = True,
+    prebuilt_conversion: Optional[ConversionResult] = None,
+    prebuilt_metadata: Optional[SparseMetadata] = None,
+    prebuilt_lut: Optional[LookupTable] = None,
+) -> KernelPlan:
+    """Lower one (pattern, grid, layout) triple into a :class:`KernelPlan`.
+
+    The ``prebuilt_*`` arguments let callers (notably
+    :func:`repro.core.pipeline.compile_stencil`, which times each
+    preprocessing stage separately for the Figure-8 overhead split) supply
+    already-constructed pieces instead of rebuilding them here.
+    """
+    require_in(engine, ("sparse_mma", "dense_mma"), "engine")
+    dtype = DataType(dtype)
+    grid_shape = tuple(int(s) for s in grid_shape)
+
+    a_prime = morph_kernel_matrix(pattern, config)
+
+    conversion: Optional[ConversionResult] = None
+    metadata: Optional[SparseMetadata] = None
+    if engine == "sparse_mma":
+        if prebuilt_conversion is not None:
+            conversion = prebuilt_conversion
+        else:
+            structure = block_structure_from_morph(pattern, config)
+            conversion = convert_to_24(a_prime, structure=structure,
+                                       method=conversion_method)
+        a_operand = conversion.a_converted
+        metadata = prebuilt_metadata if prebuilt_metadata is not None \
+            else build_metadata(a_operand)
+    else:
+        a_operand = a_prime
+
+    lut = prebuilt_lut if prebuilt_lut is not None \
+        else build_lookup_table(pattern, grid_shape, config)
+    estimate = estimate_layout(
+        pattern, grid_shape, config,
+        fragment=fragment, dtype=dtype, spec=spec, engine=engine,
+        conversion_method=conversion_method,
+    )
+    threads, blocks = _launch_geometry(block_hint, lut.n_prime, spec)
+
+    plan = KernelPlan(
+        pattern=pattern,
+        grid_shape=grid_shape,
+        config=config,
+        fragment=fragment,
+        dtype=dtype,
+        engine=engine,
+        a_prime=a_prime,
+        a_operand=a_operand,
+        conversion=conversion,
+        metadata=metadata,
+        lut=lut,
+        estimate=estimate,
+        threads_per_block=threads,
+        blocks=blocks,
+        cuda_source="",
+    )
+    if render_source:
+        object.__setattr__(plan, "cuda_source", render_cuda_source(plan))
+    return plan
+
+
+# --------------------------------------------------------------------------- #
+# CUDA-like source rendering
+# --------------------------------------------------------------------------- #
+_KERNEL_TEMPLATE = """\
+// Auto-generated by SparStencil (reproduction) — do not edit.
+// pattern: {pattern} ({points} taps, {ndim}D, k={k})
+// layout:  r1={r1}, r2={r2}  ->  A''[{m_prime} x {k_operand}]  B'[{k_operand} x {n_prime}]
+// engine:  {engine}  fragment {fragment}  dtype {dtype}
+#include <cuda_fp16.h>
+#include <mma.h>
+
+#define M_PRIME   {m_prime}
+#define K_OPERAND {k_operand}
+#define N_PRIME   {n_prime}
+#define FRAG_M    {frag_m}
+#define FRAG_K    {frag_k}
+#define FRAG_N    {frag_n}
+#define TILE_COLS {tile_cols}
+
+// Host-precomputed lookup tables (§3.3): one flat base offset per tile column
+// and one patch-relative offset per K element — no div/mod on the device.
+__constant__ int lut_patch_offset[K_OPERAND];
+
+extern "C" __global__ void sparstencil_{safe_name}(
+    const {ctype}* __restrict__ input,       // padded input grid
+    {ctype}* __restrict__ output,            // output grid (valid region)
+    const {ctype}* __restrict__ a_values,    // compressed A'' values (K/2)
+    const uint32_t* __restrict__ a_metadata, // 2-bit sparse indices
+    const int* __restrict__ lut_column_base) // per-tile base offsets
+{{
+    extern __shared__ {ctype} smem[];
+    {ctype}* buf[2] = {{ smem, smem + K_OPERAND * TILE_COLS }};
+
+    const int tile0 = blockIdx.x * TILE_COLS;
+    int stage = 0;
+
+    // ---- stage 1: async LUT-driven prefetch of the first tile batch --------
+    #pragma unroll
+    for (int c = threadIdx.x; c < TILE_COLS; c += blockDim.x) {{
+        const int base = lut_column_base[tile0 + c];
+        for (int e = 0; e < K_OPERAND; ++e)
+            __pipeline_memcpy_async(&buf[stage][e * TILE_COLS + c],
+                                    &input[base + lut_patch_offset[e]],
+                                    sizeof({ctype}));
+    }}
+    __pipeline_commit();
+
+    for (int col = tile0; col < min(tile0 + TILE_COLS, N_PRIME); col += FRAG_N) {{
+        __pipeline_wait_prior(0);
+        __syncthreads();
+
+        // ---- stage 2: sparse MMA over the K fragments -----------------------
+        float acc[FRAG_M * FRAG_N / 32] = {{0.f}};
+        #pragma unroll
+        for (int kk = 0; kk < K_OPERAND; kk += FRAG_K) {{
+            asm volatile(
+                "{mma_instruction}\\n"
+                : "+f"(acc[0]), "+f"(acc[1]), "+f"(acc[2]), "+f"(acc[3])
+                : "r"(__cvta_generic_to_shared(&buf[stage][kk * TILE_COLS])),
+                  "l"(a_values), "r"(a_metadata[kk / FRAG_K]));
+        }}
+
+        // ---- stage 3: write back while the next batch streams in ------------
+        stage ^= 1;
+        #pragma unroll
+        for (int row = threadIdx.x / 32; row < M_PRIME; row += blockDim.x / 32)
+            output[/* tile-major store, assembled on the host side */
+                   (size_t)col * M_PRIME + row] = ({ctype})acc[row % 4];
+    }}
+}}
+"""
+
+
+def render_cuda_source(plan: KernelPlan) -> str:
+    """Render the CUDA-C-like kernel source for a plan."""
+    if plan.engine == "sparse_mma":
+        mma = (f"mma.sp.sync.aligned.m{plan.fragment.m}n{plan.fragment.n}"
+               f"k{plan.fragment.k}.row.col.f32.f16.f16.f32")
+    else:
+        mma = (f"mma.sync.aligned.m{plan.fragment.m}n{plan.fragment.n}"
+               f"k{plan.fragment.k}.row.col.f32.f16.f16.f32")
+    ctype = {"fp16": "__half", "bf16": "__nv_bfloat16",
+             "tf32": "float", "fp64": "double"}[plan.dtype.value]
+    safe_name = plan.pattern.name.replace("-", "_").replace("/", "_")
+    return _KERNEL_TEMPLATE.format(
+        pattern=plan.pattern.name,
+        points=plan.pattern.points,
+        ndim=plan.pattern.ndim,
+        k=plan.pattern.diameter,
+        r1=plan.config.r1,
+        r2=plan.config.r2,
+        m_prime=plan.m_prime,
+        k_operand=plan.k_operand,
+        n_prime=plan.n_prime,
+        engine=plan.engine,
+        fragment=plan.fragment.label,
+        dtype=plan.dtype.value,
+        frag_m=plan.fragment.m,
+        frag_k=plan.fragment.k,
+        frag_n=plan.fragment.n,
+        tile_cols=max(plan.fragment.n, 32),
+        ctype=ctype,
+        safe_name=safe_name,
+        mma_instruction=mma,
+    )

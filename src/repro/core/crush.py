@@ -1,0 +1,113 @@
+"""Duplicates Crush helpers (§3.1, Figures 3–4).
+
+The flattened input matrix ``B`` contains two families of duplicates created
+by the kernel sliding over the grid:
+
+* **horizontal duplicates** (Eq. 3) — within each sub-matrix ``B_i`` (the rows
+  of ``B`` contributed by input row ``i``), adjacent columns share ``k - 1``
+  elements: ``B_i(i+1, j) = B_i(i, j+1)``;
+* **vertical duplicates** (Eq. 4) — between sub-matrices: ``B'_{i+1, j} =
+  B'_{i, j+1}`` at the sub-matrix level.
+
+This module provides predicates that *verify* those identities on a flattened
+matrix (they are the properties the property-based tests exercise) and the
+counting helpers the memory model uses.  The actual crushing — building the
+duplicate-free ``B'`` and the staircase ``A'`` — is implemented directly from
+the tile formulation in :mod:`repro.core.morphing`, which is mathematically
+equivalent to crushing every ``r1`` columns horizontally and every ``r2``
+columns vertically.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.flatten import FlattenResult
+from repro.stencils.pattern import StencilPattern
+from repro.util.validation import require, require_array
+
+__all__ = [
+    "has_horizontal_duplicates",
+    "has_vertical_duplicates",
+    "count_duplicates",
+    "crush_ratio",
+]
+
+
+def _split_submatrices(b_matrix: np.ndarray, k: int) -> np.ndarray:
+    """View ``B`` (k^2, P) as (k, k, P): sub-matrix ``B_i`` is ``[i, :, :]``.
+
+    Only meaningful for 2D stencils where the flattening enumerated the patch
+    row-major: rows ``i*k .. (i+1)*k - 1`` of ``B`` all come from input row
+    offset ``i`` of the patch.
+    """
+    b_matrix = require_array(b_matrix, "b_matrix", ndim=2)
+    require(b_matrix.shape[0] == k * k,
+            f"expected {k * k} rows for a {k}x{k} kernel, got {b_matrix.shape[0]}")
+    return b_matrix.reshape(k, k, b_matrix.shape[1])
+
+
+def has_horizontal_duplicates(pattern: StencilPattern, flattened: FlattenResult) -> bool:
+    """Check Eq. 3 on a flattened 2D stencil: adjacent output columns in the
+    same output row share ``k*(k-1)`` elements, shifted by one within each
+    sub-matrix row."""
+    require(pattern.ndim == 2, "horizontal-duplicate check is defined for 2D stencils")
+    k = pattern.diameter
+    out_h, out_w = flattened.out_shape
+    if out_w < 2:
+        return True
+    subs = _split_submatrices(flattened.b_matrix, k)          # (k, k, P)
+    cols = subs.reshape(k, k, out_h, out_w)
+    # Column j+1 of the same output row: its patch rows are shifted left by 1.
+    left = cols[:, 1:, :, :-1]     # elements 1..k-1 of column j
+    right = cols[:, :-1, :, 1:]    # elements 0..k-2 of column j+1
+    return bool(np.array_equal(left, right))
+
+
+def has_vertical_duplicates(pattern: StencilPattern, flattened: FlattenResult) -> bool:
+    """Check Eq. 4 on a flattened 2D stencil: vertically adjacent outputs share
+    ``k-1`` whole sub-matrix rows (patch rows shifted by one)."""
+    require(pattern.ndim == 2, "vertical-duplicate check is defined for 2D stencils")
+    k = pattern.diameter
+    out_h, out_w = flattened.out_shape
+    if out_h < 2:
+        return True
+    subs = _split_submatrices(flattened.b_matrix, k)
+    rows = subs.reshape(k, k, out_h, out_w)
+    upper = rows[1:, :, :-1, :]    # sub-matrices 1..k-1 of output row i
+    lower = rows[:-1, :, 1:, :]    # sub-matrices 0..k-2 of output row i+1
+    return bool(np.array_equal(upper, lower))
+
+
+def count_duplicates(pattern: StencilPattern, grid_shape: Tuple[int, ...]) -> int:
+    """Number of redundant elements in the flattened ``B`` for ``grid_shape``.
+
+    Every interior input element appears once per kernel position covering it;
+    all appearances beyond the first are duplicates.
+    """
+    k = pattern.diameter
+    out_shape = tuple(int(s) - k + 1 for s in grid_shape)
+    require(all(s > 0 for s in out_shape),
+            f"grid shape {grid_shape} too small for kernel diameter {k}")
+    flattened_elements = int(np.prod(out_shape)) * (k ** pattern.ndim)
+    distinct_elements = int(np.prod(grid_shape))
+    return max(0, flattened_elements - distinct_elements)
+
+
+def crush_ratio(pattern: StencilPattern, grid_shape: Tuple[int, ...],
+                r: Tuple[int, ...]) -> float:
+    """Fraction of the flattened ``B`` footprint removed by crushing with ``r``.
+
+    With tile extents ``r`` the crushed matrix stores one
+    ``prod(k + r_i - 1)``-element patch per ``prod(r_i)`` outputs instead of
+    ``prod(r_i)`` full ``k^d`` patches.
+    """
+    k = pattern.diameter
+    require(len(r) == pattern.ndim, "r must have one entry per dimension")
+    dense = float(k ** pattern.ndim) * float(np.prod(r))
+    crushed = float(np.prod([k + ri - 1 for ri in r]))
+    if dense == 0.0:
+        return 0.0
+    return 1.0 - crushed / dense

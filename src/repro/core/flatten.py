@@ -1,0 +1,96 @@
+"""Stencil Flattening (§3.1, Figure 2).
+
+Stencil Flattening turns a stencil sweep into a vector–matrix product: the
+kernel weights become a single-row *kernel vector* ``A`` of length ``k^d``
+and every sliding-window patch of the input becomes one column of the *input
+matrix* ``B``, so that ``A @ B`` reproduces every output point.
+
+This is the canonical im2row mapping.  It is numerically exact but, as the
+paper points out, wasteful on its own: the kernel vector fills only one row
+of a Tensor-Core fragment (Figure 1(a)) and ``B`` duplicates each input
+element up to ``k^d`` times.  Duplicates Crush (:mod:`repro.core.crush`)
+removes that redundancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.stencils.pattern import StencilPattern
+from repro.util.validation import require, require_array
+
+__all__ = ["FlattenResult", "flatten_stencil", "flatten_output_shape"]
+
+
+def flatten_output_shape(pattern: StencilPattern, grid_shape: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Valid-region output shape of one stencil application."""
+    k = pattern.diameter
+    out = tuple(int(s) - k + 1 for s in grid_shape)
+    require(all(s > 0 for s in out),
+            f"grid shape {tuple(grid_shape)} too small for kernel diameter {k}")
+    return out
+
+
+@dataclass(frozen=True)
+class FlattenResult:
+    """Operands of the flattened vector–matrix form.
+
+    Attributes
+    ----------
+    a_vector:
+        ``(1, k^d)`` kernel vector (row-major flattening of the dense kernel).
+    b_matrix:
+        ``(k^d, P)`` input matrix; column ``p`` is the patch that produces
+        output point ``p`` (outputs enumerated row-major).
+    out_shape:
+        Valid-region output shape; ``P = prod(out_shape)``.
+    duplication_factor:
+        How many times each interior input element is replicated in
+        ``b_matrix`` on average (the redundancy that Duplicates Crush removes).
+    """
+
+    a_vector: np.ndarray
+    b_matrix: np.ndarray
+    out_shape: Tuple[int, ...]
+    duplication_factor: float
+
+    @property
+    def output_points(self) -> int:
+        return int(np.prod(self.out_shape))
+
+    def compute(self) -> np.ndarray:
+        """Evaluate ``A @ B`` and reshape to the output grid."""
+        product = self.a_vector @ self.b_matrix
+        return product.reshape(self.out_shape)
+
+
+def flatten_stencil(pattern: StencilPattern, data: np.ndarray) -> FlattenResult:
+    """Flatten one stencil application over ``data`` into ``A`` and ``B``.
+
+    The implementation uses ``sliding_window_view`` so ``B`` is produced by a
+    single reshape of a strided view (one copy, no Python loop over patches).
+    """
+    data = require_array(data, "data", ndim=pattern.ndim)
+    data = np.asarray(data, dtype=np.float64)
+    k = pattern.diameter
+    out_shape = flatten_output_shape(pattern, data.shape)
+
+    windows = np.lib.stride_tricks.sliding_window_view(data, (k,) * pattern.ndim)
+    # windows: out_shape + (k,)*d  →  (P, k^d)  →  transpose to (k^d, P)
+    p = int(np.prod(out_shape))
+    b_matrix = windows.reshape(p, k ** pattern.ndim).T.copy()
+
+    a_vector = pattern.weight_vector().reshape(1, -1)
+
+    total_elements = float(data.size)
+    duplication = float(b_matrix.size) / total_elements if total_elements else 0.0
+
+    return FlattenResult(
+        a_vector=a_vector,
+        b_matrix=b_matrix,
+        out_shape=out_shape,
+        duplication_factor=duplication,
+    )

@@ -1,0 +1,152 @@
+"""Layout exploration (§3.3, Eq. 11).
+
+The ``(r1, r2)`` tile extents trade memory footprint against padding and
+fragment utilisation.  The search space is small and the analytical model is
+cheap, so SparStencil simply evaluates every candidate and keeps the fastest
+(Eq. 11) — this module does the same and additionally returns the full
+candidate table, which is what the Figure-9 heatmaps plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.morphing import MorphConfig
+from repro.core.perf_model import PerfEstimate, estimate_layout
+from repro.stencils.pattern import StencilPattern
+from repro.tcu.spec import A100_SPEC, DataType, FragmentShape, GPUSpec, SPARSE_FRAGMENTS
+from repro.util.validation import require, require_positive_int
+
+__all__ = ["LayoutCandidate", "LayoutSearchResult", "default_search_space", "search_layout"]
+
+
+@dataclass(frozen=True)
+class LayoutCandidate:
+    """One evaluated point of the search space."""
+
+    r1: int
+    r2: int
+    estimate: PerfEstimate
+
+    @property
+    def t_total(self) -> float:
+        return self.estimate.t_total
+
+
+@dataclass(frozen=True)
+class LayoutSearchResult:
+    """Outcome of the exhaustive layout exploration."""
+
+    best: LayoutCandidate
+    candidates: Tuple[LayoutCandidate, ...]
+    pattern_name: str
+    grid_shape: Tuple[int, ...]
+
+    @property
+    def best_config(self) -> MorphConfig:
+        return self.best.estimate.config
+
+    def as_table(self) -> List[dict]:
+        """Candidate table for reporting / the Figure-9 heatmaps."""
+        rows = []
+        for candidate in self.candidates:
+            est = candidate.estimate
+            rows.append({
+                "r1": candidate.r1,
+                "r2": candidate.r2,
+                "t_total": est.t_total,
+                "t_compute": est.t_compute,
+                "t_memory": est.t_memory,
+                "n_mma": est.n_mma,
+                "k_padded": est.k_padded,
+                "sparsity": est.sparsity,
+                "compute_density": est.compute_density,
+                "bound": est.bound,
+            })
+        return rows
+
+    def density_grid(self) -> Tuple[np.ndarray, List[int], List[int]]:
+        """Compute-density heatmap over (r2, r1) for the evaluated candidates."""
+        r1_values = sorted({c.r1 for c in self.candidates})
+        r2_values = sorted({c.r2 for c in self.candidates})
+        grid = np.full((len(r2_values), len(r1_values)), np.nan)
+        for candidate in self.candidates:
+            i = r2_values.index(candidate.r2)
+            j = r1_values.index(candidate.r1)
+            grid[i, j] = candidate.estimate.compute_density
+        return grid, r2_values, r1_values
+
+
+def default_search_space(pattern: StencilPattern,
+                         max_r1: int = 16, max_r2: int = 8
+                         ) -> List[Tuple[int, int]]:
+    """The default ``(r1, r2)`` candidates for a pattern.
+
+    1D patterns only sweep ``r1`` (there is no second tiled axis); 2D and 3D
+    sweep both of the two fastest axes.  Candidates grow in small steps at the
+    low end (where the trade-off is steep) and powers of two beyond.
+    """
+    require_positive_int(max_r1, "max_r1")
+    require_positive_int(max_r2, "max_r2")
+
+    def axis_values(limit: int) -> List[int]:
+        values = [v for v in (1, 2, 3, 4, 6, 8, 12, 16, 24, 32) if v <= limit]
+        return values or [1]
+
+    r1_values = axis_values(max_r1)
+    if pattern.ndim == 1:
+        return [(r1, 1) for r1 in r1_values]
+    r2_values = axis_values(max_r2)
+    return [(r1, r2) for r2 in r2_values for r1 in r1_values]
+
+
+def search_layout(
+    pattern: StencilPattern,
+    grid_shape: Sequence[int],
+    *,
+    fragment: FragmentShape = SPARSE_FRAGMENTS[0],
+    dtype: DataType = DataType.FP16,
+    spec: GPUSpec = A100_SPEC,
+    engine: str = "sparse_mma",
+    space: Optional[Iterable[Tuple[int, int]]] = None,
+    conversion_method: str = "auto",
+) -> LayoutSearchResult:
+    """Exhaustively evaluate the layout space and return the fastest candidate.
+
+    Candidates whose tile extents exceed the output extents are skipped (they
+    would only add padding).  Ties are broken toward smaller ``r1 * r2`` so
+    the chosen layout carries the least padding.
+    """
+    grid_shape = tuple(int(s) for s in grid_shape)
+    out_shape = tuple(s - pattern.diameter + 1 for s in grid_shape)
+    require(all(s > 0 for s in out_shape),
+            f"grid shape {grid_shape} too small for pattern {pattern.name}")
+
+    pairs = list(space) if space is not None else default_search_space(pattern)
+    candidates: List[LayoutCandidate] = []
+    for r1, r2 in pairs:
+        if r1 > out_shape[-1]:
+            continue
+        if pattern.ndim >= 2 and r2 > out_shape[-2]:
+            continue
+        if pattern.ndim == 1 and r2 != 1:
+            continue
+        config = MorphConfig.from_r1_r2(pattern.ndim, r1, r2)
+        estimate = estimate_layout(
+            pattern, grid_shape, config,
+            fragment=fragment, dtype=dtype, spec=spec, engine=engine,
+            conversion_method=conversion_method,
+        )
+        candidates.append(LayoutCandidate(r1=r1, r2=r2, estimate=estimate))
+
+    require(candidates, "layout search produced no feasible candidates")
+    best = min(candidates, key=lambda c: (c.t_total, c.r1 * c.r2))
+    return LayoutSearchResult(
+        best=best,
+        candidates=tuple(candidates),
+        pattern_name=pattern.name,
+        grid_shape=grid_shape,
+    )

@@ -1,0 +1,77 @@
+"""Sparse metadata generation (§3.3, "Metadata").
+
+``mma.sp`` consumes, alongside the compressed A values, a metadata word
+stream holding the 2-bit in-group index of every retained element.  The
+kernel generator produces this once per compiled stencil (the kernel matrix
+is iteration-invariant), and the preprocessing-overhead analysis of Figure 8
+charges its construction cost to the "MD" category.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tcu.sparsity24 import Compressed24, compress_24
+from repro.util.validation import require, require_array
+
+__all__ = ["SparseMetadata", "build_metadata", "pack_indices", "unpack_indices"]
+
+
+def pack_indices(indices: np.ndarray) -> np.ndarray:
+    """Pack 2-bit indices into uint32 words (16 indices per word, row-major).
+
+    Rows are padded with zero indices so each row starts on a word boundary,
+    matching how the hardware expects per-row metadata alignment.
+    """
+    indices = require_array(indices, "indices", ndim=2)
+    require(np.all((indices >= 0) & (indices <= 3)), "indices must be 2-bit values")
+    m, half_k = indices.shape
+    per_word = 16
+    words_per_row = -(-half_k // per_word)
+    padded = np.zeros((m, words_per_row * per_word), dtype=np.uint32)
+    padded[:, :half_k] = indices.astype(np.uint32)
+    shifts = (2 * (np.arange(per_word, dtype=np.uint32)))[None, None, :]
+    grouped = padded.reshape(m, words_per_row, per_word)
+    return np.bitwise_or.reduce(grouped << shifts, axis=2)
+
+
+def unpack_indices(words: np.ndarray, half_k: int) -> np.ndarray:
+    """Inverse of :func:`pack_indices` (drops the per-row padding)."""
+    words = require_array(words, "words", ndim=2)
+    m, words_per_row = words.shape
+    per_word = 16
+    shifts = (2 * np.arange(per_word, dtype=np.uint32))[None, None, :]
+    unpacked = (words[:, :, None] >> shifts) & np.uint32(0x3)
+    unpacked = unpacked.reshape(m, words_per_row * per_word)
+    return unpacked[:, :half_k].astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class SparseMetadata:
+    """Compressed kernel operand plus its packed hardware metadata."""
+
+    compressed: Compressed24
+    packed_words: np.ndarray
+
+    @property
+    def values(self) -> np.ndarray:
+        return self.compressed.values
+
+    @property
+    def nbytes(self) -> int:
+        """Device bytes occupied by the packed metadata words."""
+        return int(self.packed_words.nbytes)
+
+    def roundtrip_ok(self) -> bool:
+        """Verify the packed words decode back to the raw 2-bit indices."""
+        decoded = unpack_indices(self.packed_words, self.compressed.indices.shape[1])
+        return bool(np.array_equal(decoded, self.compressed.indices))
+
+
+def build_metadata(a_converted: np.ndarray) -> SparseMetadata:
+    """Compress a 2:4 kernel matrix and pack its metadata words."""
+    compressed = compress_24(a_converted)
+    packed = pack_indices(compressed.indices)
+    return SparseMetadata(compressed=compressed, packed_words=packed)

@@ -1,0 +1,368 @@
+"""End-to-end SparStencil pipeline: compile once, sweep many times.
+
+:func:`compile_stencil` runs the three stages of the paper — Adaptive Layout
+Morphing, Structured Sparsity Conversion and Automatic Kernel Generation
+(with layout exploration) — and returns a :class:`CompiledStencil`.
+:func:`run_stencil` then executes the compiled kernel for a number of time
+iterations on the simulated device, producing both the numerical result
+(validated against the golden reference in the test suite) and the modelled
+performance metrics the benchmark harness reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.core.codegen import KernelPlan, generate_kernel
+from repro.core.fusion import fuse_pattern, fused_iterations
+from repro.core.layout_search import LayoutSearchResult, search_layout
+from repro.core.lookup_table import gather_b_matrix
+from repro.core.morphing import MorphConfig, assemble_output
+from repro.stencils.grid import Grid
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import stencil_points_updated
+from repro.tcu.counters import UtilizationReport
+from repro.tcu.executor import KernelLaunch, execute_launch
+from repro.tcu.spec import (
+    A100_SPEC,
+    DENSE_FRAGMENTS,
+    DataType,
+    FragmentShape,
+    GPUSpec,
+    SPARSE_FRAGMENTS,
+)
+from repro.util.timing import StageTimer
+from repro.util.validation import require, require_in, require_positive_int
+
+__all__ = [
+    "CompiledStencil",
+    "StencilRunResult",
+    "SparStencilCompiler",
+    "compile_stencil",
+    "run_stencil",
+    "sparstencil_solve",
+]
+
+
+@dataclass(frozen=True)
+class _MorphGeometry:
+    """The morph bookkeeping :func:`assemble_output` needs (no operands)."""
+
+    config: MorphConfig
+    m_prime: int
+    n_prime: int
+    out_shape: Tuple[int, ...]
+    padded_out_shape: Tuple[int, ...]
+    tile_grid: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class CompiledStencil:
+    """A stencil lowered to a sparse/dense Tensor-Core kernel plan.
+
+    Attributes
+    ----------
+    original_pattern / pattern:
+        The user's stencil and the (possibly temporally fused) stencil the
+        kernel actually implements.
+    plan:
+        The generated kernel plan.
+    search:
+        Layout-search result (``None`` when a fixed layout was requested).
+    overhead_seconds:
+        Host-side preprocessing cost per stage: ``transformation`` (morphing +
+        conversion + layout search), ``metadata`` and ``lookup_table`` — the
+        three categories of Figure 8.
+    temporal_fusion:
+        Number of time steps folded into one sweep.
+    """
+
+    original_pattern: StencilPattern
+    pattern: StencilPattern
+    grid_shape: Tuple[int, ...]
+    plan: KernelPlan
+    search: Optional[LayoutSearchResult]
+    spec: GPUSpec
+    overhead_seconds: Dict[str, float]
+    temporal_fusion: int = 1
+
+    @property
+    def engine(self) -> str:
+        return self.plan.engine
+
+    @property
+    def config(self) -> MorphConfig:
+        return self.plan.config
+
+    def geometry(self) -> _MorphGeometry:
+        lut = self.plan.lut
+        return _MorphGeometry(
+            config=self.plan.config,
+            m_prime=self.plan.m_prime,
+            n_prime=self.plan.n_prime,
+            out_shape=lut.out_shape,
+            padded_out_shape=lut.padded_out_shape,
+            tile_grid=lut.tile_grid,
+        )
+
+
+@dataclass(frozen=True)
+class StencilRunResult:
+    """Functional and modelled outcome of running a compiled stencil."""
+
+    output: np.ndarray
+    iterations: int
+    elapsed_seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    gstencil_per_second: float
+    gflops_per_second: float
+    utilization: UtilizationReport
+    overhead_seconds: Dict[str, float]
+    sweeps: int
+
+    @property
+    def overhead_fraction(self) -> Dict[str, float]:
+        """Host preprocessing cost relative to the modelled device time."""
+        total = self.elapsed_seconds
+        if total <= 0.0:
+            return {name: 0.0 for name in self.overhead_seconds}
+        return {name: value / (value + total)
+                for name, value in self.overhead_seconds.items()}
+
+
+def compile_stencil(
+    pattern: StencilPattern,
+    grid_shape: Tuple[int, ...],
+    *,
+    dtype: DataType = DataType.FP16,
+    spec: GPUSpec = A100_SPEC,
+    engine: str = "auto",
+    fragment: Optional[FragmentShape] = None,
+    search: bool = True,
+    r1: Optional[int] = None,
+    r2: Optional[int] = None,
+    temporal_fusion: int = 1,
+    conversion_method: str = "auto",
+    block_hint: Optional[Tuple[int, ...]] = None,
+) -> CompiledStencil:
+    """Compile a stencil for the simulated sparse Tensor Cores.
+
+    Parameters
+    ----------
+    engine:
+        ``"sparse_mma"``, ``"dense_mma"`` or ``"auto"`` (sparse when the dtype
+        supports it — the FP64 path of Table 3 falls back to dense TCUs).
+    search:
+        Run the layout exploration of §3.3.  When ``False``, ``r1`` (and
+        ``r2`` for 2D/3D stencils) must be given.
+    temporal_fusion:
+        Fold this many time steps into one sweep (3 is what ConvStencil uses
+        for small kernels; Figure 6 applies the same to SparStencil).
+    """
+    dtype = DataType(dtype)
+    require_in(engine, ("auto", "sparse_mma", "dense_mma"), "engine")
+    require_positive_int(temporal_fusion, "temporal_fusion")
+    grid_shape = tuple(int(s) for s in grid_shape)
+
+    if engine == "auto":
+        engine = "sparse_mma" if dtype.supports_sparse_tcu else "dense_mma"
+    if fragment is None:
+        fragment = SPARSE_FRAGMENTS[1] if engine == "sparse_mma" else DENSE_FRAGMENTS[0]
+    require(fragment.sparse == (engine == "sparse_mma"),
+            f"fragment {fragment.label} does not match engine {engine!r}")
+
+    effective = fuse_pattern(pattern, temporal_fusion)
+    require(all(s >= effective.diameter for s in grid_shape),
+            f"grid {grid_shape} too small for the fused kernel "
+            f"(diameter {effective.diameter})")
+
+    timer = StageTimer()
+    search_result: Optional[LayoutSearchResult] = None
+    with timer.stage("transformation"):
+        if search:
+            search_result = search_layout(
+                effective, grid_shape,
+                fragment=fragment, dtype=dtype, spec=spec, engine=engine,
+                conversion_method=conversion_method,
+            )
+            config = search_result.best_config
+        else:
+            require(r1 is not None,
+                    "search=False requires an explicit r1 (and r2 for >=2D)")
+            config = MorphConfig.from_r1_r2(effective.ndim, int(r1), int(r2 or 1))
+
+    # The remaining preprocessing is timed per stage so Figure 8 can split the
+    # cost into transformation (morphing + conversion), metadata and LUT.
+    from repro.core.conversion import convert_to_24
+    from repro.core.lookup_table import build_lookup_table
+    from repro.core.metadata import build_metadata
+    from repro.core.morphing import morph_kernel_matrix
+    from repro.core.staircase import block_structure_from_morph
+
+    conversion = None
+    metadata = None
+    with timer.stage("transformation"):
+        a_prime = morph_kernel_matrix(effective, config)
+        if engine == "sparse_mma":
+            structure = block_structure_from_morph(effective, config)
+            conversion = convert_to_24(a_prime, structure=structure,
+                                       method=conversion_method)
+    with timer.stage("metadata"):
+        if conversion is not None:
+            metadata = build_metadata(conversion.a_converted)
+    with timer.stage("lookup_table"):
+        lut = build_lookup_table(effective, grid_shape, config)
+
+    plan = generate_kernel(
+        effective, grid_shape, config,
+        fragment=fragment, dtype=dtype, spec=spec, engine=engine,
+        conversion_method=conversion_method, block_hint=block_hint,
+        render_source=False,
+        prebuilt_conversion=conversion,
+        prebuilt_metadata=metadata,
+        prebuilt_lut=lut,
+    )
+
+    return CompiledStencil(
+        original_pattern=pattern,
+        pattern=effective,
+        grid_shape=grid_shape,
+        plan=plan,
+        search=search_result,
+        spec=spec,
+        overhead_seconds=dict(timer.stages),
+        temporal_fusion=temporal_fusion,
+    )
+
+
+def run_stencil(
+    compiled: CompiledStencil,
+    grid: Grid,
+    iterations: int,
+) -> StencilRunResult:
+    """Run ``iterations`` time steps of the compiled stencil on ``grid``.
+
+    The functional loop mirrors the generated kernel: per sweep, the lookup
+    tables gather ``B'`` from the current grid, the conversion's row
+    permutation is applied, the (sparse or dense) MMA runs on the simulated
+    Tensor Cores and the result is assembled back into the grid interior.
+    Halo cells are held fixed, matching the golden reference.
+    """
+    require_positive_int(iterations, "iterations")
+    require(tuple(grid.shape) == compiled.grid_shape,
+            f"grid shape {tuple(grid.shape)} does not match the compiled shape "
+            f"{compiled.grid_shape}")
+    fusion = compiled.temporal_fusion
+    sweeps, leftover = fused_iterations(iterations, fusion)
+    require(leftover == 0,
+            f"iterations={iterations} must be a multiple of the temporal "
+            f"fusion factor {fusion}")
+
+    plan = compiled.plan
+    geometry = compiled.geometry()
+    radius = compiled.pattern.radius
+    interior = tuple(slice(radius, s - radius) for s in compiled.grid_shape)
+
+    current = grid.data.copy()
+    elapsed = compute_s = memory_s = 0.0
+    utilization: Optional[UtilizationReport] = None
+
+    for _ in range(sweeps):
+        b_prime = gather_b_matrix(plan.lut, current)
+        if plan.conversion is not None:
+            b_operand = plan.conversion.apply_to_b(b_prime)
+        else:
+            b_operand = b_prime
+        # The generated sparse kernel is register-lean (the compressed operand
+        # and metadata halve the A-fragment footprint); the dense-TCU variant
+        # (ConvStencil-style execution) carries roughly the register budget
+        # reported for hand-written dense-TCU stencil kernels.
+        registers = 32 if plan.engine == "sparse_mma" else 52
+        launch = KernelLaunch(
+            name=f"sparstencil/{compiled.pattern.name}",
+            engine=plan.engine,
+            a=plan.a_operand,
+            b=b_operand,
+            fragment=plan.fragment,
+            dtype=plan.dtype,
+            traffic=plan.estimate.traffic,
+            threads_per_block=plan.threads_per_block,
+            blocks=plan.blocks,
+            registers_per_thread=registers,
+        )
+        result = execute_launch(launch, compiled.spec)
+        assert result.output is not None
+        output_grid = assemble_output(result.output, geometry)
+        current[interior] = output_grid
+        elapsed += result.elapsed_seconds
+        compute_s += result.compute_seconds
+        memory_s += result.memory_seconds
+        utilization = result.utilization
+
+    assert utilization is not None
+    points = stencil_points_updated(compiled.pattern, compiled.grid_shape, sweeps)
+    original_points = points * fusion  # each fused sweep stands for `fusion` updates
+    gstencil = original_points / elapsed / 1e9 if elapsed > 0 else 0.0
+    flops = 2.0 * compiled.original_pattern.points * original_points
+    gflops = flops / elapsed / 1e9 if elapsed > 0 else 0.0
+
+    return StencilRunResult(
+        output=current,
+        iterations=iterations,
+        elapsed_seconds=elapsed,
+        compute_seconds=compute_s,
+        memory_seconds=memory_s,
+        gstencil_per_second=gstencil,
+        gflops_per_second=gflops,
+        utilization=utilization,
+        overhead_seconds=dict(compiled.overhead_seconds),
+        sweeps=sweeps,
+    )
+
+
+def sparstencil_solve(
+    pattern: StencilPattern,
+    grid: Grid,
+    iterations: int,
+    **compile_kwargs,
+) -> Tuple[CompiledStencil, StencilRunResult]:
+    """Convenience wrapper: compile for ``grid`` and run ``iterations`` steps."""
+    compiled = compile_stencil(pattern, tuple(grid.shape), **compile_kwargs)
+    result = run_stencil(compiled, grid, iterations)
+    return compiled, result
+
+
+class SparStencilCompiler:
+    """Object-style facade over :func:`compile_stencil` / :func:`run_stencil`.
+
+    Useful when compiling many stencils against the same device configuration:
+
+    >>> compiler = SparStencilCompiler()
+    >>> compiled = compiler.compile(pattern, (128, 128))   # doctest: +SKIP
+    >>> result = compiler.run(compiled, grid, iterations=4)  # doctest: +SKIP
+    """
+
+    def __init__(self, spec: GPUSpec = A100_SPEC,
+                 dtype: DataType = DataType.FP16) -> None:
+        self.spec = spec
+        self.dtype = DataType(dtype)
+
+    def compile(self, pattern: StencilPattern, grid_shape: Tuple[int, ...],
+                **kwargs) -> CompiledStencil:
+        kwargs.setdefault("spec", self.spec)
+        kwargs.setdefault("dtype", self.dtype)
+        return compile_stencil(pattern, grid_shape, **kwargs)
+
+    def run(self, compiled: CompiledStencil, grid: Grid,
+            iterations: int) -> StencilRunResult:
+        return run_stencil(compiled, grid, iterations)
+
+    def solve(self, pattern: StencilPattern, grid: Grid, iterations: int,
+              **kwargs) -> Tuple[CompiledStencil, StencilRunResult]:
+        kwargs.setdefault("spec", self.spec)
+        kwargs.setdefault("dtype", self.dtype)
+        return sparstencil_solve(pattern, grid, iterations, **kwargs)

@@ -1,0 +1,76 @@
+"""Permutation Invariant Transformation (§3.2, Eq. 5).
+
+PIT permutes the columns of ``A`` and the rows of ``B`` with the *same*
+permutation ``P``.  Because a matrix product is a sum of rank-1 outer
+products over the shared K dimension, the product is invariant under any such
+shared reordering:
+
+    ``A @ B = Σ_i a_i b_iᵀ = Σ_i a_{P(i)} b_{P(i)}ᵀ``
+
+which is what lets the conversion stage reorder the K dimension freely to
+satisfy the 2:4 constraint without touching the stencil's semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.validation import require, require_array
+
+__all__ = ["pad_operands", "apply_pit", "invert_permutation"]
+
+
+def pad_operands(a: np.ndarray, b: np.ndarray | None, n_total: int
+                 ) -> Tuple[np.ndarray, np.ndarray | None]:
+    """Append zero columns to ``A`` (and zero rows to ``B``) up to ``n_total``.
+
+    The inserted columns/rows are the "zero nodes" of the augmented matching
+    graph (Definition 2); they contribute nothing to the product.
+    """
+    a = require_array(a, "a", ndim=2)
+    require(n_total >= a.shape[1],
+            f"n_total={n_total} is smaller than A's {a.shape[1]} columns")
+    pad_cols = n_total - a.shape[1]
+    a_padded = np.pad(a, ((0, 0), (0, pad_cols)), mode="constant")
+    b_padded = None
+    if b is not None:
+        b = require_array(b, "b", ndim=2)
+        require(b.shape[0] == a.shape[1],
+                f"B has {b.shape[0]} rows but A has {a.shape[1]} columns")
+        b_padded = np.pad(b, ((0, pad_cols), (0, 0)), mode="constant")
+    return a_padded, b_padded
+
+
+def apply_pit(a: np.ndarray, b: np.ndarray | None, permutation: np.ndarray
+              ) -> Tuple[np.ndarray, np.ndarray | None]:
+    """Apply the shared permutation: ``A[:, P]`` and ``B[P, :]``.
+
+    ``permutation`` must be a permutation of ``range(a.shape[1])`` (operands
+    already padded).  ``b`` may be ``None`` when only the kernel matrix is
+    being prepared (the input matrix is permuted later, per iteration).
+    """
+    a = require_array(a, "a", ndim=2)
+    permutation = np.asarray(permutation, dtype=np.int64)
+    require(permutation.ndim == 1 and permutation.shape[0] == a.shape[1],
+            f"permutation length {permutation.shape[0]} does not match A's "
+            f"{a.shape[1]} columns")
+    require(np.array_equal(np.sort(permutation), np.arange(a.shape[1])),
+            "permutation is not a valid permutation of the column indices")
+    a_perm = a[:, permutation]
+    b_perm = None
+    if b is not None:
+        b = require_array(b, "b", ndim=2)
+        require(b.shape[0] == a.shape[1],
+                f"B has {b.shape[0]} rows but A has {a.shape[1]} columns")
+        b_perm = b[permutation, :]
+    return a_perm, b_perm
+
+
+def invert_permutation(permutation: np.ndarray) -> np.ndarray:
+    """Return the inverse permutation (``inv[p[i]] = i``)."""
+    permutation = np.asarray(permutation, dtype=np.int64)
+    inverse = np.empty_like(permutation)
+    inverse[permutation] = np.arange(permutation.shape[0])
+    return inverse

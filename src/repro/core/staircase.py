@@ -1,0 +1,111 @@
+"""k-staircase structure (§3.2, Definition 4 and Figure 5(a)).
+
+A matrix is *k-staircase* when every nonzero of row ``r`` sits in the column
+band ``[r, r + k)``.  The morphed kernel matrix ``A'`` exhibits this property
+*self-similarly*: at the block level (blocks induced by the slower tile axis)
+and inside each nonzero block (induced by the faster tile axis).  The
+property is what makes the Hierarchical Two-Level Matching algorithm both
+valid and optimal (Theorems 1–2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.morphing import MorphConfig
+from repro.stencils.pattern import StencilPattern
+from repro.util.validation import require, require_array, require_positive_int
+
+__all__ = [
+    "is_staircase",
+    "staircase_bandwidth",
+    "BlockStructure",
+    "block_structure_from_morph",
+]
+
+
+def is_staircase(matrix: np.ndarray, k: int) -> bool:
+    """True when every nonzero of row ``r`` lies in columns ``[r, r + k)``.
+
+    Rows beyond the column count may be entirely zero; a zero matrix is
+    trivially staircase.
+    """
+    matrix = require_array(matrix, "matrix", ndim=2)
+    require_positive_int(k, "k")
+    rows, cols = np.nonzero(matrix)
+    if rows.size == 0:
+        return True
+    return bool(np.all((cols >= rows) & (cols < rows + k)))
+
+
+def staircase_bandwidth(matrix: np.ndarray) -> Optional[int]:
+    """Smallest ``k`` for which :func:`is_staircase` holds, or ``None``.
+
+    Returns ``None`` when some nonzero sits left of the diagonal (the matrix
+    is not staircase for any ``k``); returns 1 for a zero matrix.
+    """
+    matrix = require_array(matrix, "matrix", ndim=2)
+    rows, cols = np.nonzero(matrix)
+    if rows.size == 0:
+        return 1
+    if np.any(cols < rows):
+        return None
+    return int(np.max(cols - rows) + 1)
+
+
+@dataclass(frozen=True)
+class BlockStructure:
+    """Self-similar block layout of a morphed kernel matrix ``A'``.
+
+    The columns of ``A'`` are partitioned into ``n_blocks`` consecutive blocks
+    of ``block_size`` columns each (the partition induced by the slower tile
+    axes); ``k`` is the staircase bandwidth at both levels — the kernel
+    diameter.
+    """
+
+    n_columns: int
+    block_size: int
+    k: int
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.n_columns, "n_columns")
+        require_positive_int(self.block_size, "block_size")
+        require_positive_int(self.k, "k")
+        require(self.n_columns % self.block_size == 0,
+                f"{self.n_columns} columns cannot be split into blocks of "
+                f"{self.block_size}")
+
+    @property
+    def n_blocks(self) -> int:
+        return self.n_columns // self.block_size
+
+    def block_of(self, column: int) -> int:
+        """Index of the block containing ``column``."""
+        require(0 <= column < self.n_columns, f"column {column} out of range")
+        return column // self.block_size
+
+    def columns_of_block(self, block: int) -> range:
+        """Column indices of ``block``."""
+        require(0 <= block < self.n_blocks, f"block {block} out of range")
+        start = block * self.block_size
+        return range(start, start + self.block_size)
+
+
+def block_structure_from_morph(pattern: StencilPattern,
+                               config: MorphConfig) -> BlockStructure:
+    """Derive the block structure of ``A' = morph_kernel_matrix(pattern, config)``.
+
+    The innermost (fastest) axis contributes blocks of ``k + r1 - 1`` columns;
+    all slower axes multiply into the number of blocks.  The staircase
+    bandwidth at both levels is the kernel diameter ``k``.
+    """
+    require(len(config.r) == pattern.ndim,
+            f"config has {len(config.r)} tile extents for a {pattern.ndim}D pattern")
+    k = pattern.diameter
+    patch_shape = config.patch_shape(k)
+    block_size = patch_shape[-1]
+    n_columns = int(np.prod(patch_shape))
+    return BlockStructure(n_columns=n_columns, block_size=block_size, k=k)

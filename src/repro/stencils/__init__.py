@@ -1,0 +1,35 @@
+"""Stencil substrate: patterns, grids, golden reference implementations and the
+benchmark catalog (Table 2 kernels and the 79-kernel / 9-domain suite).
+"""
+
+from repro.stencils.pattern import StencilPattern, StencilKind
+from repro.stencils.grid import Grid, make_grid
+from repro.stencils.reference import (
+    apply_stencil_reference,
+    run_stencil_iterations,
+    stencil_flops,
+)
+from repro.stencils.catalog import (
+    BenchmarkConfig,
+    table2_benchmarks,
+    get_benchmark,
+    full_catalog,
+    catalog_by_domain,
+    DOMAINS,
+)
+
+__all__ = [
+    "StencilPattern",
+    "StencilKind",
+    "Grid",
+    "make_grid",
+    "apply_stencil_reference",
+    "run_stencil_iterations",
+    "stencil_flops",
+    "BenchmarkConfig",
+    "table2_benchmarks",
+    "get_benchmark",
+    "full_catalog",
+    "catalog_by_domain",
+    "DOMAINS",
+]

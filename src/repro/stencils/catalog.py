@@ -1,0 +1,371 @@
+"""Benchmark catalog.
+
+Two kernel collections are defined here:
+
+* :func:`table2_benchmarks` — the eight benchmark kernels of Table 2 of the
+  paper (Heat-1D, 1D5P, Heat-2D, Box-2D9P, Star-2D13P, Box-2D49P, Heat-3D,
+  Box-3D27P) together with the paper's problem sizes and thread-block shapes.
+  Benchmarks in this repository run on a simulated GPU, so each
+  :class:`BenchmarkConfig` also carries a scaled-down ``sim_grid`` /
+  ``sim_iterations`` actually executed; the paper-sized configuration is kept
+  so the cost model can be evaluated at full scale.
+
+* :func:`full_catalog` — the 79-kernel suite spanning 9 application domains
+  used by Figure 10.  The paper does not list the individual kernels, so the
+  suite is generated from the domain constructors in
+  :mod:`repro.stencils.domains`, matching the paper's described diversity
+  (PDE solvers, fluid dynamics, LBM, phase field, geophysics, ...) and its
+  kernel count exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.stencils import domains as dom
+from repro.stencils.pattern import StencilPattern
+from repro.util.validation import ValidationError, require
+
+__all__ = [
+    "BenchmarkConfig",
+    "table2_benchmarks",
+    "get_benchmark",
+    "full_catalog",
+    "catalog_by_domain",
+    "DOMAINS",
+]
+
+#: The nine application domains of Figure 10.
+DOMAINS: Tuple[str, ...] = (
+    "pde_solvers",
+    "heat_diffusion",
+    "fluid_dynamics",
+    "lattice_boltzmann",
+    "phase_field",
+    "geophysics_seismic",
+    "weather_climate",
+    "electromagnetics",
+    "image_ml",
+)
+
+
+@dataclass(frozen=True)
+class BenchmarkConfig:
+    """One row of Table 2 (plus the scaled simulation configuration).
+
+    Attributes
+    ----------
+    name:
+        Kernel name as it appears in the paper.
+    pattern:
+        The stencil pattern.
+    problem_size:
+        Paper problem size.  For 1D kernels this is ``(N, T)``; for 2D,
+        ``(N, N, T)``; for 3D, ``(N, N, N, T)`` where ``T`` is the iteration
+        count — mirroring how Table 2 folds iterations into the size column.
+    block:
+        CUDA thread-block shape from Table 2 (used by the cost model to set
+        tile sizes).
+    sim_grid:
+        Grid extents actually executed by the simulator (scaled down).
+    sim_iterations:
+        Iterations actually executed by the simulator.
+    """
+
+    name: str
+    pattern: StencilPattern
+    problem_size: Tuple[int, ...]
+    block: Tuple[int, ...]
+    sim_grid: Tuple[int, ...]
+    sim_iterations: int = 2
+
+    @property
+    def paper_grid(self) -> Tuple[int, ...]:
+        """Paper grid extents (problem size without the iteration count)."""
+        return self.problem_size[:-1]
+
+    @property
+    def paper_iterations(self) -> int:
+        return int(self.problem_size[-1])
+
+
+def _star2d13p() -> StencilPattern:
+    """Star-2D13P: radius-2 star in 2D (13 points) with Jacobi-ish weights."""
+    pattern = dom.high_order_star(2, 6, name="star-2d13p")
+    return pattern
+
+
+def table2_benchmarks() -> List[BenchmarkConfig]:
+    """The eight Table-2 benchmark kernels with paper and simulation sizes."""
+    return [
+        BenchmarkConfig(
+            name="Heat-1D",
+            pattern=dom.heat_1d(),
+            problem_size=(10_240_000, 10_000),
+            block=(1024,),
+            sim_grid=(16_384,),
+        ),
+        BenchmarkConfig(
+            name="1D5P",
+            pattern=dom.high_order_star(1, 4, name="1d5p"),
+            problem_size=(10_240_000, 10_000),
+            block=(1024,),
+            sim_grid=(16_384,),
+        ),
+        BenchmarkConfig(
+            name="Heat-2D",
+            pattern=dom.heat_2d(),
+            problem_size=(10_240, 10_240, 10_240),
+            block=(32, 64),
+            sim_grid=(256, 256),
+        ),
+        BenchmarkConfig(
+            name="Box-2D9P",
+            pattern=dom.box_average(2, 1, name="box-2d9p"),
+            problem_size=(10_240, 10_240, 10_240),
+            block=(32, 64),
+            sim_grid=(256, 256),
+        ),
+        BenchmarkConfig(
+            name="Star-2D13P",
+            pattern=_star2d13p(),
+            problem_size=(10_240, 10_240, 10_240),
+            block=(32, 64),
+            sim_grid=(256, 256),
+        ),
+        BenchmarkConfig(
+            name="Box-2D49P",
+            pattern=dom.box_average(2, 3, name="box-2d49p"),
+            problem_size=(10_240, 10_240, 10_240),
+            block=(32, 64),
+            sim_grid=(256, 256),
+        ),
+        BenchmarkConfig(
+            name="Heat-3D",
+            pattern=dom.heat_3d(),
+            problem_size=(1024, 1024, 1024, 1024),
+            block=(8, 64),
+            sim_grid=(48, 48, 48),
+        ),
+        BenchmarkConfig(
+            name="Box-3D27P",
+            pattern=dom.lbm_d3q27().with_weights([1.0 / 27.0] * 27),
+            problem_size=(1024, 1024, 1024, 1024),
+            block=(8, 64),
+            sim_grid=(48, 48, 48),
+        ),
+    ]
+
+
+def get_benchmark(name: str) -> BenchmarkConfig:
+    """Return a Table-2 benchmark by (case-insensitive) name."""
+    for config in table2_benchmarks():
+        if config.name.lower() == name.lower():
+            return config
+    known = [c.name for c in table2_benchmarks()]
+    raise ValidationError(f"unknown benchmark {name!r}; known benchmarks: {known}")
+
+
+# --------------------------------------------------------------------------- #
+# The 79-kernel, 9-domain suite (Figure 10)
+# --------------------------------------------------------------------------- #
+def _pde_solver_kernels() -> List[StencilPattern]:
+    kernels = [
+        dom.poisson_jacobi_2d(),
+        dom.poisson_jacobi_3d(),
+        dom.biharmonic_2d(),
+        dom.box_average(2, 1, name="box-2d9p"),
+        dom.box_average(2, 2, name="box-2d25p"),
+        dom.box_average(2, 3, name="box-2d49p"),
+        dom.box_average(3, 1, name="box-3d27p"),
+        dom.high_order_star(2, 6, name="star-2d13p"),
+        dom.high_order_star(2, 8, name="star-2d17p"),
+    ]
+    return kernels
+
+
+def _heat_diffusion_kernels() -> List[StencilPattern]:
+    kernels = [
+        dom.heat_1d(),
+        dom.heat_2d(),
+        dom.heat_3d(),
+        dom.anisotropic_diffusion_2d(),
+        dom.heat_1d(alpha=0.25),
+        dom.heat_2d(alpha=0.2),
+        dom.high_order_star(1, 4, name="heat-1d-o4"),
+        dom.high_order_star(1, 8, name="heat-1d-o8"),
+        dom.high_order_star(3, 4, name="heat-3d-o4"),
+    ]
+    kernels[4] = dom.tagged(
+        kernels[4].with_weights(kernels[4].weights), "heat_diffusion")
+    # give the alpha variants distinct names so the catalog has unique entries
+    kernels[4] = _renamed(kernels[4], "heat-1d-fast")
+    kernels[5] = _renamed(kernels[5], "heat-2d-fast")
+    for k in (kernels[6], kernels[7], kernels[8]):
+        k.metadata["domain"] = "heat_diffusion"
+    return kernels
+
+
+def _fluid_dynamics_kernels() -> List[StencilPattern]:
+    return [
+        dom.advection_diffusion_2d(),
+        dom.advection_diffusion_2d(velocity=(0.2, 0.6)),
+        dom.upwind_advection_1d(),
+        dom.vorticity_2d(),
+        dom.pressure_poisson_3d(),
+        dom.advection_diffusion_2d(velocity=(0.8, 0.1), alpha=0.02),
+        dom.box_average(2, 2, name="les-filter-2d25p"),
+        dom.high_order_star(2, 8, name="ns-highorder-2d"),
+        dom.high_order_star(3, 2, name="ns-viscous-3d"),
+    ][0:9]
+
+
+def _lbm_kernels() -> List[StencilPattern]:
+    kernels = [
+        dom.lbm_d2q9(),
+        dom.lbm_d3q19(),
+        dom.lbm_d3q27(),
+        dom.box_average(2, 1, name="lbm-bgk-2d"),
+        dom.box_average(3, 1, name="lbm-bgk-3d"),
+        dom.lbm_d2q9().with_weights(np.full(9, 1.0 / 9.0)),
+        dom.gaussian_blur_2d(radius=1, sigma=0.8, name="lbm-regularized-2d"),
+        dom.high_order_star(2, 2, name="lbm-mrt-2d"),
+    ]
+    kernels[5] = _renamed(kernels[5], "lbm-d2q9-uniform")
+    for k in kernels:
+        k.metadata["domain"] = "lattice_boltzmann"
+    return kernels
+
+
+def _phase_field_kernels() -> List[StencilPattern]:
+    return [
+        dom.allen_cahn_2d(),
+        dom.allen_cahn_2d(mobility=0.2),
+        dom.cahn_hilliard_2d(),
+        dom.phase_field_crystal_2d(),
+        dom.box_average(2, 2, name="pf-interface-2d"),
+        dom.high_order_star(2, 4, name="pf-gradient-2d"),
+        dom.box_average(3, 1, name="pf-3d27p"),
+        dom.high_order_star(3, 2, name="pf-laplacian-3d"),
+    ]
+
+
+def _geophysics_kernels() -> List[StencilPattern]:
+    return [
+        dom.acoustic_wave(1, 8, name="acoustic-1d-o8"),
+        dom.acoustic_wave(2, 4, name="acoustic-2d-o4"),
+        dom.acoustic_wave(2, 8, name="acoustic-2d-o8"),
+        dom.acoustic_wave(3, 2, name="acoustic-3d-o2"),
+        dom.acoustic_wave(3, 4, name="acoustic-3d-o4"),
+        dom.acoustic_wave(3, 8, name="acoustic-3d-o8"),
+        dom.elastic_wave_2d(),
+        dom.gaussian_blur_2d(radius=2, sigma=1.5, name="seismic-smoother-2d"),
+        dom.box_average(2, 3, name="migration-filter-2d"),
+    ]
+
+
+def _weather_kernels() -> List[StencilPattern]:
+    return [
+        dom.shallow_water_2d(),
+        dom.smagorinsky_filter_2d(),
+        dom.advection_diffusion_2d(velocity=(0.3, 0.3), alpha=0.1),
+        dom.box_average(2, 2, name="wrf-filter-2d25p"),
+        dom.high_order_star(2, 6, name="wrf-advection-2d"),
+        dom.heat_3d(alpha=0.02),
+        dom.box_average(3, 1, name="climate-filter-3d"),
+        dom.gaussian_blur_2d(radius=3, sigma=2.0, name="analysis-smoother-2d"),
+        dom.high_order_star(3, 4, name="gcm-dynamics-3d"),
+    ]
+
+
+def _em_kernels() -> List[StencilPattern]:
+    return [
+        dom.fdtd_curl_2d(),
+        dom.fdtd_3d(),
+        dom.high_order_star(2, 2, name="fdtd-2d-o2"),
+        dom.high_order_star(2, 4, name="fdtd-2d-o4"),
+        dom.high_order_star(3, 2, name="fdtd-3d-o2"),
+        dom.box_average(2, 1, name="em-averaging-2d"),
+        dom.gaussian_blur_2d(radius=1, sigma=1.2, name="em-pml-filter"),
+        dom.high_order_star(1, 2, name="transmission-line-1d"),
+        dom.box_average(3, 1, name="em-subcell-3d"),
+    ]
+
+
+def _image_ml_kernels() -> List[StencilPattern]:
+    return [
+        dom.gaussian_blur_2d(radius=1),
+        dom.gaussian_blur_2d(radius=2),
+        dom.gaussian_blur_2d(radius=3),
+        dom.sobel_2d(),
+        dom.laplacian_of_gaussian_2d(),
+        dom.box_average(2, 1, name="box-filter-3x3"),
+        dom.box_average(2, 2, name="box-filter-5x5"),
+        dom.box_average(2, 3, name="box-filter-7x7"),
+        dom.high_order_star(2, 2, name="sharpen-2d"),
+    ]
+
+
+def _renamed(pattern: StencilPattern, name: str) -> StencilPattern:
+    clone = StencilPattern(
+        name=name,
+        ndim=pattern.ndim,
+        offsets=pattern.offsets,
+        weights=pattern.weights,
+        kind=pattern.kind,
+        metadata=dict(pattern.metadata),
+    )
+    return clone
+
+
+_DOMAIN_BUILDERS = {
+    "pde_solvers": _pde_solver_kernels,
+    "heat_diffusion": _heat_diffusion_kernels,
+    "fluid_dynamics": _fluid_dynamics_kernels,
+    "lattice_boltzmann": _lbm_kernels,
+    "phase_field": _phase_field_kernels,
+    "geophysics_seismic": _geophysics_kernels,
+    "weather_climate": _weather_kernels,
+    "electromagnetics": _em_kernels,
+    "image_ml": _image_ml_kernels,
+}
+
+
+def catalog_by_domain() -> Dict[str, List[StencilPattern]]:
+    """Return the 79-kernel suite grouped by application domain.
+
+    Kernel names are made unique by prefixing the domain, and each pattern's
+    ``metadata["domain"]`` is forced to its catalog domain (a few constructors
+    are shared between domains).
+    """
+    grouped: Dict[str, List[StencilPattern]] = {}
+    for domain in DOMAINS:
+        kernels = _DOMAIN_BUILDERS[domain]()
+        unique: List[StencilPattern] = []
+        seen: set[str] = set()
+        for kernel in kernels:
+            name = f"{domain}/{kernel.name}"
+            suffix = 2
+            while name in seen:
+                name = f"{domain}/{kernel.name}-v{suffix}"
+                suffix += 1
+            seen.add(name)
+            entry = _renamed(kernel, name)
+            entry.metadata["domain"] = domain
+            unique.append(entry)
+        grouped[domain] = unique
+    total = sum(len(v) for v in grouped.values())
+    require(total == 79, f"catalog must contain 79 kernels, got {total}")
+    return grouped
+
+
+def full_catalog() -> List[StencilPattern]:
+    """Return the flat list of all 79 catalog kernels (Figure 10 workload)."""
+    grouped = catalog_by_domain()
+    flat: List[StencilPattern] = []
+    for domain in DOMAINS:
+        flat.extend(grouped[domain])
+    return flat

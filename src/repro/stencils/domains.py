@@ -1,0 +1,449 @@
+"""Domain-specific stencil kernel constructors.
+
+The paper evaluates 79 real-world kernels drawn from 9 application domains
+(PDE solvers, fluid dynamics, lattice Boltzmann methods, phase field models,
+geophysical simulations, ...).  This module provides constructors for the
+kernels of each domain with physically-motivated weights; the catalog module
+assembles them into the 79-kernel suite.
+
+Every constructor returns a :class:`repro.stencils.pattern.StencilPattern`
+whose ``metadata["domain"]`` records the application domain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.stencils.pattern import StencilKind, StencilPattern
+from repro.util.validation import require_in, require_positive_int
+
+__all__ = [
+    "heat_1d",
+    "heat_2d",
+    "heat_3d",
+    "poisson_jacobi_2d",
+    "biharmonic_2d",
+    "high_order_star",
+    "box_average",
+    "advection_diffusion_2d",
+    "upwind_advection_1d",
+    "vorticity_2d",
+    "lbm_d2q9",
+    "lbm_d3q19",
+    "lbm_d3q27",
+    "cahn_hilliard_2d",
+    "allen_cahn_2d",
+    "acoustic_wave",
+    "elastic_wave_2d",
+    "shallow_water_2d",
+    "fdtd_curl_2d",
+    "fdtd_3d",
+    "gaussian_blur_2d",
+    "sobel_2d",
+    "laplacian_of_gaussian_2d",
+    "tagged",
+]
+
+
+def tagged(pattern: StencilPattern, domain: str, description: str = "") -> StencilPattern:
+    """Attach domain metadata to a pattern (returned pattern is the same object)."""
+    pattern.metadata["domain"] = domain
+    if description:
+        pattern.metadata["description"] = description
+    return pattern
+
+
+# --------------------------------------------------------------------------- #
+# Heat / diffusion
+# --------------------------------------------------------------------------- #
+def heat_1d(alpha: float = 0.1) -> StencilPattern:
+    """Classic 3-point explicit heat equation update in 1D."""
+    weights = [1.0 - 2.0 * alpha, alpha, alpha]
+    return tagged(
+        StencilPattern.star(1, 1, weights=weights, name="heat-1d"),
+        "heat_diffusion", "explicit 1D heat equation (3 points)",
+    )
+
+
+def heat_2d(alpha: float = 0.1) -> StencilPattern:
+    """5-point explicit heat equation update in 2D."""
+    weights = [1.0 - 4.0 * alpha] + [alpha] * 4
+    return tagged(
+        StencilPattern.star(2, 1, weights=weights, name="heat-2d"),
+        "heat_diffusion", "explicit 2D heat equation (5 points)",
+    )
+
+
+def heat_3d(alpha: float = 0.05) -> StencilPattern:
+    """7-point explicit heat equation update in 3D."""
+    weights = [1.0 - 6.0 * alpha] + [alpha] * 6
+    return tagged(
+        StencilPattern.star(3, 1, weights=weights, name="heat-3d"),
+        "heat_diffusion", "explicit 3D heat equation (7 points)",
+    )
+
+
+def anisotropic_diffusion_2d(ax: float = 0.15, ay: float = 0.05) -> StencilPattern:
+    """Anisotropic 5-point diffusion: different conductivities per axis."""
+    weights = [1.0 - 2.0 * (ax + ay), ax, ax, ay, ay]
+    return tagged(
+        StencilPattern.star(2, 1, weights=weights, name="aniso-diffusion-2d"),
+        "heat_diffusion", "anisotropic 2D diffusion",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# PDE solvers
+# --------------------------------------------------------------------------- #
+def poisson_jacobi_2d() -> StencilPattern:
+    """Jacobi smoother for the 2D Poisson equation."""
+    weights = [0.0, 0.25, 0.25, 0.25, 0.25]
+    return tagged(
+        StencilPattern.star(2, 1, weights=weights, name="poisson-jacobi-2d"),
+        "pde_solvers", "Jacobi iteration for 2D Poisson",
+    )
+
+
+def poisson_jacobi_3d() -> StencilPattern:
+    """Jacobi smoother for the 3D Poisson equation."""
+    weights = [0.0] + [1.0 / 6.0] * 6
+    return tagged(
+        StencilPattern.star(3, 1, weights=weights, name="poisson-jacobi-3d"),
+        "pde_solvers", "Jacobi iteration for 3D Poisson",
+    )
+
+
+def biharmonic_2d() -> StencilPattern:
+    """13-point biharmonic operator (fourth-order PDE), a 2D star of radius 2."""
+    kernel = np.zeros((5, 5))
+    kernel[2, 2] = 20.0
+    for d in (1, -1):
+        kernel[2 + d, 2] = -8.0
+        kernel[2, 2 + d] = -8.0
+        kernel[2 + 2 * d, 2] = 1.0
+        kernel[2, 2 + 2 * d] = 1.0
+    kernel[1, 1] = kernel[1, 3] = kernel[3, 1] = kernel[3, 3] = 2.0
+    kernel /= 64.0
+    return tagged(
+        StencilPattern.from_dense(kernel, name="biharmonic-2d"),
+        "pde_solvers", "13-point biharmonic operator",
+    )
+
+
+def high_order_star(ndim: int, order: int, name: str | None = None) -> StencilPattern:
+    """Central finite-difference Laplacian of accuracy ``order`` (star stencil).
+
+    ``order`` must be even; the stencil radius is ``order // 2``.  Coefficients
+    are the standard central-difference Laplacian coefficients, summed across
+    axes for the centre tap.
+    """
+    require_in(ndim, (1, 2, 3), "ndim")
+    require_positive_int(order, "order")
+    if order % 2:
+        raise ValueError(f"order must be even, got {order}")
+    radius = order // 2
+    # 1D second-derivative central coefficients for common radii.
+    coeffs_by_radius = {
+        1: [1.0, -2.0, 1.0],
+        2: [-1 / 12, 4 / 3, -5 / 2, 4 / 3, -1 / 12],
+        3: [1 / 90, -3 / 20, 3 / 2, -49 / 18, 3 / 2, -3 / 20, 1 / 90],
+        4: [-1 / 560, 8 / 315, -1 / 5, 8 / 5, -205 / 72, 8 / 5, -1 / 5, 8 / 315, -1 / 560],
+    }
+    if radius not in coeffs_by_radius:
+        raise ValueError(f"unsupported order {order} (radius {radius})")
+    coeffs = coeffs_by_radius[radius]
+    centre = coeffs[radius] * ndim
+    offsets = [tuple([0] * ndim)]
+    weights = [centre]
+    for axis in range(ndim):
+        for distance in range(1, radius + 1):
+            for sign in (-1, 1):
+                off = [0] * ndim
+                off[axis] = sign * distance
+                offsets.append(tuple(off))
+                weights.append(coeffs[radius + sign * distance])
+    pattern = StencilPattern(
+        name=name or f"laplacian-{ndim}d-o{order}",
+        ndim=ndim,
+        offsets=tuple(offsets),
+        weights=tuple(weights),
+        kind=StencilKind.STAR,
+    )
+    return tagged(pattern, "pde_solvers", f"order-{order} Laplacian in {ndim}D")
+
+
+def box_average(ndim: int, radius: int, name: str | None = None) -> StencilPattern:
+    """Uniform box average (the Box-2D9P / Box-2D49P / Box-3D27P family)."""
+    pattern = StencilPattern.box(ndim, radius, name=name)
+    return tagged(pattern, "pde_solvers", f"uniform box average radius {radius}")
+
+
+# --------------------------------------------------------------------------- #
+# Fluid dynamics
+# --------------------------------------------------------------------------- #
+def advection_diffusion_2d(velocity=(0.5, 0.25), alpha: float = 0.05) -> StencilPattern:
+    """First-order upwind advection plus diffusion on a 2D grid (5 points)."""
+    vx, vy = velocity
+    weights = [
+        1.0 - 4.0 * alpha - abs(vx) - abs(vy),  # centre
+        alpha + max(vx, 0.0),   # (-1, 0)
+        alpha + max(-vx, 0.0),  # (+1, 0)
+        alpha + max(vy, 0.0),   # (0, -1)
+        alpha + max(-vy, 0.0),  # (0, +1)
+    ]
+    return tagged(
+        StencilPattern.star(2, 1, weights=weights, name="advection-diffusion-2d"),
+        "fluid_dynamics", "upwind advection-diffusion",
+    )
+
+
+def upwind_advection_1d(courant: float = 0.4) -> StencilPattern:
+    """First-order upwind advection in 1D (2 active taps in a 3-point footprint)."""
+    pattern = StencilPattern(
+        name="upwind-1d",
+        ndim=1,
+        offsets=((0,), (-1,)),
+        weights=(1.0 - courant, courant),
+        kind=StencilKind.CUSTOM,
+    )
+    return tagged(pattern, "fluid_dynamics", "first-order upwind advection")
+
+
+def vorticity_2d() -> StencilPattern:
+    """Vorticity-streamfunction update: 9-point box with central-difference mix."""
+    kernel = np.array(
+        [
+            [0.05, 0.2, 0.05],
+            [0.2, 0.0, 0.2],
+            [0.05, 0.2, 0.05],
+        ]
+    )
+    return tagged(
+        StencilPattern.from_dense(kernel, name="vorticity-2d", keep_zeros=True),
+        "fluid_dynamics", "vorticity transport smoother",
+    )
+
+
+def pressure_poisson_3d() -> StencilPattern:
+    """Pressure-Poisson projection step in 3D incompressible flow solvers."""
+    weights = [0.0] + [1.0 / 6.0] * 6
+    pattern = StencilPattern.star(3, 1, weights=weights, name="pressure-poisson-3d")
+    return tagged(pattern, "fluid_dynamics", "pressure projection Jacobi sweep")
+
+
+# --------------------------------------------------------------------------- #
+# Lattice Boltzmann
+# --------------------------------------------------------------------------- #
+def lbm_d2q9() -> StencilPattern:
+    """D2Q9 lattice Boltzmann streaming+collision collapsed to one 9-point box."""
+    w_centre, w_axis, w_diag = 4.0 / 9.0, 1.0 / 9.0, 1.0 / 36.0
+    kernel = np.array(
+        [
+            [w_diag, w_axis, w_diag],
+            [w_axis, w_centre, w_axis],
+            [w_diag, w_axis, w_diag],
+        ]
+    )
+    return tagged(
+        StencilPattern.from_dense(kernel, name="lbm-d2q9"),
+        "lattice_boltzmann", "D2Q9 equilibrium-weighted neighbourhood",
+    )
+
+
+def lbm_d3q19() -> StencilPattern:
+    """D3Q19 lattice: centre + 6 axis + 12 edge neighbours (19 points)."""
+    offsets = [(0, 0, 0)]
+    weights = [1.0 / 3.0]
+    for axis in range(3):
+        for sign in (-1, 1):
+            off = [0, 0, 0]
+            off[axis] = sign
+            offsets.append(tuple(off))
+            weights.append(1.0 / 18.0)
+    for a in range(3):
+        for b in range(a + 1, 3):
+            for sa in (-1, 1):
+                for sb in (-1, 1):
+                    off = [0, 0, 0]
+                    off[a], off[b] = sa, sb
+                    offsets.append(tuple(off))
+                    weights.append(1.0 / 36.0)
+    pattern = StencilPattern(
+        name="lbm-d3q19", ndim=3, offsets=tuple(offsets), weights=tuple(weights),
+        kind=StencilKind.CUSTOM,
+    )
+    return tagged(pattern, "lattice_boltzmann", "D3Q19 equilibrium weights")
+
+
+def lbm_d3q27() -> StencilPattern:
+    """D3Q27 lattice: the full 3x3x3 box with equilibrium weights."""
+    kernel = np.zeros((3, 3, 3))
+    for index in np.ndindex(3, 3, 3):
+        offset = tuple(i - 1 for i in index)
+        order = sum(abs(o) for o in offset)
+        kernel[index] = {0: 8.0 / 27.0, 1: 2.0 / 27.0, 2: 1.0 / 54.0, 3: 1.0 / 216.0}[order]
+    return tagged(
+        StencilPattern.from_dense(kernel, name="lbm-d3q27"),
+        "lattice_boltzmann", "D3Q27 equilibrium weights",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Phase field
+# --------------------------------------------------------------------------- #
+def allen_cahn_2d(mobility: float = 0.1) -> StencilPattern:
+    """Allen-Cahn explicit update: a weighted 5-point Laplacian."""
+    weights = [1.0 - 4.0 * mobility] + [mobility] * 4
+    pattern = StencilPattern.star(2, 1, weights=weights, name="allen-cahn-2d")
+    return tagged(pattern, "phase_field", "Allen-Cahn explicit sweep")
+
+
+def cahn_hilliard_2d() -> StencilPattern:
+    """Cahn-Hilliard: biharmonic-dominated 13-point radius-2 star pattern."""
+    kernel = np.zeros((5, 5))
+    kernel[2, 2] = 1.0 - 20.0 * 0.01
+    for d in (1, -1):
+        kernel[2 + d, 2] = 8.0 * 0.01
+        kernel[2, 2 + d] = 8.0 * 0.01
+        kernel[2 + 2 * d, 2] = -1.0 * 0.01
+        kernel[2, 2 + 2 * d] = -1.0 * 0.01
+    return tagged(
+        StencilPattern.from_dense(kernel, name="cahn-hilliard-2d"),
+        "phase_field", "Cahn-Hilliard explicit sweep",
+    )
+
+
+def phase_field_crystal_2d() -> StencilPattern:
+    """Phase-field-crystal smoother: a dense 5x5 box with radially decaying weights."""
+    kernel = np.zeros((5, 5))
+    for index in np.ndindex(5, 5):
+        r2 = (index[0] - 2) ** 2 + (index[1] - 2) ** 2
+        kernel[index] = np.exp(-0.5 * r2)
+    kernel /= kernel.sum()
+    return tagged(
+        StencilPattern.from_dense(kernel, name="phase-field-crystal-2d"),
+        "phase_field", "phase-field-crystal 25-point smoother",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Geophysics / seismic
+# --------------------------------------------------------------------------- #
+def acoustic_wave(ndim: int, order: int, name: str | None = None) -> StencilPattern:
+    """High-order acoustic wave propagation kernel (star of radius ``order/2``)."""
+    pattern = high_order_star(ndim, order, name=name or f"acoustic-{ndim}d-o{order}")
+    pattern.metadata["domain"] = "geophysics_seismic"
+    pattern.metadata["description"] = f"order-{order} acoustic wave stencil"
+    return pattern
+
+
+def elastic_wave_2d() -> StencilPattern:
+    """Elastic wave cross-derivative kernel (9-point box, anti-symmetric corners)."""
+    kernel = np.array(
+        [
+            [0.25, 0.0, -0.25],
+            [0.0, 1.0, 0.0],
+            [-0.25, 0.0, 0.25],
+        ]
+    )
+    return tagged(
+        StencilPattern.from_dense(kernel, name="elastic-wave-2d", keep_zeros=True),
+        "geophysics_seismic", "elastic wave cross-derivative term",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Weather / climate
+# --------------------------------------------------------------------------- #
+def shallow_water_2d() -> StencilPattern:
+    """Shallow-water height update: centred 5-point divergence-like stencil."""
+    weights = [0.6, 0.1, 0.1, 0.1, 0.1]
+    pattern = StencilPattern.star(2, 1, weights=weights, name="shallow-water-2d")
+    return tagged(pattern, "weather_climate", "shallow-water height update")
+
+
+def smagorinsky_filter_2d() -> StencilPattern:
+    """Horizontal diffusion / Smagorinsky-style filter (9-point box)."""
+    kernel = np.array(
+        [
+            [1.0, 2.0, 1.0],
+            [2.0, 4.0, 2.0],
+            [1.0, 2.0, 1.0],
+        ]
+    ) / 16.0
+    return tagged(
+        StencilPattern.from_dense(kernel, name="smagorinsky-2d"),
+        "weather_climate", "horizontal diffusion filter",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Electromagnetics (FDTD)
+# --------------------------------------------------------------------------- #
+def fdtd_curl_2d() -> StencilPattern:
+    """2D FDTD curl update collapsed onto a single field (4 active taps)."""
+    pattern = StencilPattern(
+        name="fdtd-curl-2d",
+        ndim=2,
+        offsets=((0, 0), (-1, 0), (0, -1), (-1, -1)),
+        weights=(1.0, -0.5, -0.5, 0.25),
+        kind=StencilKind.CUSTOM,
+    )
+    return tagged(pattern, "electromagnetics", "2D FDTD curl update")
+
+
+def fdtd_3d() -> StencilPattern:
+    """3D FDTD-style 7-point update."""
+    weights = [0.4] + [0.1] * 6
+    pattern = StencilPattern.star(3, 1, weights=weights, name="fdtd-3d")
+    return tagged(pattern, "electromagnetics", "3D FDTD field update")
+
+
+# --------------------------------------------------------------------------- #
+# Image processing / ML-adjacent
+# --------------------------------------------------------------------------- #
+def gaussian_blur_2d(radius: int = 1, sigma: float = 1.0,
+                     name: str | None = None) -> StencilPattern:
+    """Separable Gaussian blur materialised as a dense box kernel."""
+    require_positive_int(radius, "radius")
+    axis = np.arange(-radius, radius + 1, dtype=np.float64)
+    one_d = np.exp(-0.5 * (axis / sigma) ** 2)
+    kernel = np.outer(one_d, one_d)
+    kernel /= kernel.sum()
+    return tagged(
+        StencilPattern.from_dense(kernel, name=name or f"gaussian-blur-r{radius}"),
+        "image_ml", f"Gaussian blur radius {radius}",
+    )
+
+
+def sobel_2d() -> StencilPattern:
+    """Sobel horizontal-gradient kernel (6 active taps of a 3x3 box)."""
+    kernel = np.array(
+        [
+            [-1.0, 0.0, 1.0],
+            [-2.0, 0.0, 2.0],
+            [-1.0, 0.0, 1.0],
+        ]
+    ) / 8.0
+    return tagged(
+        StencilPattern.from_dense(kernel, name="sobel-2d", keep_zeros=True),
+        "image_ml", "Sobel gradient",
+    )
+
+
+def laplacian_of_gaussian_2d() -> StencilPattern:
+    """5x5 Laplacian-of-Gaussian edge detector."""
+    kernel = np.array(
+        [
+            [0, 0, 1, 0, 0],
+            [0, 1, 2, 1, 0],
+            [1, 2, -16, 2, 1],
+            [0, 1, 2, 1, 0],
+            [0, 0, 1, 0, 0],
+        ],
+        dtype=np.float64,
+    ) / 16.0
+    return tagged(
+        StencilPattern.from_dense(kernel, name="log-2d"),
+        "image_ml", "Laplacian of Gaussian",
+    )

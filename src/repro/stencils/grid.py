@@ -1,0 +1,121 @@
+"""Grid containers and workload generators.
+
+A :class:`Grid` wraps the ndarray the stencil sweeps over plus the halo
+book-keeping needed to compare "valid"-region outputs across all execution
+paths (reference, SparStencil, baselines).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.util.rng import default_rng
+from repro.util.validation import require, require_in, require_positive_int
+
+__all__ = ["Grid", "make_grid", "interior_shape"]
+
+
+def interior_shape(shape: Sequence[int], radius: int) -> Tuple[int, ...]:
+    """Shape of the valid (interior) output region for a stencil of ``radius``."""
+    out = tuple(int(s) - 2 * radius for s in shape)
+    require(all(s > 0 for s in out),
+            f"grid shape {tuple(shape)} too small for stencil radius {radius}")
+    return out
+
+
+@dataclass
+class Grid:
+    """A d-dimensional grid of field values.
+
+    Attributes
+    ----------
+    data:
+        The full array including halo cells.
+    dtype:
+        Element type used by the simulated device (fp16/fp32/fp64).  The host
+        copy is kept in float64 for accuracy; ``dtype`` records the precision
+        the simulated kernel would use and is consumed by the cost model.
+    """
+
+    data: np.ndarray
+    dtype: np.dtype = np.dtype(np.float32)
+
+    def __post_init__(self) -> None:
+        self.data = np.asarray(self.data, dtype=np.float64)
+        self.dtype = np.dtype(self.dtype)
+        require_in(self.data.ndim, (1, 2, 3), "grid ndim")
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return int(self.data.size)
+
+    def interior(self, radius: int) -> np.ndarray:
+        """Return a view of the interior region for a stencil of ``radius``."""
+        require_positive_int(radius, "radius")
+        slices = tuple(slice(radius, s - radius) for s in self.shape)
+        return self.data[slices]
+
+    def interior_size(self, radius: int) -> int:
+        return int(np.prod(interior_shape(self.shape, radius)))
+
+    def copy(self) -> "Grid":
+        return Grid(data=self.data.copy(), dtype=self.dtype)
+
+    def bytes_per_element(self) -> int:
+        return int(self.dtype.itemsize)
+
+
+def make_grid(
+    shape: Sequence[int],
+    *,
+    kind: str = "random",
+    dtype=np.float32,
+    seed: int | None = None,
+) -> Grid:
+    """Create a grid workload.
+
+    Parameters
+    ----------
+    shape:
+        Grid extents including halo cells.
+    kind:
+        ``"random"`` — uniform values in [0, 1);
+        ``"gaussian"`` — a centred Gaussian bump (typical heat/seismic initial
+        condition);
+        ``"zeros"`` / ``"ones"`` — constant fields;
+        ``"ramp"`` — linear ramp along the last axis (easy to eyeball).
+    dtype:
+        Element type the simulated device kernel would use.
+    seed:
+        RNG seed for the random workload.
+    """
+    shape = tuple(require_positive_int(s, "grid extent") for s in shape)
+    require_in(len(shape), (1, 2, 3), "grid ndim")
+    require_in(kind, ("random", "gaussian", "zeros", "ones", "ramp"), "kind")
+
+    if kind == "random":
+        data = default_rng(seed).random(shape)
+    elif kind == "zeros":
+        data = np.zeros(shape)
+    elif kind == "ones":
+        data = np.ones(shape)
+    elif kind == "ramp":
+        ramp = np.linspace(0.0, 1.0, shape[-1])
+        data = np.broadcast_to(ramp, shape).copy()
+    else:  # gaussian
+        axes = [np.linspace(-1.0, 1.0, s) for s in shape]
+        mesh = np.meshgrid(*axes, indexing="ij")
+        radius_sq = sum(m ** 2 for m in mesh)
+        data = np.exp(-4.0 * radius_sq)
+    return Grid(data=data, dtype=dtype)

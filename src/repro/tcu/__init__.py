@@ -1,0 +1,67 @@
+"""Simulated GPU and (sparse) Tensor Core substrate.
+
+The paper's evaluation platform is an NVIDIA A100 with sparse Tensor Cores
+programmed through ``mma.sp`` PTX.  No GPU is available in this environment,
+so this package provides:
+
+* a **functional model** of dense and 2:4-sparse fragment MMA — numerically
+  exact, used to validate the whole transformation chain end to end;
+* a **cost model** of the same hardware (fragment CPI, tensor-core counts,
+  global/shared-memory bandwidth) — the analytical roofline of Eq. 6–8 of the
+  paper, used both by the layout search and to produce the simulated timings
+  that regenerate the evaluation figures.
+"""
+
+from repro.tcu.spec import (
+    DataType,
+    FragmentShape,
+    GPUSpec,
+    A100_SPEC,
+    SPARSE_FRAGMENTS,
+    DENSE_FRAGMENTS,
+)
+from repro.tcu.sparsity24 import (
+    is_24_sparse,
+    violations_24,
+    sparsity_ratio,
+    compress_24,
+    decompress_24,
+    Compressed24,
+)
+from repro.tcu.dense_mma import dense_mma, DenseMMAResult
+from repro.tcu.sparse_mma import sparse_mma, sparse_mma_compressed, SparseMMAResult
+from repro.tcu.memory import MemoryTraffic, memory_time, global_memory_time, shared_memory_time
+from repro.tcu.timing import compute_time, mma_count, roofline_time
+from repro.tcu.counters import UtilizationReport
+from repro.tcu.executor import KernelLaunch, LaunchResult, execute_launch
+
+__all__ = [
+    "DataType",
+    "FragmentShape",
+    "GPUSpec",
+    "A100_SPEC",
+    "SPARSE_FRAGMENTS",
+    "DENSE_FRAGMENTS",
+    "is_24_sparse",
+    "violations_24",
+    "sparsity_ratio",
+    "compress_24",
+    "decompress_24",
+    "Compressed24",
+    "dense_mma",
+    "DenseMMAResult",
+    "sparse_mma",
+    "sparse_mma_compressed",
+    "SparseMMAResult",
+    "MemoryTraffic",
+    "memory_time",
+    "global_memory_time",
+    "shared_memory_time",
+    "compute_time",
+    "mma_count",
+    "roofline_time",
+    "UtilizationReport",
+    "KernelLaunch",
+    "LaunchResult",
+    "execute_launch",
+]

@@ -1,0 +1,110 @@
+"""Functional model of dense Tensor-Core fragment MMA.
+
+``dense_mma`` computes ``D = A @ B + C`` exactly the way the simulated device
+would: operands are zero-padded to fragment multiples, the product is carried
+out tile by tile in the requested precision, and the number of fragment
+operations is reported so the cost model can translate it into cycles.
+
+The per-fragment loop is intentionally expressed as a single reshaped
+``einsum`` so there is no Python-level loop over fragments (the fragment
+count can reach 10^5 for the Figure-10 workloads).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.tcu.spec import DataType, FragmentShape
+from repro.util.arrays import ceil_div, pad_to_multiple
+from repro.util.validation import require, require_array
+
+__all__ = ["DenseMMAResult", "dense_mma", "fragment_grid"]
+
+
+@dataclass(frozen=True)
+class DenseMMAResult:
+    """Result of a fragment-tiled dense MMA.
+
+    Attributes
+    ----------
+    d: the ``(m, n)`` product (original, un-padded extents).
+    fragment_ops: number of fragment MMA operations issued.
+    wasted_lanes: fraction of fragment lanes that computed padding
+        (0.0 means perfectly tiled operands).
+    """
+
+    d: np.ndarray
+    fragment_ops: int
+    wasted_lanes: float
+
+
+def fragment_grid(m: int, k: int, n: int, fragment: FragmentShape) -> tuple[int, int, int]:
+    """Number of fragments along each dimension after padding."""
+    return (
+        ceil_div(m, fragment.m),
+        ceil_div(k, fragment.k),
+        ceil_div(n, fragment.n),
+    )
+
+
+def dense_mma(
+    a: np.ndarray,
+    b: np.ndarray,
+    fragment: FragmentShape,
+    *,
+    c: np.ndarray | None = None,
+    dtype: DataType = DataType.FP16,
+) -> DenseMMAResult:
+    """Compute ``D = A @ B (+ C)`` on the simulated dense Tensor Cores.
+
+    Parameters
+    ----------
+    a, b:
+        Operands of shape ``(m, k)`` and ``(k, n)``.
+    fragment:
+        Fragment shape used for tiling; must be a dense fragment.
+    c:
+        Optional accumulator of shape ``(m, n)``.
+    dtype:
+        Simulated device precision.  FP16 inputs are rounded to float16 before
+        the multiply (accumulation stays in float32, as real Tensor Cores do).
+    """
+    a = require_array(a, "a", ndim=2)
+    b = require_array(b, "b", ndim=2)
+    require(not fragment.sparse, "dense_mma requires a dense fragment shape")
+    require(a.shape[1] == b.shape[0],
+            f"inner dimensions differ: A is {a.shape}, B is {b.shape}")
+    m, k = a.shape
+    _, n = b.shape
+
+    dtype = DataType(dtype)
+    compute_dtype = dtype.numpy_dtype
+    a_device = np.asarray(a, dtype=compute_dtype)
+    b_device = np.asarray(b, dtype=compute_dtype)
+
+    # Pad to whole fragments, exactly as the generated kernel would.
+    a_pad = pad_to_multiple(pad_to_multiple(a_device, fragment.m, axis=0),
+                            fragment.k, axis=1)
+    b_pad = pad_to_multiple(pad_to_multiple(b_device, fragment.k, axis=0),
+                            fragment.n, axis=1)
+
+    grid_m, grid_k, grid_n = fragment_grid(m, k, n, fragment)
+    fragment_ops = grid_m * grid_k * grid_n
+    total_lanes = fragment_ops * fragment.macs
+    useful_lanes = m * k * n
+    wasted = 0.0 if total_lanes == 0 else 1.0 - useful_lanes / total_lanes
+
+    # Accumulate in float32 (float64 for FP64) like the hardware accumulator.
+    acc_dtype = np.float64 if dtype is DataType.FP64 else np.float32
+    d_full = a_pad.astype(acc_dtype) @ b_pad.astype(acc_dtype)
+    d = d_full[:m, :n]
+    if c is not None:
+        c = require_array(c, "c", ndim=2)
+        require(c.shape == (m, n), f"c must have shape {(m, n)}, got {c.shape}")
+        d = d + np.asarray(c, dtype=acc_dtype)
+
+    return DenseMMAResult(d=np.asarray(d, dtype=np.float64),
+                          fragment_ops=fragment_ops,
+                          wasted_lanes=wasted)

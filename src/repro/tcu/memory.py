@@ -1,0 +1,105 @@
+"""Memory-traffic accounting and the bandwidth side of the roofline.
+
+Equation 8 of the paper models memory time as the maximum of the global
+memory term (read+write volume over HBM bandwidth) and the shared memory term
+(staging traffic over shared-memory bandwidth).  :class:`MemoryTraffic`
+carries the four volumes and this module converts them into seconds for a
+given :class:`~repro.tcu.spec.GPUSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.tcu.spec import GPUSpec
+from repro.util.validation import require
+
+__all__ = [
+    "MemoryTraffic",
+    "global_memory_time",
+    "shared_memory_time",
+    "memory_time",
+]
+
+
+@dataclass(frozen=True)
+class MemoryTraffic:
+    """Bytes moved by one kernel invocation.
+
+    Attributes
+    ----------
+    global_read_bytes / global_write_bytes:
+        Traffic between HBM and the chip (``data_R`` / ``data_W`` in Eq. 8).
+    shared_read_bytes / shared_write_bytes:
+        Traffic between shared memory and the register file
+        (``data_transR`` / ``data_transW``).
+    metadata_bytes:
+        2-bit sparse metadata shipped alongside the A operand (counted in
+        global reads as well; kept separately for the overhead analysis).
+    lut_bytes:
+        Host-precomputed lookup tables copied to the device once.
+    """
+
+    global_read_bytes: float = 0.0
+    global_write_bytes: float = 0.0
+    shared_read_bytes: float = 0.0
+    shared_write_bytes: float = 0.0
+    metadata_bytes: float = 0.0
+    lut_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("global_read_bytes", "global_write_bytes",
+                     "shared_read_bytes", "shared_write_bytes",
+                     "metadata_bytes", "lut_bytes"):
+            require(getattr(self, name) >= 0.0, f"{name} must be non-negative")
+
+    @property
+    def global_bytes(self) -> float:
+        return self.global_read_bytes + self.global_write_bytes
+
+    @property
+    def shared_bytes(self) -> float:
+        return self.shared_read_bytes + self.shared_write_bytes
+
+    @property
+    def total_bytes(self) -> float:
+        return self.global_bytes + self.shared_bytes + self.metadata_bytes + self.lut_bytes
+
+    def scaled(self, factor: float) -> "MemoryTraffic":
+        """Return traffic multiplied by ``factor`` (e.g. per-iteration → total)."""
+        require(factor >= 0.0, "factor must be non-negative")
+        return MemoryTraffic(
+            global_read_bytes=self.global_read_bytes * factor,
+            global_write_bytes=self.global_write_bytes * factor,
+            shared_read_bytes=self.shared_read_bytes * factor,
+            shared_write_bytes=self.shared_write_bytes * factor,
+            metadata_bytes=self.metadata_bytes * factor,
+            lut_bytes=self.lut_bytes * factor,
+        )
+
+    def combined(self, other: "MemoryTraffic") -> "MemoryTraffic":
+        """Element-wise sum of two traffic records."""
+        return MemoryTraffic(
+            global_read_bytes=self.global_read_bytes + other.global_read_bytes,
+            global_write_bytes=self.global_write_bytes + other.global_write_bytes,
+            shared_read_bytes=self.shared_read_bytes + other.shared_read_bytes,
+            shared_write_bytes=self.shared_write_bytes + other.shared_write_bytes,
+            metadata_bytes=self.metadata_bytes + other.metadata_bytes,
+            lut_bytes=self.lut_bytes + other.lut_bytes,
+        )
+
+
+def global_memory_time(traffic: MemoryTraffic, spec: GPUSpec) -> float:
+    """Seconds spent on HBM traffic: ``(data_R + data_W) / bw_G``."""
+    volume = traffic.global_bytes + traffic.metadata_bytes + traffic.lut_bytes
+    return volume / (spec.global_bandwidth_gbs * 1e9)
+
+
+def shared_memory_time(traffic: MemoryTraffic, spec: GPUSpec) -> float:
+    """Seconds spent on shared-memory staging: ``(data_transR + data_transW) / bw_S``."""
+    return traffic.shared_bytes / (spec.shared_bandwidth_gbs * 1e9)
+
+
+def memory_time(traffic: MemoryTraffic, spec: GPUSpec) -> float:
+    """Eq. 8: the slower of the global and shared memory paths."""
+    return max(global_memory_time(traffic, spec), shared_memory_time(traffic, spec))

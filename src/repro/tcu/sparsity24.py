@@ -1,0 +1,156 @@
+"""2:4 structured sparsity: validation, compression and metadata.
+
+Sparse Tensor Cores require that within every group of four consecutive
+elements along the reduction (K) dimension of the A operand at most two are
+nonzero (Eq. 2 of the paper).  The hardware then stores only the two retained
+values per group plus a 2-bit index for each — exactly what
+:func:`compress_24` produces and :func:`decompress_24` reverses.
+
+Sub-2:4 groups (0 or 1 nonzero) are legal: the compressor simply promotes
+zero elements to "kept" slots, which does not change the product.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.util.arrays import pad_to_multiple
+from repro.util.validation import require, require_array
+
+__all__ = [
+    "is_24_sparse",
+    "violations_24",
+    "sparsity_ratio",
+    "compress_24",
+    "decompress_24",
+    "Compressed24",
+]
+
+
+def _grouped(matrix: np.ndarray) -> np.ndarray:
+    """Reshape ``(m, k)`` (k padded to a multiple of 4) into ``(m, k/4, 4)``."""
+    padded = pad_to_multiple(np.asarray(matrix), 4, axis=1)
+    m, k = padded.shape
+    return padded.reshape(m, k // 4, 4)
+
+
+def is_24_sparse(matrix: np.ndarray) -> bool:
+    """Return True when every 4-element group of every row has <= 2 nonzeros.
+
+    The K dimension is implicitly zero-padded to a multiple of four, matching
+    how the kernel generator pads operands before handing them to the
+    hardware.
+    """
+    matrix = require_array(matrix, "matrix", ndim=2)
+    groups = _grouped(matrix)
+    nonzeros_per_group = np.count_nonzero(groups, axis=2)
+    return bool(np.all(nonzeros_per_group <= 2))
+
+
+def violations_24(matrix: np.ndarray) -> List[Tuple[int, int, int]]:
+    """Return ``(row, group, nonzeros)`` for every group violating 2:4."""
+    matrix = require_array(matrix, "matrix", ndim=2)
+    groups = _grouped(matrix)
+    counts = np.count_nonzero(groups, axis=2)
+    rows, cols = np.nonzero(counts > 2)
+    return [(int(r), int(c), int(counts[r, c])) for r, c in zip(rows, cols)]
+
+
+def sparsity_ratio(matrix: np.ndarray) -> float:
+    """Fraction of zero elements in ``matrix`` (1.0 means all zero)."""
+    matrix = require_array(matrix, "matrix", ndim=2)
+    if matrix.size == 0:
+        return 0.0
+    return 1.0 - (np.count_nonzero(matrix) / matrix.size)
+
+
+@dataclass(frozen=True)
+class Compressed24:
+    """The compressed representation consumed by ``mma.sp``.
+
+    Attributes
+    ----------
+    values:
+        ``(m, k/2)`` array holding the two retained elements of each 4-group.
+    indices:
+        ``(m, k/2)`` array of 2-bit positions (0..3) of each retained element
+        within its group; strictly increasing within a group.
+    k:
+        Original (padded) logical K extent, always a multiple of 4.
+    """
+
+    values: np.ndarray
+    indices: np.ndarray
+    k: int
+
+    def __post_init__(self) -> None:
+        require(self.values.shape == self.indices.shape,
+                "values and indices must have identical shapes")
+        require(self.k % 4 == 0, "k must be a multiple of 4")
+        require(self.values.shape[1] == self.k // 2,
+                f"values must have k/2={self.k // 2} columns, "
+                f"got {self.values.shape[1]}")
+
+    @property
+    def m(self) -> int:
+        return int(self.values.shape[0])
+
+    def metadata_bits(self) -> int:
+        """Total metadata storage in bits (2 bits per retained element)."""
+        return 2 * int(self.indices.size)
+
+    def metadata_bytes(self) -> int:
+        """Metadata storage rounded up to whole bytes."""
+        return (self.metadata_bits() + 7) // 8
+
+
+def compress_24(matrix: np.ndarray) -> Compressed24:
+    """Compress a 2:4-sparse matrix into values + 2-bit metadata.
+
+    Raises
+    ------
+    ValueError
+        If any 4-group of any row contains more than two nonzeros.
+    """
+    matrix = np.asarray(require_array(matrix, "matrix", ndim=2), dtype=np.float64)
+    bad = violations_24(matrix)
+    require(not bad,
+            f"matrix is not 2:4 sparse; first violations: {bad[:5]}")
+    groups = _grouped(matrix)                      # (m, G, 4)
+    m, n_groups, _ = groups.shape
+    k = 4 * n_groups
+
+    # For each group pick the positions of the (up to two) nonzeros, then pad
+    # the selection with the smallest unused positions so exactly two indices
+    # are always kept — the padded slots hold zeros and do not affect results.
+    nonzero_mask = groups != 0.0                   # (m, G, 4)
+    # Sort positions so that nonzero positions come first (stable keeps order).
+    order_key = (~nonzero_mask).astype(np.int8)    # 0 for nonzero, 1 for zero
+    positions = np.argsort(order_key, axis=2, kind="stable")[:, :, :2]
+    positions = np.sort(positions, axis=2)         # hardware metadata is ordered
+    values = np.take_along_axis(groups, positions, axis=2)
+
+    return Compressed24(
+        values=values.reshape(m, 2 * n_groups),
+        indices=positions.reshape(m, 2 * n_groups).astype(np.uint8),
+        k=k,
+    )
+
+
+def decompress_24(compressed: Compressed24) -> np.ndarray:
+    """Expand a :class:`Compressed24` back into a dense ``(m, k)`` matrix."""
+    m = compressed.m
+    n_groups = compressed.k // 4
+    dense = np.zeros((m, compressed.k), dtype=compressed.values.dtype)
+    values = compressed.values.reshape(m, n_groups, 2)
+    indices = compressed.indices.reshape(m, n_groups, 2).astype(np.int64)
+    group_base = (np.arange(n_groups) * 4)[None, :, None]
+    columns = group_base + indices                 # (m, G, 2)
+    rows = np.arange(m)[:, None, None]
+    # A group with a single nonzero may legally carry the same padded index
+    # twice with a zero value, so plain assignment (not +=) is correct here.
+    dense[rows, columns] = values
+    return dense

@@ -1,0 +1,77 @@
+"""Compute-side timing and the combined roofline (Eq. 6–7 of the paper).
+
+``T_compute = N_MMA * CPI_tcu / (f * N_tcu)`` — the number of fragment MMA
+operations times the fragment CPI divided by the aggregate Tensor-Core issue
+rate.  Sparse fragments retire a dense-equivalent K twice as deep per cycle,
+which is modelled as halving the effective CPI.
+"""
+
+from __future__ import annotations
+
+from repro.tcu.memory import MemoryTraffic, memory_time
+from repro.tcu.spec import DataType, FragmentShape, GPUSpec
+from repro.util.arrays import ceil_div
+from repro.util.validation import require, require_non_negative_int
+
+__all__ = ["mma_count", "compute_time", "ffma_time", "roofline_time"]
+
+
+def mma_count(m: int, k: int, n: int, fragment: FragmentShape) -> int:
+    """Number of fragment operations to cover an ``m x k x n`` product (Eq. 9)."""
+    return (
+        ceil_div(max(m, 1), fragment.m)
+        * ceil_div(max(k, 1), fragment.k)
+        * ceil_div(max(n, 1), fragment.n)
+    )
+
+
+def compute_time(
+    n_mma: int,
+    spec: GPUSpec,
+    fragment: FragmentShape,
+    dtype: DataType = DataType.FP16,
+) -> float:
+    """Eq. 7: seconds the Tensor Cores need to issue ``n_mma`` fragment ops.
+
+    The fragment CPI is scaled so that the peak throughput implied by
+    ``(fragment.macs * f * N_tcu) / CPI`` matches the spec's TFLOP/s rating
+    for the requested precision, and sparse fragments get the paper's 2x
+    throughput advantage.
+    """
+    require_non_negative_int(n_mma, "n_mma")
+    dtype = DataType(dtype)
+    if fragment.sparse:
+        peak_tflops = spec.sparse_tcu_tflops(dtype)
+    else:
+        peak_tflops = spec.dense_tcu_tflops(dtype)
+    # 2 FLOPs per MAC; peak_tflops determines how many fragment ops/second the
+    # device can retire.
+    fragment_flops = 2.0 * fragment.macs
+    fragments_per_second = (peak_tflops * 1e12) / fragment_flops
+    return n_mma / fragments_per_second
+
+
+def ffma_time(flops: float, spec: GPUSpec, dtype: DataType = DataType.FP16) -> float:
+    """Seconds the scalar FFMA pipeline needs for ``flops`` floating point ops.
+
+    Used by the naive CUDA baseline; FP64 FFMA runs at half the FP32 rate on
+    the modelled device, FP16 packed math at twice.
+    """
+    require(flops >= 0.0, "flops must be non-negative")
+    dtype = DataType(dtype)
+    scale = {"fp16": 2.0, "bf16": 2.0, "tf32": 1.0, "fp64": 0.5}[dtype.value]
+    return flops / (spec.ffma_tflops * scale * 1e12)
+
+
+def roofline_time(
+    n_mma: int,
+    traffic: MemoryTraffic,
+    spec: GPUSpec,
+    fragment: FragmentShape,
+    dtype: DataType = DataType.FP16,
+) -> float:
+    """Eq. 6: ``T = max(T_compute, T_memory)``."""
+    return max(
+        compute_time(n_mma, spec, fragment, dtype=dtype),
+        memory_time(traffic, spec),
+    )

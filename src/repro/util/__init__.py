@@ -1,0 +1,41 @@
+"""Shared utilities for the SparStencil reproduction.
+
+The helpers here are intentionally small and dependency free (numpy only):
+validation of user input, lightweight timing, deterministic RNG handling and
+a couple of array-shape helpers used across the substrates.
+"""
+
+from repro.util.validation import (
+    require,
+    require_positive_int,
+    require_in,
+    require_array,
+    require_dtype,
+    ValidationError,
+)
+from repro.util.timing import Timer, StageTimer
+from repro.util.arrays import (
+    ceil_div,
+    pad_to_multiple,
+    as_contiguous,
+    sliding_windows_1d,
+    block_view_2d,
+)
+from repro.util.rng import default_rng
+
+__all__ = [
+    "require",
+    "require_positive_int",
+    "require_in",
+    "require_array",
+    "require_dtype",
+    "ValidationError",
+    "Timer",
+    "StageTimer",
+    "ceil_div",
+    "pad_to_multiple",
+    "as_contiguous",
+    "sliding_windows_1d",
+    "block_view_2d",
+    "default_rng",
+]

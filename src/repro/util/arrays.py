@@ -1,0 +1,80 @@
+"""Array-shape helpers shared across the substrates.
+
+These follow the numpy performance idioms from the HPC guides: favour
+views / ``as_strided``-free reshapes over Python loops, keep arrays
+C-contiguous before handing them to the MMA models, and pre-allocate outputs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import require_positive_int, require_non_negative_int
+
+__all__ = [
+    "ceil_div",
+    "pad_to_multiple",
+    "as_contiguous",
+    "sliding_windows_1d",
+    "block_view_2d",
+]
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division for non-negative ``a`` and positive ``b``."""
+    require_non_negative_int(a, "a")
+    require_positive_int(b, "b")
+    return -(-a // b)
+
+
+def pad_to_multiple(array: np.ndarray, multiple: int, axis: int = -1) -> np.ndarray:
+    """Zero-pad ``array`` along ``axis`` so its size is a multiple of ``multiple``.
+
+    Returns the original array when no padding is needed (no copy).
+    """
+    require_positive_int(multiple, "multiple")
+    size = array.shape[axis]
+    target = ceil_div(size, multiple) * multiple
+    if target == size:
+        return array
+    pad_width = [(0, 0)] * array.ndim
+    pad_width[axis if axis >= 0 else array.ndim + axis] = (0, target - size)
+    return np.pad(array, pad_width, mode="constant")
+
+
+def as_contiguous(array: np.ndarray, dtype=None) -> np.ndarray:
+    """Return a C-contiguous version of ``array`` (no copy when already so)."""
+    return np.ascontiguousarray(array, dtype=dtype)
+
+
+def sliding_windows_1d(array: np.ndarray, window: int, stride: int = 1) -> np.ndarray:
+    """Return overlapping windows of ``array`` as rows of a 2-D array.
+
+    Uses :func:`numpy.lib.stride_tricks.sliding_window_view` (a view) and only
+    copies when a non-unit stride forces it.
+    """
+    require_positive_int(window, "window")
+    require_positive_int(stride, "stride")
+    if array.ndim != 1:
+        raise ValueError(f"expected a 1-D array, got ndim={array.ndim}")
+    if array.shape[0] < window:
+        return np.empty((0, window), dtype=array.dtype)
+    view = np.lib.stride_tricks.sliding_window_view(array, window)
+    return view[::stride]
+
+
+def block_view_2d(array: np.ndarray, block_rows: int, block_cols: int) -> np.ndarray:
+    """Return a 4-D view ``(n_block_rows, n_block_cols, block_rows, block_cols)``.
+
+    The array extents must be exact multiples of the block sizes.
+    """
+    require_positive_int(block_rows, "block_rows")
+    require_positive_int(block_cols, "block_cols")
+    rows, cols = array.shape
+    if rows % block_rows or cols % block_cols:
+        raise ValueError(
+            f"array shape {array.shape} is not divisible into "
+            f"{block_rows}x{block_cols} blocks"
+        )
+    reshaped = array.reshape(rows // block_rows, block_rows, cols // block_cols, block_cols)
+    return reshaped.swapaxes(1, 2)

@@ -1,0 +1,19 @@
+"""Deterministic random number generation.
+
+Benchmarks and examples must be reproducible run to run, so every workload
+generator takes a seed and obtains its generator through :func:`default_rng`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["default_rng", "DEFAULT_SEED"]
+
+#: Seed used when callers do not provide one (keeps benches reproducible).
+DEFAULT_SEED = 20250617
+
+
+def default_rng(seed: int | None = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` seeded deterministically."""
+    return np.random.default_rng(DEFAULT_SEED if seed is None else seed)

@@ -1,0 +1,80 @@
+"""Lightweight wall-clock timing helpers.
+
+The simulated GPU reports *modelled* time; these timers measure the *host*
+cost of the transformation itself (used by the preprocessing-overhead
+analysis that reproduces Figure 8).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+from contextlib import contextmanager
+
+__all__ = ["Timer", "StageTimer"]
+
+
+@dataclass
+class Timer:
+    """A simple start/stop wall-clock timer.
+
+    Example
+    -------
+    >>> t = Timer()
+    >>> with t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def start(self) -> None:
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._start = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class StageTimer:
+    """Accumulates named stage timings (transformation / metadata / LUT ...)."""
+
+    stages: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.stages[name] = self.stages.get(name, 0.0) + (
+                time.perf_counter() - start
+            )
+
+    def total(self) -> float:
+        return sum(self.stages.values())
+
+    def fractions(self) -> Dict[str, float]:
+        """Return each stage's share of the total (0 when nothing was timed)."""
+        total = self.total()
+        if total <= 0.0:
+            return {name: 0.0 for name in self.stages}
+        return {name: value / total for name, value in self.stages.items()}

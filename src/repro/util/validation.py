@@ -1,0 +1,102 @@
+"""Input validation helpers.
+
+All public entry points of the library validate their arguments through the
+functions in this module so that error messages are uniform and the failure
+mode is an explicit :class:`ValidationError` rather than a numpy broadcast
+surprise deep inside a transformation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "ValidationError",
+    "require",
+    "require_positive_int",
+    "require_non_negative_int",
+    "require_in",
+    "require_array",
+    "require_dtype",
+    "require_odd",
+]
+
+
+class ValidationError(ValueError):
+    """Raised when a public API receives an argument it cannot work with."""
+
+
+def require(condition: bool, message: str) -> None:
+    """Raise :class:`ValidationError` with ``message`` when ``condition`` is false."""
+    if not condition:
+        raise ValidationError(message)
+
+
+def require_positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer strictly greater than zero."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value <= 0:
+        raise ValidationError(f"{name} must be > 0, got {value}")
+    return int(value)
+
+
+def require_non_negative_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is an integer greater than or equal to zero."""
+    if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+        raise ValidationError(f"{name} must be an int, got {type(value).__name__}")
+    if value < 0:
+        raise ValidationError(f"{name} must be >= 0, got {value}")
+    return int(value)
+
+
+def require_odd(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive odd integer (stencil diameters)."""
+    ivalue = require_positive_int(value, name)
+    if ivalue % 2 == 0:
+        raise ValidationError(f"{name} must be odd, got {ivalue}")
+    return ivalue
+
+
+def require_in(value: Any, options: Iterable[Any], name: str) -> Any:
+    """Validate that ``value`` is one of ``options``."""
+    opts = list(options)
+    if value not in opts:
+        raise ValidationError(f"{name} must be one of {opts!r}, got {value!r}")
+    return value
+
+
+def require_array(
+    value: Any,
+    name: str,
+    *,
+    ndim: int | None = None,
+    min_shape: Sequence[int] | None = None,
+) -> np.ndarray:
+    """Coerce ``value`` to an ndarray and validate its dimensionality/shape."""
+    arr = np.asarray(value)
+    if ndim is not None and arr.ndim != ndim:
+        raise ValidationError(f"{name} must have ndim={ndim}, got ndim={arr.ndim}")
+    if min_shape is not None:
+        if arr.ndim != len(min_shape):
+            raise ValidationError(
+                f"{name} must have ndim={len(min_shape)}, got ndim={arr.ndim}"
+            )
+        for axis, (actual, minimum) in enumerate(zip(arr.shape, min_shape)):
+            if actual < minimum:
+                raise ValidationError(
+                    f"{name} axis {axis} must have size >= {minimum}, got {actual}"
+                )
+    return arr
+
+
+def require_dtype(value: np.ndarray, dtypes: Iterable[Any], name: str) -> np.ndarray:
+    """Validate that ``value`` has one of the allowed dtypes."""
+    allowed = [np.dtype(d) for d in dtypes]
+    if value.dtype not in allowed:
+        raise ValidationError(
+            f"{name} must have dtype in {[str(d) for d in allowed]}, got {value.dtype}"
+        )
+    return value

@@ -1,0 +1,185 @@
+"""Tests for the analysis package (metrics, sparsity, overhead, breakdown,
+utilization)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.breakdown import BREAKDOWN_STAGES, performance_breakdown
+from repro.analysis.metrics import (
+    compare_methods,
+    compute_density,
+    geometric_mean,
+    gflops_per_second,
+    gstencil_per_second,
+    speedup,
+)
+from repro.analysis.overhead import preprocessing_overhead
+from repro.analysis.sparsity import analyze_sparsity
+from repro.analysis.utilization import utilization_comparison
+from repro.baselines import ConvStencilBaseline, CudnnBaseline, SparStencilMethod
+from repro.core.morphing import MorphConfig
+from repro.stencils.grid import make_grid
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import run_stencil_iterations
+from repro.util.validation import ValidationError
+
+
+class TestScalarMetrics:
+    def test_gstencil_formula(self, heat2d):
+        # Eq. 12 with 8x8 interior, 10 iterations, 1 ms
+        assert gstencil_per_second(heat2d, (10, 10), 10, 1e-3) == \
+            pytest.approx(64 * 10 / 1e-3 / 1e9)
+
+    def test_gflops_formula(self, heat2d):
+        assert gflops_per_second(heat2d, (10, 10), 1, 1e-3) == \
+            pytest.approx(2 * 5 * 64 / 1e-3 / 1e9)
+
+    def test_zero_time_rejected(self, heat2d):
+        with pytest.raises(ValidationError):
+            gstencil_per_second(heat2d, (10, 10), 1, 0.0)
+
+    def test_compute_density(self):
+        assert compute_density(100.0, 50.0) == pytest.approx(2.0)
+        assert compute_density(100.0, 0.0) == 0.0
+
+    def test_speedup(self):
+        assert speedup(2.0, 1.0) == pytest.approx(2.0)
+        with pytest.raises(ValidationError):
+            speedup(0.0, 1.0)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+        with pytest.raises(ValidationError):
+            geometric_mean([])
+        with pytest.raises(ValidationError):
+            geometric_mean([1.0, -1.0])
+
+
+class TestCompareMethods:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        pattern = StencilPattern.box(2, 1, name="box-2d9p")
+        grid = make_grid((40, 40), kind="random", seed=2)
+        methods = [SparStencilMethod(), CudnnBaseline(), ConvStencilBaseline()]
+        return pattern, grid, compare_methods(pattern, grid, 2, methods)
+
+    def test_all_methods_present(self, comparison):
+        _, _, comp = comparison
+        assert set(comp.results) == {"SparStencil", "cuDNN", "ConvStencil"}
+
+    def test_speedup_over_reference_is_one_for_itself(self, comparison):
+        _, _, comp = comparison
+        assert comp.speedup_over("SparStencil")["SparStencil"] == pytest.approx(1.0)
+
+    def test_fastest_is_consistent(self, comparison):
+        _, _, comp = comparison
+        fastest = comp.fastest()
+        assert comp.results[fastest].elapsed_seconds == \
+            min(r.elapsed_seconds for r in comp.results.values())
+
+    def test_unknown_reference_rejected(self, comparison):
+        _, _, comp = comparison
+        with pytest.raises(ValidationError):
+            comp.speedup_over("Fortran")
+
+    def test_max_error_vs_reference(self, comparison):
+        pattern, grid, comp = comparison
+        reference = run_stencil_iterations(pattern, grid, 2)
+        errors = comp.max_error_vs(reference)
+        assert all(v < 5e-3 for v in errors.values())
+
+    def test_fusion_map_applied(self):
+        pattern = StencilPattern.box(2, 1)
+        grid = make_grid((40, 40), seed=2)
+        comp = compare_methods(pattern, grid, 3, [SparStencilMethod()],
+                               temporal_fusion={"SparStencil": 3})
+        unfused = compare_methods(pattern, grid, 3, [SparStencilMethod()])
+        assert comp.results["SparStencil"].elapsed_seconds < \
+            unfused.results["SparStencil"].elapsed_seconds
+
+
+class TestSparsityAnalysis:
+    def test_morphed_sparsity_in_paper_range(self, box2d49p):
+        # the paper reports 50-80% residual sparsity for dense-TCU layouts
+        report = analyze_sparsity(box2d49p, MorphConfig.from_r1_r2(2, 4, 4))
+        assert 0.4 <= report.morphed_sparsity <= 0.85
+
+    def test_converted_sparsity_below_60_percent_after_conversion(self, box2d9p):
+        report = analyze_sparsity(box2d9p, MorphConfig.from_r1_r2(2, 8, 2))
+        assert report.converted_sparsity <= 0.85
+        assert report.k_padded >= report.k_prime
+
+    def test_clustered_violations_present_before_conversion(self, box2d49p):
+        report = analyze_sparsity(box2d49p, MorphConfig.from_r1_r2(2, 4, 4))
+        assert report.clustered_violations > 0
+
+    def test_padding_overhead_fraction(self, box2d9p):
+        report = analyze_sparsity(box2d9p, MorphConfig.from_r1_r2(2, 4, 4))
+        assert 0.0 <= report.padding_overhead < 0.5
+
+
+class TestOverhead:
+    def test_percentages_decay_with_iterations(self, box2d49p):
+        report = preprocessing_overhead(box2d49p, (512, 512),
+                                        iteration_counts=(1, 100, 10000))
+        assert report.total_percentage(10000) < report.total_percentage(1)
+
+    def test_categories_match_figure8(self, box2d49p):
+        report = preprocessing_overhead(box2d49p, (256, 256), iteration_counts=(1,))
+        assert set(report.percentages[1]) == {"transformation", "metadata",
+                                              "lookup_table"}
+
+    def test_percentages_bounded(self, box2d49p):
+        report = preprocessing_overhead(box2d49p, (256, 256),
+                                        iteration_counts=(1, 10))
+        for percentages in report.percentages.values():
+            assert 0.0 <= sum(percentages.values()) <= 100.0
+
+    def test_invalid_iteration_count_rejected(self, box2d49p):
+        with pytest.raises(ValidationError):
+            preprocessing_overhead(box2d49p, (256, 256), iteration_counts=(0,))
+
+
+class TestBreakdown:
+    @pytest.fixture(scope="class")
+    def rows(self, ):
+        pattern = StencilPattern.box(2, 3, name="box-2d49p")
+        return performance_breakdown(pattern, [256, 1024])
+
+    def test_four_stages_per_size(self, rows):
+        assert len(rows) == 4 * 2
+        assert {r.stage for r in rows} == set(BREAKDOWN_STAGES)
+
+    def test_each_stage_improves_on_cuda(self, rows):
+        for row in rows:
+            if row.stage != "CUDA":
+                assert row.speedup_over_cuda > 1.0
+
+    def test_optimizations_fastest(self, rows):
+        by_size = {}
+        for row in rows:
+            by_size.setdefault(row.problem_size, {})[row.stage] = row
+        for stages in by_size.values():
+            final = stages["+Optimizations"].seconds_per_sweep
+            assert all(final <= s.seconds_per_sweep + 1e-15 for s in stages.values())
+
+    def test_requires_2d_pattern(self, heat1d):
+        with pytest.raises(ValidationError):
+            performance_breakdown(heat1d, [256])
+
+
+class TestUtilizationComparison:
+    def test_reports_for_three_methods(self, box2d49p):
+        grid = make_grid((96, 96), kind="random", seed=4)
+        report = utilization_comparison(box2d49p, grid, iterations=3)
+        assert set(report) == {"SparStencil", "ConvStencil", "cuDNN"}
+        for metrics in report.values():
+            assert len(metrics) == 6
+            assert all(0.0 <= v <= 100.0 for v in metrics.values())
+
+    def test_sparstencil_occupancy_highest(self, box2d49p):
+        grid = make_grid((96, 96), kind="random", seed=4)
+        report = utilization_comparison(box2d49p, grid, iterations=3)
+        assert report["SparStencil"]["Occupancy"] >= report["ConvStencil"]["Occupancy"]
+        assert report["SparStencil"]["Occupancy"] >= report["cuDNN"]["Occupancy"]

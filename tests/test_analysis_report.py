@@ -1,0 +1,61 @@
+"""Tests for the markdown benchmark-report renderer."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.report import render_markdown_report, write_report
+
+
+@pytest.fixture
+def results_dir(tmp_path) -> Path:
+    (tmp_path / "fig7_breakdown.json").write_text(json.dumps({
+        "256": {"CUDA": 1.0, "+Optimizations": 2.5},
+        "10240": {"CUDA": 1.0, "+Optimizations": 2.6},
+    }))
+    (tmp_path / "table3_fp64.json").write_text(json.dumps({
+        "Heat-2D": {"AMOS": 10.0, "SparStencil": 72.0},
+        "Box-2D49P": {"AMOS": 10.5, "SparStencil": 67.0},
+    }))
+    (tmp_path / "fig11_utilization.json").write_text(json.dumps({
+        "SparStencil": {"Occupancy": 96.9, "DRAM Throughput": 17.5},
+        "cuDNN": {"Occupancy": 88.5, "DRAM Throughput": 43.5},
+    }))
+    return tmp_path
+
+
+class TestRenderMarkdownReport:
+    def test_sections_for_present_files_only(self, results_dir):
+        report = render_markdown_report(results_dir)
+        assert "## Figure 7" in report
+        assert "## Table 3" in report
+        assert "## Figure 11" in report
+        assert "## Figure 6" not in report          # file absent
+        assert "## Figure 10" not in report
+
+    def test_values_appear_in_tables(self, results_dir):
+        report = render_markdown_report(results_dir)
+        assert "2.60x" in report                      # fig7 10240 row
+        assert "72.0" in report                       # table3 SparStencil Heat-2D
+        assert "96.9" in report                       # fig11 occupancy
+
+    def test_sizes_sorted_numerically(self, results_dir):
+        report = render_markdown_report(results_dir)
+        assert report.index("| 256 |") < report.index("| 10240 |")
+
+    def test_empty_directory_produces_placeholder(self, tmp_path):
+        report = render_markdown_report(tmp_path)
+        assert "No benchmark results found" in report
+
+    def test_write_report_creates_file(self, results_dir, tmp_path):
+        out = write_report(results_dir, tmp_path / "out" / "REPORT.md")
+        assert out.exists()
+        assert out.read_text().startswith("# SparStencil reproduction")
+
+    def test_report_renders_from_real_results_if_available(self):
+        real = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+        if not real.exists() or not any(real.glob("*.json")):
+            pytest.skip("no real benchmark results present")
+        report = render_markdown_report(real)
+        assert report.count("##") >= 1

@@ -1,0 +1,166 @@
+"""Tests for the baseline methods: correctness and cost-model sanity."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    AMOSBaseline,
+    BrickBaseline,
+    ConvStencilBaseline,
+    CudnnBaseline,
+    DRStencilBaseline,
+    NaiveCudaBaseline,
+    SparStencilMethod,
+    TCStencilBaseline,
+    all_methods,
+    available_baselines,
+    get_baseline,
+)
+from repro.stencils.grid import make_grid
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import run_stencil_iterations
+from repro.tcu.spec import DataType
+from repro.util.validation import ValidationError
+
+FP16_TOL = 5e-3
+SHAPE = (48, 52)
+ITERATIONS = 2
+
+
+@pytest.fixture(scope="module")
+def workload():
+    pattern = StencilPattern.box(2, 1, name="box-2d9p")
+    grid = make_grid(SHAPE, kind="random", seed=21)
+    reference = run_stencil_iterations(pattern, grid, ITERATIONS)
+    return pattern, grid, reference
+
+
+class TestRegistry:
+    def test_all_baselines_registered(self):
+        expected = {"cuda", "cudnn", "amos", "brick", "drstencil", "tcstencil",
+                    "convstencil", "sparstencil"}
+        assert set(available_baselines()) == expected
+
+    def test_get_baseline_by_name(self):
+        assert isinstance(get_baseline("cudnn"), CudnnBaseline)
+        assert isinstance(get_baseline("SparStencil"), SparStencilMethod)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValidationError):
+            get_baseline("tensorflow")
+
+    def test_all_methods_instantiates_everything(self):
+        methods = all_methods()
+        assert len(methods) == len(available_baselines())
+        names = {m.name for m in methods}
+        assert "SparStencil" in names
+
+    def test_all_methods_can_exclude_sparstencil(self):
+        names = {m.name for m in all_methods(include_sparstencil=False)}
+        assert "SparStencil" not in names
+
+
+class TestFunctionalCorrectness:
+    @pytest.mark.parametrize("method_cls", [
+        NaiveCudaBaseline, CudnnBaseline, TCStencilBaseline, ConvStencilBaseline,
+        DRStencilBaseline, BrickBaseline, AMOSBaseline, SparStencilMethod,
+    ])
+    def test_output_matches_reference(self, method_cls, workload):
+        pattern, grid, reference = workload
+        result = method_cls().run(pattern, grid, ITERATIONS)
+        assert np.max(np.abs(result.output - reference)) < FP16_TOL
+
+    def test_3d_kernel_supported_by_all_methods(self, heat3d):
+        grid = make_grid((14, 15, 16), kind="random", seed=5)
+        reference = run_stencil_iterations(heat3d, grid, 1)
+        for method in all_methods():
+            result = method.run(heat3d, grid, 1)
+            assert np.max(np.abs(result.output - reference)) < FP16_TOL, method.name
+
+    def test_1d_kernel_supported_by_all_methods(self, heat1d):
+        grid = make_grid((300,), kind="random", seed=5)
+        reference = run_stencil_iterations(heat1d, grid, 2)
+        for method in all_methods():
+            result = method.run(heat1d, grid, 2)
+            assert np.max(np.abs(result.output - reference)) < FP16_TOL, method.name
+
+
+class TestResultMetrics:
+    def test_metrics_populated(self, workload):
+        pattern, grid, _ = workload
+        result = CudnnBaseline().run(pattern, grid, ITERATIONS)
+        assert result.method == "cuDNN"
+        assert result.elapsed_seconds > 0
+        assert result.gstencil_per_second > 0
+        assert result.gflops_per_second > 0
+        assert result.utilization is not None
+
+    def test_iterations_validated(self, workload):
+        pattern, grid, _ = workload
+        with pytest.raises(ValidationError):
+            NaiveCudaBaseline().run(pattern, grid, 0)
+
+    def test_grid_ndim_validated(self, heat1d):
+        grid = make_grid((20, 20), seed=1)
+        with pytest.raises(ValidationError):
+            NaiveCudaBaseline().run(heat1d, grid, 1)
+
+    def test_sparstencil_extra_reports_layout(self, workload):
+        pattern, grid, _ = workload
+        result = SparStencilMethod().run(pattern, grid, ITERATIONS)
+        assert "r1" in result.extra and "sparsity" in result.extra
+
+
+class TestPerformanceRelationships:
+    """Cost-model sanity: the relative ordering the paper reports."""
+
+    def test_sparstencil_beats_cudnn_and_amos(self, workload):
+        pattern, grid, _ = workload
+        spar = SparStencilMethod().run(pattern, grid, ITERATIONS)
+        cudnn = CudnnBaseline().run(pattern, grid, ITERATIONS)
+        amos = AMOSBaseline().run(pattern, grid, ITERATIONS)
+        assert spar.elapsed_seconds < cudnn.elapsed_seconds
+        assert spar.elapsed_seconds < amos.elapsed_seconds
+        # the paper reports 2.89x-60.35x over cuDNN
+        assert cudnn.elapsed_seconds / spar.elapsed_seconds > 2.0
+
+    def test_sparstencil_not_slower_than_convstencil(self, workload):
+        pattern, grid, _ = workload
+        spar = SparStencilMethod().run(pattern, grid, ITERATIONS)
+        conv = ConvStencilBaseline().run(pattern, grid, ITERATIONS)
+        assert spar.elapsed_seconds <= conv.elapsed_seconds * 1.01
+
+    def test_sparstencil_beats_naive_cuda(self, workload):
+        pattern, grid, _ = workload
+        spar = SparStencilMethod().run(pattern, grid, ITERATIONS)
+        cuda = NaiveCudaBaseline().run(pattern, grid, ITERATIONS)
+        assert cuda.elapsed_seconds / spar.elapsed_seconds > 1.2
+
+    def test_large_kernel_widens_gap_over_ffma_methods(self):
+        # Tensor-Core methods pull ahead of FFMA methods as the kernel grows.
+        grid = make_grid((64, 64), kind="random", seed=3)
+        small, large = StencilPattern.box(2, 1), StencilPattern.box(2, 3)
+        def ratio(pattern):
+            dr = DRStencilBaseline().run(pattern, grid, 1)
+            spar = SparStencilMethod().run(pattern, grid, 1)
+            return dr.elapsed_seconds / spar.elapsed_seconds
+        assert ratio(large) > ratio(small)
+
+    def test_temporal_fusion_reduces_time_for_small_kernels(self, workload):
+        pattern, grid, _ = workload
+        unfused = SparStencilMethod().run(pattern, grid, 3, temporal_fusion=1)
+        fused = SparStencilMethod().run(pattern, grid, 3, temporal_fusion=3)
+        assert fused.elapsed_seconds < unfused.elapsed_seconds
+
+    def test_fp64_table3_ordering(self):
+        # Table 3: SparStencil > ConvStencil > DRStencil > AMOS at FP64.
+        pattern = StencilPattern.box(2, 3, name="box-2d49p")
+        grid = make_grid((64, 64), kind="random", seed=3)
+        times = {}
+        for method in (SparStencilMethod(), ConvStencilBaseline(),
+                       DRStencilBaseline(), AMOSBaseline()):
+            times[method.name] = method.run(pattern, grid, 1,
+                                            dtype=DataType.FP64).elapsed_seconds
+        assert times["SparStencil"] <= times["ConvStencil"]
+        assert times["ConvStencil"] < times["DRStencil"]
+        assert times["DRStencil"] < times["AMOS"]

@@ -1,0 +1,116 @@
+"""Unit tests for Automatic Kernel Generation (plans + CUDA-like source)."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen import generate_kernel, render_cuda_source
+from repro.core.morphing import MorphConfig
+from repro.stencils.pattern import StencilPattern
+from repro.tcu.spec import DENSE_FRAGMENTS, DataType, SPARSE_FRAGMENTS
+from repro.tcu.sparsity24 import is_24_sparse
+from repro.util.validation import ValidationError
+
+GRID = (96, 96)
+
+
+@pytest.fixture
+def sparse_plan(box2d9p):
+    return generate_kernel(box2d9p, GRID, MorphConfig.from_r1_r2(2, 4, 4))
+
+
+class TestGenerateKernel:
+    def test_sparse_plan_carries_conversion_and_metadata(self, sparse_plan):
+        assert sparse_plan.conversion is not None
+        assert sparse_plan.metadata is not None
+        assert is_24_sparse(sparse_plan.a_operand)
+        assert sparse_plan.metadata.roundtrip_ok()
+
+    def test_dense_plan_has_no_conversion(self, box2d9p):
+        plan = generate_kernel(box2d9p, GRID, MorphConfig.from_r1_r2(2, 4, 4),
+                               engine="dense_mma", fragment=DENSE_FRAGMENTS[0])
+        assert plan.conversion is None
+        assert plan.metadata is None
+        assert np.array_equal(plan.a_operand, plan.a_prime)
+
+    def test_k_operand_matches_conversion(self, sparse_plan):
+        assert sparse_plan.k_operand == sparse_plan.conversion.n_total
+
+    def test_lut_matches_grid(self, sparse_plan):
+        assert sparse_plan.lut.grid_shape == GRID
+        assert sparse_plan.n_prime == sparse_plan.lut.n_prime
+
+    def test_launch_geometry_positive(self, sparse_plan):
+        assert sparse_plan.threads_per_block >= 32
+        assert sparse_plan.blocks >= 1
+
+    def test_block_hint_respected(self, box2d9p):
+        plan = generate_kernel(box2d9p, GRID, MorphConfig.from_r1_r2(2, 4, 4),
+                               block_hint=(32, 64))
+        assert plan.threads_per_block == 1024
+
+    def test_summary_keys(self, sparse_plan):
+        summary = sparse_plan.summary()
+        for key in ("pattern", "engine", "r1", "r2", "n_mma_per_sweep",
+                    "sparsity", "modeled_sweep_seconds"):
+            assert key in summary
+
+    def test_unknown_engine_rejected(self, box2d9p):
+        with pytest.raises(ValidationError):
+            generate_kernel(box2d9p, GRID, MorphConfig.from_r1_r2(2, 4, 4),
+                            engine="quantum")
+
+    def test_prebuilt_pieces_are_used(self, box2d9p):
+        from repro.core.conversion import convert_to_24
+        from repro.core.lookup_table import build_lookup_table
+        from repro.core.metadata import build_metadata
+        from repro.core.morphing import morph_kernel_matrix
+        from repro.core.staircase import block_structure_from_morph
+        cfg = MorphConfig.from_r1_r2(2, 4, 4)
+        a_prime = morph_kernel_matrix(box2d9p, cfg)
+        conversion = convert_to_24(a_prime,
+                                   structure=block_structure_from_morph(box2d9p, cfg))
+        metadata = build_metadata(conversion.a_converted)
+        lut = build_lookup_table(box2d9p, GRID, cfg)
+        plan = generate_kernel(box2d9p, GRID, cfg,
+                               prebuilt_conversion=conversion,
+                               prebuilt_metadata=metadata, prebuilt_lut=lut)
+        assert plan.conversion is conversion
+        assert plan.metadata is metadata
+        assert plan.lut is lut
+
+
+class TestRenderCudaSource:
+    def test_sparse_source_uses_mma_sp(self, sparse_plan):
+        source = render_cuda_source(sparse_plan)
+        assert "mma.sp.sync" in source
+        assert "__pipeline_memcpy_async" in source
+        assert "lut_column_base" in source
+
+    def test_dense_source_uses_plain_mma(self, box2d9p):
+        plan = generate_kernel(box2d9p, GRID, MorphConfig.from_r1_r2(2, 4, 4),
+                               engine="dense_mma", fragment=DENSE_FRAGMENTS[0])
+        source = render_cuda_source(plan)
+        assert "mma.sync" in source
+        assert "mma.sp" not in source
+
+    def test_source_embeds_layout_constants(self, sparse_plan):
+        source = render_cuda_source(sparse_plan)
+        assert f"#define M_PRIME   {sparse_plan.m_prime}" in source
+        assert f"#define K_OPERAND {sparse_plan.k_operand}" in source
+        assert f"#define N_PRIME   {sparse_plan.n_prime}" in source
+
+    def test_source_generated_by_default(self, box2d9p):
+        plan = generate_kernel(box2d9p, GRID, MorphConfig.from_r1_r2(2, 2, 2))
+        assert plan.cuda_source
+        assert plan.pattern.name in plan.cuda_source
+
+    def test_kernel_name_sanitised(self):
+        pattern = StencilPattern.box(2, 1, name="domain/box-2d9p")
+        plan = generate_kernel(pattern, GRID, MorphConfig.from_r1_r2(2, 4, 4))
+        assert "sparstencil_domain_box_2d9p" in plan.cuda_source
+
+    def test_fp64_source_uses_double(self, box2d9p):
+        plan = generate_kernel(box2d9p, GRID, MorphConfig.from_r1_r2(2, 4, 4),
+                               engine="dense_mma", fragment=DENSE_FRAGMENTS[0],
+                               dtype=DataType.FP64)
+        assert "double" in plan.cuda_source

@@ -1,0 +1,134 @@
+"""Unit tests for the utilisation counters and the kernel-launch executor."""
+
+import numpy as np
+import pytest
+
+from repro.tcu.counters import derive_utilization
+from repro.tcu.executor import KernelLaunch, execute_launch
+from repro.tcu.memory import MemoryTraffic
+from repro.tcu.spec import A100_SPEC, DENSE_FRAGMENTS, SPARSE_FRAGMENTS, DataType
+from repro.util.validation import ValidationError
+from tests.conftest import make_24_sparse
+
+
+class TestDeriveUtilization:
+    def _report(self, **kwargs):
+        defaults = dict(
+            compute_seconds=1e-3,
+            memory_seconds=5e-4,
+            elapsed_seconds=1e-3,
+            traffic=MemoryTraffic(global_read_bytes=1e6, shared_read_bytes=1e6),
+            spec=A100_SPEC,
+            threads_per_block=256,
+            blocks=1000,
+            registers_per_thread=32,
+        )
+        defaults.update(kwargs)
+        return derive_utilization(**defaults)
+
+    def test_all_metrics_in_percent_range(self):
+        report = self._report()
+        for value in report.as_dict().values():
+            assert 0.0 <= value <= 100.0
+
+    def test_occupancy_limited_by_registers(self):
+        lean = self._report(registers_per_thread=32)
+        fat = self._report(registers_per_thread=128)
+        assert lean.occupancy > fat.occupancy
+        assert lean.occupancy == pytest.approx(100.0)
+
+    def test_dram_tracks_global_traffic(self):
+        light = self._report(traffic=MemoryTraffic(global_read_bytes=1e3))
+        heavy = self._report(traffic=MemoryTraffic(global_read_bytes=1e9))
+        assert heavy.dram_throughput >= light.dram_throughput
+
+    def test_l1_tracks_shared_traffic(self):
+        light = self._report(traffic=MemoryTraffic(shared_read_bytes=1e3))
+        heavy = self._report(traffic=MemoryTraffic(shared_read_bytes=1e9))
+        assert heavy.l1_throughput >= light.l1_throughput
+
+    def test_zero_elapsed_rejected(self):
+        with pytest.raises(ValidationError):
+            self._report(elapsed_seconds=0.0)
+
+    def test_as_dict_has_six_figure11_metrics(self):
+        assert len(self._report().as_dict()) == 6
+
+
+class TestKernelLaunchValidation:
+    def test_mma_engine_requires_operands(self):
+        with pytest.raises(ValidationError):
+            KernelLaunch(name="x", engine="dense_mma")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValidationError):
+            KernelLaunch(name="x", engine="quantum")
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValidationError):
+            KernelLaunch(name="x", engine="ffma", repeats=0)
+
+
+class TestExecuteLaunch:
+    def test_ffma_engine_passes_through_result(self):
+        expected = np.arange(6.0).reshape(2, 3)
+        launch = KernelLaunch(name="x", engine="ffma", flops=1e6,
+                              precomputed_result=expected,
+                              traffic=MemoryTraffic(global_read_bytes=1e6))
+        result = execute_launch(launch)
+        assert result.output is expected
+        assert result.fragment_ops == 0
+        assert result.elapsed_seconds > 0.0
+
+    def test_dense_engine_computes_product(self, rng):
+        a, b = rng.random((8, 8)), rng.random((8, 8))
+        launch = KernelLaunch(name="x", engine="dense_mma", a=a, b=b,
+                              fragment=DENSE_FRAGMENTS[0], dtype=DataType.TF32)
+        result = execute_launch(launch)
+        assert np.allclose(result.output, a @ b, rtol=1e-5, atol=1e-5)
+        assert result.fragment_ops >= 1
+
+    def test_sparse_engine_computes_product(self, rng):
+        a = make_24_sparse(rng, 16, 32)
+        b = rng.random((32, 8))
+        launch = KernelLaunch(name="x", engine="sparse_mma", a=a, b=b,
+                              fragment=SPARSE_FRAGMENTS[1], dtype=DataType.TF32)
+        result = execute_launch(launch)
+        assert np.allclose(result.output, a @ b, rtol=1e-5, atol=1e-5)
+
+    def test_repeats_scale_time_not_result(self, rng):
+        a, b = rng.random((8, 8)), rng.random((8, 8))
+        one = execute_launch(KernelLaunch(name="x", engine="dense_mma", a=a, b=b,
+                                          fragment=DENSE_FRAGMENTS[0], repeats=1))
+        ten = execute_launch(KernelLaunch(name="x", engine="dense_mma", a=a, b=b,
+                                          fragment=DENSE_FRAGMENTS[0], repeats=10))
+        assert ten.elapsed_seconds == pytest.approx(10 * one.elapsed_seconds)
+        assert np.allclose(one.output, ten.output)
+
+    def test_bound_classification(self):
+        memory_heavy = KernelLaunch(
+            name="x", engine="ffma", flops=1.0,
+            traffic=MemoryTraffic(global_read_bytes=1e9), precomputed_result=None)
+        compute_heavy = KernelLaunch(
+            name="x", engine="ffma", flops=1e13,
+            traffic=MemoryTraffic(global_read_bytes=1.0), precomputed_result=None)
+        assert execute_launch(memory_heavy).bound == "memory"
+        assert execute_launch(compute_heavy).bound == "compute"
+
+    def test_elapsed_is_roofline_max(self):
+        launch = KernelLaunch(name="x", engine="ffma", flops=1e10,
+                              traffic=MemoryTraffic(global_read_bytes=1e8),
+                              precomputed_result=None)
+        result = execute_launch(launch)
+        assert result.elapsed_seconds == pytest.approx(
+            max(result.compute_seconds, result.memory_seconds))
+
+    def test_custom_spec_changes_timing(self, rng):
+        a, b = rng.random((32, 32)), rng.random((32, 32))
+        launch = KernelLaunch(name="x", engine="dense_mma", a=a, b=b,
+                              fragment=DENSE_FRAGMENTS[0],
+                              traffic=MemoryTraffic(global_read_bytes=1e6))
+        slow_spec = A100_SPEC.with_overrides(global_bandwidth_gbs=155.5)
+        fast = execute_launch(launch, A100_SPEC)
+        slow = execute_launch(launch, slow_spec)
+        assert slow.elapsed_seconds > fast.elapsed_seconds

@@ -1,0 +1,79 @@
+"""Unit tests for the Duplicates Crush helpers (Eq. 3-4, Figures 3-4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.crush import (
+    count_duplicates,
+    crush_ratio,
+    has_horizontal_duplicates,
+    has_vertical_duplicates,
+)
+from repro.core.flatten import flatten_stencil
+from repro.stencils.pattern import StencilPattern
+from repro.util.validation import ValidationError
+
+
+class TestDuplicateIdentities:
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_horizontal_duplicates_hold_for_box_kernels(self, radius, rng):
+        pattern = StencilPattern.box(2, radius)
+        data = rng.random((20, 22))
+        flattened = flatten_stencil(pattern, data)
+        assert has_horizontal_duplicates(pattern, flattened)
+
+    @pytest.mark.parametrize("radius", [1, 2, 3])
+    def test_vertical_duplicates_hold_for_box_kernels(self, radius, rng):
+        pattern = StencilPattern.box(2, radius)
+        data = rng.random((20, 22))
+        flattened = flatten_stencil(pattern, data)
+        assert has_vertical_duplicates(pattern, flattened)
+
+    def test_identities_hold_on_structured_data(self):
+        # ramp data exercises the identities with predictable values
+        pattern = StencilPattern.box(2, 1)
+        data = np.arange(7.0 * 9.0).reshape(7, 9)
+        flattened = flatten_stencil(pattern, data)
+        assert has_horizontal_duplicates(pattern, flattened)
+        assert has_vertical_duplicates(pattern, flattened)
+
+    def test_1d_pattern_rejected(self, heat1d, rng):
+        flattened = flatten_stencil(heat1d, rng.random(20))
+        with pytest.raises(ValidationError):
+            has_horizontal_duplicates(heat1d, flattened)
+
+
+class TestCountDuplicates:
+    def test_formula(self):
+        pattern = StencilPattern.box(2, 1)
+        # 5x5 grid: 9 outputs x 9 elements = 81 flattened vs 25 distinct
+        assert count_duplicates(pattern, (5, 5)) == 81 - 25
+
+    def test_zero_when_single_output(self):
+        pattern = StencilPattern.box(2, 1)
+        assert count_duplicates(pattern, (3, 3)) == 0
+
+    def test_grid_too_small_rejected(self):
+        with pytest.raises(ValidationError):
+            count_duplicates(StencilPattern.box(2, 3), (4, 4))
+
+
+class TestCrushRatio:
+    def test_no_crush_for_unit_tiles(self):
+        pattern = StencilPattern.box(2, 1)
+        assert crush_ratio(pattern, (10, 10), (1, 1)) == pytest.approx(0.0)
+
+    def test_ratio_grows_with_tile_size(self):
+        pattern = StencilPattern.box(2, 1)
+        small = crush_ratio(pattern, (20, 20), (2, 2))
+        large = crush_ratio(pattern, (20, 20), (8, 8))
+        assert 0.0 < small < large < 1.0
+
+    def test_matches_closed_form(self):
+        pattern = StencilPattern.box(2, 1)  # k = 3
+        # r = (4, 4): crushed footprint 6*6 = 36 vs dense 9*16 = 144
+        assert crush_ratio(pattern, (20, 20), (4, 4)) == pytest.approx(1 - 36 / 144)
+
+    def test_wrong_r_length_rejected(self):
+        with pytest.raises(ValidationError):
+            crush_ratio(StencilPattern.box(2, 1), (10, 10), (2,))

@@ -1,0 +1,144 @@
+"""Unit tests for the domain kernels and the benchmark catalog."""
+
+import numpy as np
+import pytest
+
+from repro.stencils import domains as dom
+from repro.stencils.catalog import (
+    DOMAINS,
+    catalog_by_domain,
+    full_catalog,
+    get_benchmark,
+    table2_benchmarks,
+)
+from repro.stencils.grid import make_grid
+from repro.stencils.reference import apply_stencil_reference
+from repro.util.validation import ValidationError
+
+
+class TestDomainKernels:
+    def test_heat_kernels_conserve_constant_fields(self):
+        for pattern in (dom.heat_1d(), dom.heat_2d(), dom.heat_3d()):
+            assert sum(pattern.weights) == pytest.approx(1.0)
+
+    def test_lbm_d2q9_weights(self):
+        p = dom.lbm_d2q9()
+        assert p.points == 9
+        assert sum(p.weights) == pytest.approx(1.0)
+
+    def test_lbm_d3q19_point_count(self):
+        p = dom.lbm_d3q19()
+        assert p.points == 19
+        assert sum(p.weights) == pytest.approx(1.0)
+
+    def test_lbm_d3q27_point_count(self):
+        p = dom.lbm_d3q27()
+        assert p.points == 27
+        assert sum(p.weights) == pytest.approx(1.0)
+
+    def test_high_order_star_points(self):
+        assert dom.high_order_star(2, 6).points == 13
+        assert dom.high_order_star(2, 8).points == 17
+        assert dom.high_order_star(1, 8).points == 9
+
+    def test_high_order_star_rejects_odd_order(self):
+        with pytest.raises(ValueError):
+            dom.high_order_star(2, 3)
+
+    def test_high_order_star_rejects_unsupported_radius(self):
+        with pytest.raises(ValueError):
+            dom.high_order_star(2, 12)
+
+    def test_laplacian_annihilates_linear_field(self):
+        # The order-2 Laplacian of a linear ramp is (numerically) zero.
+        p = dom.high_order_star(2, 2)
+        x, y = np.meshgrid(np.arange(16.0), np.arange(16.0), indexing="ij")
+        field = 2.0 * x + 3.0 * y
+        out = apply_stencil_reference(p, field)
+        assert np.allclose(out, 0.0, atol=1e-9)
+
+    def test_gaussian_blur_normalised(self):
+        p = dom.gaussian_blur_2d(radius=2, sigma=1.0)
+        assert sum(p.weights) == pytest.approx(1.0)
+        assert p.points == 25
+
+    def test_sobel_zero_on_constant_field(self):
+        p = dom.sobel_2d()
+        out = apply_stencil_reference(p, np.full((10, 10), 3.0))
+        assert np.allclose(out, 0.0)
+
+    def test_upwind_advection_two_taps(self):
+        assert dom.upwind_advection_1d().points == 2
+
+    def test_tagged_sets_domain_metadata(self):
+        p = dom.heat_2d()
+        assert p.metadata["domain"] == "heat_diffusion"
+
+    def test_biharmonic_13_points(self):
+        assert dom.biharmonic_2d().points == 13
+
+
+class TestTable2Benchmarks:
+    def test_eight_kernels(self):
+        assert len(table2_benchmarks()) == 8
+
+    def test_names_match_paper(self):
+        names = [c.name for c in table2_benchmarks()]
+        assert names == ["Heat-1D", "1D5P", "Heat-2D", "Box-2D9P",
+                         "Star-2D13P", "Box-2D49P", "Heat-3D", "Box-3D27P"]
+
+    @pytest.mark.parametrize("name,points", [
+        ("Heat-1D", 3), ("1D5P", 5), ("Heat-2D", 5), ("Box-2D9P", 9),
+        ("Star-2D13P", 13), ("Box-2D49P", 49), ("Heat-3D", 7), ("Box-3D27P", 27),
+    ])
+    def test_point_counts_match_table2(self, name, points):
+        assert get_benchmark(name).pattern.points == points
+
+    def test_block_shapes_match_table2(self):
+        assert get_benchmark("Heat-1D").block == (1024,)
+        assert get_benchmark("Heat-2D").block == (32, 64)
+        assert get_benchmark("Heat-3D").block == (8, 64)
+
+    def test_paper_grid_and_iterations_split(self):
+        cfg = get_benchmark("Heat-2D")
+        assert cfg.paper_grid == (10_240, 10_240)
+        assert cfg.paper_iterations == 10_240
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_benchmark("heat-2d").name == "Heat-2D"
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(ValidationError):
+            get_benchmark("Heat-9D")
+
+    def test_sim_grids_run_the_reference(self):
+        for cfg in table2_benchmarks():
+            grid = make_grid(cfg.sim_grid, seed=0)
+            out = apply_stencil_reference(cfg.pattern, grid.data)
+            assert all(s > 0 for s in out.shape)
+
+
+class TestFullCatalog:
+    def test_exactly_79_kernels(self):
+        assert len(full_catalog()) == 79
+
+    def test_nine_domains(self):
+        assert len(DOMAINS) == 9
+        assert set(catalog_by_domain()) == set(DOMAINS)
+
+    def test_every_kernel_tagged_with_its_domain(self):
+        for domain, kernels in catalog_by_domain().items():
+            for kernel in kernels:
+                assert kernel.metadata["domain"] == domain
+
+    def test_names_are_unique(self):
+        names = [k.name for k in full_catalog()]
+        assert len(names) == len(set(names))
+
+    def test_dimensionality_diversity(self):
+        ndims = {k.ndim for k in full_catalog()}
+        assert ndims == {1, 2, 3}
+
+    def test_every_kernel_has_positive_points(self):
+        for kernel in full_catalog():
+            assert kernel.points >= 2 or kernel.points == 1

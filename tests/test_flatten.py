@@ -1,0 +1,80 @@
+"""Unit tests for Stencil Flattening (Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.flatten import flatten_output_shape, flatten_stencil
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import apply_stencil_reference
+from repro.util.validation import ValidationError
+
+
+class TestFlattenOutputShape:
+    def test_2d(self, box2d9p):
+        assert flatten_output_shape(box2d9p, (10, 12)) == (8, 10)
+
+    def test_too_small_rejected(self, box2d49p):
+        with pytest.raises(ValidationError):
+            flatten_output_shape(box2d49p, (6, 6))
+
+
+class TestFlattenStencil:
+    def test_paper_figure2_shape(self):
+        # A 3x3 kernel on a 5x5 input: kernel vector 1x9, input matrix 9x9.
+        pattern = StencilPattern.box(2, 1)
+        data = np.arange(25.0).reshape(5, 5)
+        flattened = flatten_stencil(pattern, data)
+        assert flattened.a_vector.shape == (1, 9)
+        assert flattened.b_matrix.shape == (9, 9)
+        assert flattened.out_shape == (3, 3)
+
+    def test_columns_are_patches(self):
+        pattern = StencilPattern.box(2, 1)
+        data = np.arange(25.0).reshape(5, 5)
+        flattened = flatten_stencil(pattern, data)
+        # first column is the top-left 3x3 patch, row-major
+        assert np.array_equal(flattened.b_matrix[:, 0], data[0:3, 0:3].ravel())
+        # last column is the bottom-right patch
+        assert np.array_equal(flattened.b_matrix[:, -1], data[2:5, 2:5].ravel())
+
+    @pytest.mark.parametrize("ndim,shape", [(1, (30,)), (2, (12, 14)), (3, (7, 8, 9))])
+    def test_product_equals_reference(self, ndim, shape, rng):
+        for kind in ("star", "box"):
+            pattern = getattr(StencilPattern, kind)(ndim, 1)
+            data = rng.random(shape)
+            flattened = flatten_stencil(pattern, data)
+            assert np.allclose(flattened.compute(),
+                               apply_stencil_reference(pattern, data))
+
+    def test_star_pattern_zero_weights_in_kernel_vector(self):
+        pattern = StencilPattern.star(2, 1)
+        data = np.random.default_rng(0).random((6, 6))
+        flattened = flatten_stencil(pattern, data)
+        # corner taps of the 3x3 footprint carry zero weight for a star
+        dense = flattened.a_vector.reshape(3, 3)
+        assert dense[0, 0] == 0.0 and dense[2, 2] == 0.0
+
+    def test_duplication_factor_grows_with_kernel(self, rng):
+        data = rng.random((30, 30))
+        small = flatten_stencil(StencilPattern.box(2, 1), data)
+        large = flatten_stencil(StencilPattern.box(2, 3), data)
+        assert large.duplication_factor > small.duplication_factor
+        # a 3x3 kernel replicates interior elements ~9x on a large grid
+        assert small.duplication_factor > 5.0
+
+    def test_naive_fragment_utilization_figure1(self):
+        # Figure 1(a): a matrix-vector mapping uses 1 of the fragment's rows.
+        pattern = StencilPattern.box(2, 1)
+        data = np.random.default_rng(0).random((10, 10))
+        flattened = flatten_stencil(pattern, data)
+        fragment_rows = 8
+        utilization = flattened.a_vector.shape[0] / fragment_rows
+        assert utilization == pytest.approx(0.125)
+
+    def test_ndim_mismatch_rejected(self, heat2d):
+        with pytest.raises(ValidationError):
+            flatten_stencil(heat2d, np.zeros(16))
+
+    def test_output_points_property(self, heat2d, rng):
+        flattened = flatten_stencil(heat2d, rng.random((9, 11)))
+        assert flattened.output_points == 7 * 9

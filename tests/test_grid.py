@@ -1,0 +1,82 @@
+"""Unit tests for repro.stencils.grid."""
+
+import numpy as np
+import pytest
+
+from repro.stencils.grid import Grid, interior_shape, make_grid
+from repro.util.validation import ValidationError
+
+
+class TestInteriorShape:
+    def test_2d(self):
+        assert interior_shape((10, 12), 1) == (8, 10)
+
+    def test_3d(self):
+        assert interior_shape((8, 8, 8), 2) == (4, 4, 4)
+
+    def test_too_small_raises(self):
+        with pytest.raises(ValidationError):
+            interior_shape((4, 4), 2)
+
+
+class TestGrid:
+    def test_data_stored_as_float64(self):
+        g = Grid(data=np.ones((4, 4), dtype=np.float16))
+        assert g.data.dtype == np.float64
+
+    def test_device_dtype_recorded(self):
+        g = Grid(data=np.ones((4, 4)), dtype=np.float16)
+        assert g.bytes_per_element() == 2
+
+    def test_interior_view(self):
+        g = Grid(data=np.arange(36.0).reshape(6, 6))
+        inner = g.interior(1)
+        assert inner.shape == (4, 4)
+        assert inner[0, 0] == g.data[1, 1]
+
+    def test_interior_size(self):
+        g = Grid(data=np.zeros((6, 8)))
+        assert g.interior_size(1) == 4 * 6
+
+    def test_copy_is_independent(self):
+        g = Grid(data=np.zeros((4, 4)))
+        c = g.copy()
+        c.data[0, 0] = 9.0
+        assert g.data[0, 0] == 0.0
+
+    def test_rejects_4d(self):
+        with pytest.raises(ValidationError):
+            Grid(data=np.zeros((2, 2, 2, 2)))
+
+
+class TestMakeGrid:
+    def test_random_is_deterministic_per_seed(self):
+        a = make_grid((8, 8), kind="random", seed=3)
+        b = make_grid((8, 8), kind="random", seed=3)
+        assert np.array_equal(a.data, b.data)
+
+    def test_random_differs_across_seeds(self):
+        a = make_grid((8, 8), kind="random", seed=3)
+        b = make_grid((8, 8), kind="random", seed=4)
+        assert not np.array_equal(a.data, b.data)
+
+    def test_zeros_and_ones(self):
+        assert np.all(make_grid((4,), kind="zeros").data == 0.0)
+        assert np.all(make_grid((4,), kind="ones").data == 1.0)
+
+    def test_gaussian_peak_in_centre(self):
+        g = make_grid((33, 33), kind="gaussian")
+        assert g.data[16, 16] == pytest.approx(g.data.max())
+
+    def test_ramp_monotonic_along_last_axis(self):
+        g = make_grid((4, 16), kind="ramp")
+        diffs = np.diff(g.data, axis=-1)
+        assert np.all(diffs >= 0.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValidationError):
+            make_grid((4, 4), kind="fractal")
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(ValidationError):
+            make_grid((0, 4))

@@ -1,0 +1,145 @@
+"""Unit tests for the Hierarchical Two-Level Matching (Algorithm 1) and the
+Blossom fallback."""
+
+import numpy as np
+import pytest
+
+from repro.core.conflict import conflict_matrix
+from repro.core.matching import (
+    MatchingResult,
+    blossom_matching,
+    hierarchical_matching,
+    matching_to_permutation,
+)
+from repro.core.morphing import MorphConfig, morph_kernel_matrix
+from repro.core.staircase import BlockStructure, block_structure_from_morph
+from repro.stencils.pattern import StencilPattern
+from repro.util.validation import ValidationError
+
+
+def _morph(pattern, r1, r2):
+    cfg = MorphConfig.from_r1_r2(pattern.ndim, r1, r2)
+    a_prime = morph_kernel_matrix(pattern, cfg)
+    structure = block_structure_from_morph(pattern, cfg)
+    return a_prime, structure
+
+
+class TestHierarchicalMatching:
+    @pytest.mark.parametrize("pattern_kind,radius,r1,r2", [
+        ("box", 1, 4, 4), ("box", 1, 8, 2), ("box", 2, 4, 4), ("box", 3, 4, 2),
+        ("star", 1, 4, 4), ("star", 2, 6, 3), ("star", 3, 8, 1),
+    ])
+    def test_valid_for_2d_morphed_kernels(self, pattern_kind, radius, r1, r2):
+        pattern = getattr(StencilPattern, pattern_kind)(2, radius)
+        a_prime, structure = _morph(pattern, r1, r2)
+        matching = hierarchical_matching(structure)
+        assert matching.is_cover()
+        assert matching.is_conflict_free(a_prime)
+
+    @pytest.mark.parametrize("r1", [2, 4, 8, 16, 32])
+    def test_valid_for_1d_morphed_kernels(self, r1):
+        pattern = StencilPattern.star(1, 1)
+        cfg = MorphConfig(r=(r1,))
+        a_prime = morph_kernel_matrix(pattern, cfg)
+        structure = block_structure_from_morph(pattern, cfg)
+        matching = hierarchical_matching(structure)
+        assert matching.is_cover()
+        assert matching.is_conflict_free(a_prime)
+
+    def test_matched_pairs_at_least_k_apart(self, box2d9p):
+        a_prime, structure = _morph(box2d9p, 4, 4)
+        matching = hierarchical_matching(structure)
+        for i, j in matching.pairs:
+            if j is not None:
+                assert abs(j - i) >= structure.k
+
+    def test_linear_work(self, box2d49p):
+        # every column appears exactly once -> the number of pair slots is
+        # bounded by the column count (the O(|V|) claim of Theorem 2)
+        a_prime, structure = _morph(box2d49p, 8, 4)
+        matching = hierarchical_matching(structure)
+        assert len(matching.covered_columns()) == structure.n_columns
+
+    def test_theorem2_minimality_small_blocks(self):
+        # k > g/2: each unmatched block can pair only g - k columns, leaving
+        # 2k - g columns to be padded (Theorem 2's tight case).
+        pattern = StencilPattern.box(2, 1)          # k = 3
+        a_prime, structure = _morph(pattern, 2, 1)  # g = 4, single-block level
+        matching = hierarchical_matching(structure)
+        assert matching.is_conflict_free(a_prime)
+        # g=4, k=3 -> at most 1 pair per block, 2 columns padded per block
+        per_block_pad = 2 * structure.k - structure.block_size
+        assert matching.n_pad == per_block_pad * structure.n_blocks
+
+    def test_even_block_count_pairs_blocks(self):
+        structure = BlockStructure(n_columns=24, block_size=6, k=1)
+        matching = hierarchical_matching(structure)
+        # k=1: no conflicts at all, perfect matching with zero padding
+        assert matching.n_pad == 0
+        assert matching.is_cover()
+
+
+class TestBlossomMatching:
+    def test_valid_on_morphed_kernel(self, box2d9p):
+        a_prime, _ = _morph(box2d9p, 4, 4)
+        matching = blossom_matching(a_prime)
+        assert matching.is_cover()
+        assert matching.is_conflict_free(a_prime)
+
+    def test_handles_arbitrary_sparsity(self, rng):
+        # random non-staircase sparsity: blossom must still produce a valid cover
+        matrix = (rng.random((6, 10)) < 0.3).astype(float)
+        matching = blossom_matching(matrix)
+        assert matching.is_cover()
+        assert matching.is_conflict_free(matrix)
+
+    def test_fully_dense_matrix_pads_everything(self):
+        matrix = np.ones((2, 6))
+        matching = blossom_matching(matrix)
+        assert matching.is_cover()
+        assert matching.n_pad == 6
+
+    def test_no_conflicts_means_no_padding(self):
+        matrix = np.eye(6)
+        matching = blossom_matching(matrix)
+        assert matching.n_pad == 0
+
+    def test_matches_hierarchical_padding_on_staircase(self, box2d9p):
+        # On a true self-similar staircase both algorithms should need the
+        # same (minimal) number of zero columns.
+        a_prime, structure = _morph(box2d9p, 4, 4)
+        hier = hierarchical_matching(structure)
+        blos = blossom_matching(a_prime)
+        assert hier.n_pad == blos.n_pad
+
+
+class TestMatchingToPermutation:
+    def test_permutation_is_valid(self, box2d9p):
+        a_prime, structure = _morph(box2d9p, 4, 4)
+        matching = hierarchical_matching(structure)
+        order, n_total = matching_to_permutation(matching)
+        assert n_total % 4 == 0
+        assert sorted(order.tolist()) == list(range(n_total))
+
+    def test_pairs_are_adjacent_in_order(self, box2d9p):
+        a_prime, structure = _morph(box2d9p, 4, 2)
+        matching = hierarchical_matching(structure)
+        order, _ = matching_to_permutation(matching)
+        position = {int(col): slot for slot, col in enumerate(order)}
+        for i, j in matching.pairs:
+            if j is not None:
+                assert abs(position[i] - position[j]) == 1
+                assert min(position[i], position[j]) % 2 == 0
+
+    def test_incomplete_cover_rejected(self):
+        bad = MatchingResult(pairs=((0, 1),), n_columns=4, method="manual")
+        with pytest.raises(ValidationError):
+            matching_to_permutation(bad)
+
+    def test_pad_count_round_up_to_multiple_of_4(self):
+        # 3 columns, no conflicts: one pair + one padded column = 4 slots
+        matching = MatchingResult(pairs=((0, 1), (2, None)), n_columns=3,
+                                  method="manual")
+        order, n_total = matching_to_permutation(matching)
+        assert n_total == 4
+        assert len(order) == 4

@@ -1,0 +1,128 @@
+"""Unit tests for the memory-traffic and timing models (Eq. 6-8)."""
+
+import pytest
+
+from repro.tcu.memory import (
+    MemoryTraffic,
+    global_memory_time,
+    memory_time,
+    shared_memory_time,
+)
+from repro.tcu.spec import A100_SPEC, DataType, FragmentShape, SPARSE_FRAGMENTS, DENSE_FRAGMENTS
+from repro.tcu.timing import compute_time, ffma_time, mma_count, roofline_time
+from repro.util.validation import ValidationError
+
+
+class TestMemoryTraffic:
+    def test_totals(self):
+        t = MemoryTraffic(global_read_bytes=10, global_write_bytes=5,
+                          shared_read_bytes=3, shared_write_bytes=2,
+                          metadata_bytes=1, lut_bytes=4)
+        assert t.global_bytes == 15
+        assert t.shared_bytes == 5
+        assert t.total_bytes == 25
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValidationError):
+            MemoryTraffic(global_read_bytes=-1)
+
+    def test_scaled(self):
+        t = MemoryTraffic(global_read_bytes=10, shared_write_bytes=4)
+        s = t.scaled(3)
+        assert s.global_read_bytes == 30
+        assert s.shared_write_bytes == 12
+
+    def test_combined(self):
+        a = MemoryTraffic(global_read_bytes=10)
+        b = MemoryTraffic(global_read_bytes=5, shared_read_bytes=7)
+        c = a.combined(b)
+        assert c.global_read_bytes == 15
+        assert c.shared_read_bytes == 7
+
+
+class TestMemoryTime:
+    def test_global_time_formula(self):
+        t = MemoryTraffic(global_read_bytes=A100_SPEC.global_bandwidth_gbs * 1e9)
+        assert global_memory_time(t, A100_SPEC) == pytest.approx(1.0)
+
+    def test_shared_time_formula(self):
+        t = MemoryTraffic(shared_read_bytes=A100_SPEC.shared_bandwidth_gbs * 1e9)
+        assert shared_memory_time(t, A100_SPEC) == pytest.approx(1.0)
+
+    def test_memory_time_is_max_of_paths(self):
+        t = MemoryTraffic(global_read_bytes=1e9, shared_read_bytes=1e12)
+        assert memory_time(t, A100_SPEC) == pytest.approx(
+            max(global_memory_time(t, A100_SPEC), shared_memory_time(t, A100_SPEC)))
+
+    def test_metadata_counts_toward_global(self):
+        base = MemoryTraffic(global_read_bytes=1e6)
+        with_meta = MemoryTraffic(global_read_bytes=1e6, metadata_bytes=1e6)
+        assert global_memory_time(with_meta, A100_SPEC) > global_memory_time(base, A100_SPEC)
+
+
+class TestMMACount:
+    def test_exact_tiling(self):
+        frag = FragmentShape(16, 32, 8, sparse=True)
+        assert mma_count(16, 32, 8, frag) == 1
+        assert mma_count(32, 64, 16, frag) == 8
+
+    def test_rounds_up(self):
+        frag = FragmentShape(16, 16, 8)
+        assert mma_count(17, 17, 9, frag) == 2 * 2 * 2
+
+    def test_zero_dimension_counts_as_one(self):
+        frag = FragmentShape(16, 16, 8)
+        assert mma_count(0, 16, 8, frag) == 1
+
+
+class TestComputeTime:
+    def test_scales_linearly_with_mma_count(self):
+        frag = SPARSE_FRAGMENTS[0]
+        t1 = compute_time(100, A100_SPEC, frag)
+        t2 = compute_time(200, A100_SPEC, frag)
+        assert t2 == pytest.approx(2 * t1)
+
+    def test_sparse_fragment_twice_as_fast_as_dense_same_shape(self):
+        sparse = FragmentShape(16, 16, 8, sparse=True)
+        dense = FragmentShape(16, 16, 8, sparse=False)
+        assert compute_time(1000, A100_SPEC, dense) == pytest.approx(
+            2.0 * compute_time(1000, A100_SPEC, sparse))
+
+    def test_fp64_slower_than_fp16(self):
+        frag = DENSE_FRAGMENTS[0]
+        assert compute_time(1000, A100_SPEC, frag, dtype=DataType.FP64) > \
+            compute_time(1000, A100_SPEC, frag, dtype=DataType.FP16)
+
+    def test_peak_throughput_respected(self):
+        # Issuing exactly one second's worth of fragments takes one second.
+        frag = DENSE_FRAGMENTS[0]
+        per_fragment_flops = 2 * frag.macs
+        fragments_per_second = A100_SPEC.dense_tcu_tflops(DataType.FP16) * 1e12 / per_fragment_flops
+        assert compute_time(int(fragments_per_second), A100_SPEC, frag) == pytest.approx(1.0, rel=1e-6)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValidationError):
+            compute_time(-1, A100_SPEC, DENSE_FRAGMENTS[0])
+
+
+class TestFFMATime:
+    def test_peak(self):
+        flops = A100_SPEC.ffma_tflops * 1e12
+        assert ffma_time(flops, A100_SPEC, dtype=DataType.TF32) == pytest.approx(1.0)
+
+    def test_fp16_packed_twice_as_fast(self):
+        assert ffma_time(1e12, A100_SPEC, dtype=DataType.FP16) == pytest.approx(
+            0.5 * ffma_time(1e12, A100_SPEC, dtype=DataType.TF32))
+
+    def test_fp64_half_rate(self):
+        assert ffma_time(1e12, A100_SPEC, dtype=DataType.FP64) == pytest.approx(
+            2.0 * ffma_time(1e12, A100_SPEC, dtype=DataType.TF32))
+
+
+class TestRoofline:
+    def test_returns_max_of_compute_and_memory(self):
+        frag = SPARSE_FRAGMENTS[0]
+        traffic = MemoryTraffic(global_read_bytes=1e9)
+        total = roofline_time(10, traffic, A100_SPEC, frag)
+        assert total == pytest.approx(max(compute_time(10, A100_SPEC, frag),
+                                          memory_time(traffic, A100_SPEC)))

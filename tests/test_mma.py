@@ -1,0 +1,141 @@
+"""Unit tests for the dense and sparse fragment MMA models."""
+
+import numpy as np
+import pytest
+
+from repro.tcu.dense_mma import dense_mma, fragment_grid
+from repro.tcu.sparse_mma import sparse_mma, sparse_mma_compressed
+from repro.tcu.sparsity24 import compress_24
+from repro.tcu.spec import DENSE_FRAGMENTS, SPARSE_FRAGMENTS, DataType, FragmentShape
+from repro.util.validation import ValidationError
+from tests.conftest import make_24_sparse
+
+DENSE = DENSE_FRAGMENTS[0]
+SPARSE = SPARSE_FRAGMENTS[1]
+
+
+class TestFragmentGrid:
+    def test_exact_tiling(self):
+        assert fragment_grid(32, 32, 32, FragmentShape(16, 16, 16)) == (2, 2, 2)
+
+    def test_padding_rounds_up(self):
+        assert fragment_grid(17, 1, 9, FragmentShape(16, 16, 16)) == (2, 1, 1)
+
+
+class TestDenseMMA:
+    def test_matches_numpy_matmul(self, rng):
+        a = rng.random((20, 30))
+        b = rng.random((30, 25))
+        result = dense_mma(a, b, DENSE, dtype=DataType.TF32)
+        assert np.allclose(result.d, a @ b, rtol=1e-5, atol=1e-5)
+
+    def test_fp64_exact(self, rng):
+        a = rng.random((8, 8))
+        b = rng.random((8, 8))
+        result = dense_mma(a, b, DENSE, dtype=DataType.FP64)
+        assert np.allclose(result.d, a @ b, rtol=1e-12)
+
+    def test_fp16_rounds_inputs(self):
+        a = np.full((1, 1), 1.0 + 2 ** -12)   # not representable in fp16
+        b = np.ones((1, 1))
+        result = dense_mma(a, b, DENSE, dtype=DataType.FP16)
+        assert result.d[0, 0] == pytest.approx(1.0)
+
+    def test_accumulator_argument(self, rng):
+        a = rng.random((4, 4))
+        b = rng.random((4, 4))
+        c = rng.random((4, 4))
+        result = dense_mma(a, b, DENSE, c=c, dtype=DataType.TF32)
+        assert np.allclose(result.d, a @ b + c, rtol=1e-5, atol=1e-5)
+
+    def test_fragment_op_count(self):
+        a = np.ones((32, 32))
+        b = np.ones((32, 32))
+        result = dense_mma(a, b, FragmentShape(16, 16, 16))
+        assert result.fragment_ops == 8
+
+    def test_wasted_lanes_for_single_row(self):
+        a = np.ones((1, 16))
+        b = np.ones((16, 16))
+        result = dense_mma(a, b, FragmentShape(16, 16, 16))
+        assert result.wasted_lanes == pytest.approx(15.0 / 16.0)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            dense_mma(np.ones((2, 3)), np.ones((4, 2)), DENSE)
+
+    def test_sparse_fragment_rejected(self):
+        with pytest.raises(ValidationError):
+            dense_mma(np.ones((4, 4)), np.ones((4, 4)), SPARSE)
+
+    def test_wrong_accumulator_shape_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            dense_mma(np.ones((4, 4)), np.ones((4, 4)), DENSE, c=np.ones((2, 2)))
+
+
+class TestSparseMMA:
+    def test_matches_dense_product(self, rng):
+        a = make_24_sparse(rng, 16, 32)
+        b = rng.random((32, 24))
+        result = sparse_mma(a, b, SPARSE, dtype=DataType.TF32)
+        assert np.allclose(result.d, a @ b, rtol=1e-5, atol=1e-5)
+
+    def test_uses_compressed_representation(self, rng):
+        # corrupting the compressed values must change the result (i.e. the
+        # product is genuinely computed from values + metadata)
+        a = make_24_sparse(rng, 8, 16)
+        b = rng.random((16, 8))
+        compressed = compress_24(a)
+        tampered = compress_24(a)
+        tampered.values[0, 0] += 10.0
+        good = sparse_mma_compressed(compressed, b, SPARSE, dtype=DataType.TF32)
+        bad = sparse_mma_compressed(tampered, b, SPARSE, dtype=DataType.TF32)
+        assert not np.allclose(good.d, bad.d)
+
+    def test_non_24_operand_rejected(self, rng):
+        with pytest.raises(ValidationError):
+            sparse_mma(np.ones((4, 8)), rng.random((8, 4)), SPARSE)
+
+    def test_fp64_rejected(self, rng):
+        a = make_24_sparse(rng, 4, 8)
+        with pytest.raises(ValidationError):
+            sparse_mma(a, rng.random((8, 4)), SPARSE, dtype=DataType.FP64)
+
+    def test_dense_fragment_rejected(self, rng):
+        a = make_24_sparse(rng, 4, 8)
+        with pytest.raises(ValidationError):
+            sparse_mma(a, rng.random((8, 4)), DENSE)
+
+    def test_fragment_ops_counted_on_logical_k(self, rng):
+        a = make_24_sparse(rng, 16, 32)
+        b = rng.random((32, 8))
+        result = sparse_mma(a, b, FragmentShape(16, 32, 8, sparse=True))
+        assert result.fragment_ops == 1
+
+    def test_metadata_bytes_reported(self, rng):
+        a = make_24_sparse(rng, 16, 32)
+        b = rng.random((32, 8))
+        result = sparse_mma(a, b, SPARSE)
+        assert result.metadata_bytes == result.compressed.metadata_bytes()
+
+    def test_accumulator(self, rng):
+        a = make_24_sparse(rng, 8, 16)
+        b = rng.random((16, 8))
+        c = rng.random((8, 8))
+        result = sparse_mma(a, b, SPARSE, c=c, dtype=DataType.TF32)
+        assert np.allclose(result.d, a @ b + c, rtol=1e-5, atol=1e-5)
+
+    def test_k_not_multiple_of_4_is_padded(self, rng):
+        # 6-column A (pads to 8); B keeps 6 rows
+        a = np.array([[1.0, 0.0, 0.0, 2.0, 3.0, 0.0],
+                      [0.0, 4.0, 5.0, 0.0, 0.0, 6.0]])
+        b = rng.random((6, 5))
+        result = sparse_mma(a, b, SPARSE, dtype=DataType.TF32)
+        assert np.allclose(result.d, a @ b, rtol=1e-5, atol=1e-5)
+
+    def test_sparse_and_dense_agree(self, rng):
+        a = make_24_sparse(rng, 16, 32)
+        b = rng.random((32, 16))
+        sparse_result = sparse_mma(a, b, SPARSE, dtype=DataType.TF32)
+        dense_result = dense_mma(a, b, DENSE, dtype=DataType.TF32)
+        assert np.allclose(sparse_result.d, dense_result.d, rtol=1e-5, atol=1e-5)

@@ -1,0 +1,148 @@
+"""Unit tests for Adaptive Layout Morphing (§3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.morphing import (
+    MorphConfig,
+    assemble_output,
+    morph_kernel_matrix,
+    morph_stencil,
+    morphed_shapes,
+)
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import apply_stencil_reference
+from repro.util.validation import ValidationError
+
+
+class TestMorphConfig:
+    def test_from_r1_r2_orders_axes(self):
+        assert MorphConfig.from_r1_r2(2, r1=4, r2=2).r == (2, 4)
+        assert MorphConfig.from_r1_r2(1, r1=8).r == (8,)
+        assert MorphConfig.from_r1_r2(3, r1=4, r2=2).r == (1, 2, 4)
+
+    def test_r1_r2_accessors(self):
+        cfg = MorphConfig.from_r1_r2(2, r1=5, r2=3)
+        assert cfg.r1 == 5 and cfg.r2 == 3
+        assert MorphConfig(r=(7,)).r2 == 1
+
+    def test_outputs_per_tile(self):
+        assert MorphConfig.from_r1_r2(2, 4, 3).outputs_per_tile == 12
+
+    def test_patch_shape(self):
+        assert MorphConfig.from_r1_r2(2, 4, 3).patch_shape(3) == (5, 6)
+
+    def test_zero_tile_extent_rejected(self):
+        with pytest.raises(ValidationError):
+            MorphConfig(r=(0, 4))
+
+
+class TestMorphedShapes:
+    def test_paper_formulas(self, box2d9p):
+        # m' = r1*r2, k' = (k+r1-1)(k+r2-1), n' = out/(r1*r2)
+        cfg = MorphConfig.from_r1_r2(2, r1=4, r2=2)
+        m_prime, k_prime, n_prime = morphed_shapes(box2d9p, (18, 18), cfg)
+        assert m_prime == 8
+        assert k_prime == (3 + 2 - 1) * (3 + 4 - 1)
+        assert n_prime == (16 // 2) * (16 // 4)
+
+    def test_non_divisible_outputs_round_up(self, box2d9p):
+        cfg = MorphConfig.from_r1_r2(2, r1=5, r2=3)
+        _, _, n_prime = morphed_shapes(box2d9p, (18, 18), cfg)
+        assert n_prime == 6 * 4  # ceil(16/3) * ceil(16/5)
+
+    def test_wrong_ndim_config_rejected(self, box2d9p):
+        with pytest.raises(ValidationError):
+            morphed_shapes(box2d9p, (18, 18), MorphConfig(r=(4,)))
+
+
+class TestMorphKernelMatrix:
+    def test_1d_staircase_structure(self, heat1d):
+        # Figure 4(a): rows shift the kernel by one column each.
+        a_prime = morph_kernel_matrix(heat1d, MorphConfig(r=(4,)))
+        assert a_prime.shape == (4, 6)
+        weights = np.array(heat1d.to_dense())
+        for row in range(4):
+            assert np.allclose(a_prime[row, row:row + 3], weights)
+            assert np.count_nonzero(a_prime[row, :row]) == 0
+            assert np.count_nonzero(a_prime[row, row + 3:]) == 0
+
+    def test_row_nonzeros_equal_pattern_points(self, box2d9p):
+        a_prime = morph_kernel_matrix(box2d9p, MorphConfig.from_r1_r2(2, 4, 4))
+        assert np.all(np.count_nonzero(a_prime, axis=1) == box2d9p.points)
+
+    def test_star_pattern_sparser_than_box(self):
+        cfg = MorphConfig.from_r1_r2(2, 4, 4)
+        star = morph_kernel_matrix(StencilPattern.star(2, 2), cfg)
+        box = morph_kernel_matrix(StencilPattern.box(2, 2), cfg)
+        assert np.count_nonzero(star) < np.count_nonzero(box)
+
+    def test_unit_config_equals_weight_vector(self, box2d9p):
+        a_prime = morph_kernel_matrix(box2d9p, MorphConfig.from_r1_r2(2, 1, 1))
+        assert a_prime.shape == (1, 9)
+        assert np.allclose(a_prime[0], box2d9p.weight_vector())
+
+
+class TestMorphStencil:
+    @pytest.mark.parametrize("r1,r2", [(1, 1), (2, 1), (4, 2), (3, 3), (8, 4), (5, 3)])
+    def test_2d_product_equals_reference(self, box2d9p, r1, r2, rng):
+        data = rng.random((21, 19))
+        cfg = MorphConfig.from_r1_r2(2, r1, r2)
+        morph = morph_stencil(box2d9p, data, cfg)
+        assert np.allclose(morph.compute(), apply_stencil_reference(box2d9p, data))
+
+    @pytest.mark.parametrize("r1", [1, 3, 4, 7, 16])
+    def test_1d_product_equals_reference(self, heat1d, r1, rng):
+        data = rng.random(100)
+        morph = morph_stencil(heat1d, data, MorphConfig(r=(r1,)))
+        assert np.allclose(morph.compute(), apply_stencil_reference(heat1d, data))
+
+    @pytest.mark.parametrize("r1,r2", [(1, 1), (4, 2), (3, 3)])
+    def test_3d_product_equals_reference(self, heat3d, r1, r2, rng):
+        data = rng.random((9, 11, 13))
+        cfg = MorphConfig.from_r1_r2(3, r1, r2)
+        morph = morph_stencil(heat3d, data, cfg)
+        assert np.allclose(morph.compute(), apply_stencil_reference(heat3d, data))
+
+    def test_large_kernel_product_equals_reference(self, box2d49p, rng):
+        data = rng.random((20, 24))
+        morph = morph_stencil(box2d49p, data, MorphConfig.from_r1_r2(2, 4, 2))
+        assert np.allclose(morph.compute(), apply_stencil_reference(box2d49p, data))
+
+    def test_asymmetric_kernel_orientation_preserved(self, rng):
+        pattern = StencilPattern(name="shift", ndim=2,
+                                 offsets=((0, 0), (-1, 0), (0, -1)),
+                                 weights=(0.5, 0.3, 0.2))
+        data = rng.random((15, 17))
+        morph = morph_stencil(pattern, data, MorphConfig.from_r1_r2(2, 4, 4))
+        assert np.allclose(morph.compute(), apply_stencil_reference(pattern, data))
+
+    def test_b_prime_smaller_than_flattened(self, box2d9p, rng):
+        data = rng.random((20, 20))
+        cfg = MorphConfig.from_r1_r2(2, 4, 4)
+        morph = morph_stencil(box2d9p, data, cfg)
+        flattened_elements = 9 * 18 * 18
+        assert morph.b_prime.size < flattened_elements
+
+    def test_shapes_match_morphed_shapes(self, box2d9p, rng):
+        data = rng.random((18, 18))
+        cfg = MorphConfig.from_r1_r2(2, 4, 2)
+        morph = morph_stencil(box2d9p, data, cfg)
+        assert (morph.m_prime, morph.k_prime, morph.n_prime) == \
+            morphed_shapes(box2d9p, (18, 18), cfg)
+
+
+class TestAssembleOutput:
+    def test_shape_mismatch_rejected(self, box2d9p, rng):
+        data = rng.random((18, 18))
+        morph = morph_stencil(box2d9p, data, MorphConfig.from_r1_r2(2, 4, 2))
+        with pytest.raises(ValidationError):
+            assemble_output(np.zeros((3, 3)), morph)
+
+    def test_crops_tile_padding(self, box2d9p, rng):
+        # output extents (15, 15) are not divisible by (r2=2, r1=4)
+        data = rng.random((17, 17))
+        morph = morph_stencil(box2d9p, data, MorphConfig.from_r1_r2(2, 4, 2))
+        out = morph.compute()
+        assert out.shape == (15, 15)
+        assert np.allclose(out, apply_stencil_reference(box2d9p, data))

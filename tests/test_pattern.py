@@ -1,0 +1,144 @@
+"""Unit tests for repro.stencils.pattern."""
+
+import numpy as np
+import pytest
+
+from repro.stencils.pattern import StencilKind, StencilPattern
+from repro.util.validation import ValidationError
+
+
+class TestStarConstructor:
+    @pytest.mark.parametrize("ndim,radius,expected_points", [
+        (1, 1, 3), (1, 2, 5), (2, 1, 5), (2, 2, 9), (2, 3, 13), (3, 1, 7), (3, 2, 13),
+    ])
+    def test_point_counts(self, ndim, radius, expected_points):
+        assert StencilPattern.star(ndim, radius).points == expected_points
+
+    def test_default_weights_sum_to_one(self):
+        p = StencilPattern.star(2, 1)
+        assert sum(p.weights) == pytest.approx(1.0)
+
+    def test_kind_is_star(self):
+        assert StencilPattern.star(2, 2).kind is StencilKind.STAR
+
+    def test_explicit_weights_length_checked(self):
+        with pytest.raises(ValidationError):
+            StencilPattern.star(2, 1, weights=[1.0, 2.0])
+
+    def test_radius_and_diameter(self):
+        p = StencilPattern.star(2, 3)
+        assert p.radius == 3
+        assert p.diameter == 7
+
+
+class TestBoxConstructor:
+    @pytest.mark.parametrize("ndim,radius,expected_points", [
+        (1, 1, 3), (2, 1, 9), (2, 2, 25), (2, 3, 49), (3, 1, 27),
+    ])
+    def test_point_counts(self, ndim, radius, expected_points):
+        assert StencilPattern.box(ndim, radius).points == expected_points
+
+    def test_kind_is_box(self):
+        assert StencilPattern.box(2, 1).kind is StencilKind.BOX
+
+    def test_uniform_weights(self):
+        p = StencilPattern.box(2, 1)
+        assert all(w == pytest.approx(1.0 / 9.0) for w in p.weights)
+
+
+class TestFromDense:
+    def test_drops_zero_taps_by_default(self):
+        kernel = np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 1.0], [0.0, 1.0, 0.0]])
+        p = StencilPattern.from_dense(kernel)
+        assert p.points == 4
+
+    def test_keep_zeros_keeps_full_footprint(self):
+        kernel = np.array([[0.0, 1.0, 0.0], [1.0, 0.0, 1.0], [0.0, 1.0, 0.0]])
+        p = StencilPattern.from_dense(kernel, keep_zeros=True)
+        assert p.points == 9
+
+    def test_rejects_even_extent(self):
+        with pytest.raises(ValidationError):
+            StencilPattern.from_dense(np.ones((2, 3)))
+
+    def test_rejects_all_zero_kernel(self):
+        with pytest.raises(ValidationError):
+            StencilPattern.from_dense(np.zeros((3, 3)))
+
+    def test_roundtrip_with_to_dense(self):
+        kernel = np.arange(1.0, 10.0).reshape(3, 3)
+        p = StencilPattern.from_dense(kernel)
+        assert np.allclose(p.to_dense(), kernel)
+
+
+class TestDerivedProperties:
+    def test_to_dense_places_weights(self, heat2d):
+        dense = heat2d.to_dense()
+        assert dense.shape == (3, 3)
+        assert dense[1, 1] == pytest.approx(0.6)
+        assert dense[0, 1] == pytest.approx(0.1)
+        assert dense[0, 0] == 0.0
+
+    def test_weight_vector_is_row_major_flatten(self, heat2d):
+        assert np.array_equal(heat2d.weight_vector(), heat2d.to_dense().ravel())
+
+    def test_footprint_shape(self, heat3d):
+        assert heat3d.footprint_shape == (3, 3, 3)
+
+    def test_classify_star(self):
+        p = StencilPattern.star(2, 2)
+        assert p.classify() is StencilKind.STAR
+
+    def test_classify_box(self):
+        p = StencilPattern.box(2, 1)
+        assert p.classify() is StencilKind.BOX
+
+    def test_classify_custom(self):
+        p = StencilPattern(name="c", ndim=2, offsets=((0, 0), (1, 1)),
+                           weights=(1.0, 2.0))
+        assert p.classify() is StencilKind.CUSTOM
+
+
+class TestValidation:
+    def test_duplicate_offsets_rejected(self):
+        with pytest.raises(ValidationError):
+            StencilPattern(name="d", ndim=1, offsets=((0,), (0,)), weights=(1.0, 2.0))
+
+    def test_mismatched_offset_dimension_rejected(self):
+        with pytest.raises(ValidationError):
+            StencilPattern(name="d", ndim=2, offsets=((0,),), weights=(1.0,))
+
+    def test_weight_count_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            StencilPattern(name="d", ndim=1, offsets=((0,), (1,)), weights=(1.0,))
+
+    def test_ndim_4_rejected(self):
+        with pytest.raises(ValidationError):
+            StencilPattern(name="d", ndim=4, offsets=((0, 0, 0, 0),), weights=(1.0,))
+
+    def test_empty_taps_rejected(self):
+        with pytest.raises(ValidationError):
+            StencilPattern(name="d", ndim=1, offsets=(), weights=())
+
+
+class TestTransforms:
+    def test_normalized_weights_sum_to_one(self):
+        p = StencilPattern.box(2, 1, weights=[2.0] * 9)
+        assert sum(p.normalized().weights) == pytest.approx(1.0)
+
+    def test_normalized_zero_sum_rejected(self):
+        p = StencilPattern(name="z", ndim=1, offsets=((0,), (1,)),
+                           weights=(1.0, -1.0))
+        with pytest.raises(ValidationError):
+            p.normalized()
+
+    def test_with_weights_replaces_weights(self, heat2d):
+        q = heat2d.with_weights([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert q.weights == (1.0, 2.0, 3.0, 4.0, 5.0)
+        assert q.offsets == heat2d.offsets
+
+    def test_with_weights_keeps_metadata(self):
+        p = StencilPattern.star(2, 1)
+        p.metadata["domain"] = "testing"
+        q = p.with_weights([1.0] * 5)
+        assert q.metadata["domain"] == "testing"

@@ -1,0 +1,109 @@
+"""Property-based tests (hypothesis) for layout morphing and flattening.
+
+The central invariant of §3.1: for *any* stencil pattern, grid and tile
+extents, the morphed matrix product reproduces the direct stencil exactly.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.flatten import flatten_stencil
+from repro.core.lookup_table import build_lookup_table, gather_b_matrix
+from repro.core.morphing import MorphConfig, morph_stencil
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import apply_stencil_reference
+
+SETTINGS = dict(max_examples=30, deadline=None)
+
+
+@st.composite
+def random_pattern_2d(draw):
+    """A random 2D stencil: random subset of a box footprint, random weights."""
+    radius = draw(st.integers(min_value=1, max_value=3))
+    k = 2 * radius + 1
+    all_offsets = [(i - radius, j - radius) for i in range(k) for j in range(k)]
+    n_taps = draw(st.integers(min_value=1, max_value=len(all_offsets)))
+    indices = draw(st.permutations(range(len(all_offsets))))
+    chosen = sorted(indices[:n_taps])
+    # make sure the footprint really has the nominal radius
+    if all(max(abs(a), abs(b)) < radius for idx in chosen
+           for a, b in [all_offsets[idx]]):
+        chosen = chosen[:-1] + [0] if 0 not in chosen else chosen
+        chosen = sorted(set(chosen) | {0})  # (−r,−r) corner keeps the radius
+    offsets = [all_offsets[idx] for idx in chosen]
+    weights = [draw(st.floats(min_value=-2.0, max_value=2.0,
+                              allow_nan=False, allow_infinity=False))
+               or 0.5 for _ in offsets]
+    return StencilPattern(name="random-2d", ndim=2,
+                          offsets=tuple(offsets), weights=tuple(weights))
+
+
+@st.composite
+def random_pattern_1d(draw):
+    radius = draw(st.integers(min_value=1, max_value=4))
+    size = 2 * radius + 1
+    weights = [draw(st.floats(min_value=-1.0, max_value=1.0,
+                              allow_nan=False, allow_infinity=False))
+               for _ in range(size)]
+    weights[radius] = 1.0  # keep at least one guaranteed nonzero tap
+    offsets = [(i - radius,) for i in range(size)]
+    return StencilPattern(name="random-1d", ndim=1,
+                          offsets=tuple(offsets), weights=tuple(weights))
+
+
+class TestFlattenProperty:
+    @given(pattern=random_pattern_2d(),
+           rows=st.integers(min_value=8, max_value=20),
+           cols=st.integers(min_value=8, max_value=20),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(**SETTINGS)
+    def test_flatten_equals_reference(self, pattern, rows, cols, seed):
+        k = pattern.diameter
+        rows, cols = max(rows, k + 1), max(cols, k + 1)
+        data = np.random.default_rng(seed).random((rows, cols))
+        flattened = flatten_stencil(pattern, data)
+        assert np.allclose(flattened.compute(),
+                           apply_stencil_reference(pattern, data), atol=1e-10)
+
+
+class TestMorphProperty:
+    @given(pattern=random_pattern_2d(),
+           r1=st.integers(min_value=1, max_value=8),
+           r2=st.integers(min_value=1, max_value=6),
+           rows=st.integers(min_value=10, max_value=24),
+           cols=st.integers(min_value=10, max_value=24),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(**SETTINGS)
+    def test_morph_equals_reference_2d(self, pattern, r1, r2, rows, cols, seed):
+        k = pattern.diameter
+        rows, cols = max(rows, k + 1), max(cols, k + 1)
+        data = np.random.default_rng(seed).random((rows, cols))
+        config = MorphConfig.from_r1_r2(2, r1, r2)
+        morph = morph_stencil(pattern, data, config)
+        assert np.allclose(morph.compute(),
+                           apply_stencil_reference(pattern, data), atol=1e-10)
+
+    @given(pattern=random_pattern_1d(),
+           r1=st.integers(min_value=1, max_value=16),
+           size=st.integers(min_value=16, max_value=120),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(**SETTINGS)
+    def test_morph_equals_reference_1d(self, pattern, r1, size, seed):
+        size = max(size, pattern.diameter + 1)
+        data = np.random.default_rng(seed).random(size)
+        morph = morph_stencil(pattern, data, MorphConfig(r=(r1,)))
+        assert np.allclose(morph.compute(),
+                           apply_stencil_reference(pattern, data), atol=1e-10)
+
+    @given(pattern=random_pattern_2d(),
+           r1=st.integers(min_value=1, max_value=6),
+           r2=st.integers(min_value=1, max_value=4),
+           seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(**SETTINGS)
+    def test_lut_gather_matches_morph(self, pattern, r1, r2, seed):
+        shape = (pattern.diameter + 9, pattern.diameter + 11)
+        data = np.random.default_rng(seed).random(shape)
+        config = MorphConfig.from_r1_r2(2, r1, r2)
+        morph = morph_stencil(pattern, data, config)
+        lut = build_lookup_table(pattern, shape, config)
+        assert np.allclose(gather_b_matrix(lut, data), morph.b_prime)

@@ -1,0 +1,57 @@
+"""Tests for the top-level public API surface (what the README advertises)."""
+
+import numpy as np
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_entry_points_present(self):
+        for name in ("StencilPattern", "make_grid", "compile_stencil",
+                     "run_stencil", "search_layout", "convert_to_24",
+                     "get_baseline", "compare_methods"):
+            assert name in repro.__all__
+
+
+class TestQuickstartFlow:
+    """The exact flow the README quickstart shows."""
+
+    def test_quickstart(self):
+        heat = repro.StencilPattern.star(2, 1, weights=[0.6, 0.1, 0.1, 0.1, 0.1])
+        grid = repro.make_grid((64, 64), kind="gaussian")
+        compiled = repro.compile_stencil(heat, grid.shape)
+        result = repro.run_stencil(compiled, grid, iterations=4)
+        assert result.output.shape == (64, 64)
+        assert result.gstencil_per_second > 0
+        reference = repro.run_stencil_iterations(heat, grid, 4)
+        assert np.max(np.abs(result.output - reference)) < 5e-3
+
+    def test_inspect_generated_kernel(self):
+        heat = repro.StencilPattern.star(2, 1)
+        plan = repro.generate_kernel(heat, (64, 64),
+                                     repro.MorphConfig.from_r1_r2(2, 4, 4))
+        source = repro.render_cuda_source(plan)
+        assert "mma.sp" in source
+
+    def test_baseline_comparison_flow(self):
+        pattern = repro.get_benchmark("Box-2D9P").pattern
+        grid = repro.make_grid((48, 48), seed=1)
+        methods = [repro.get_baseline("sparstencil"), repro.get_baseline("cudnn")]
+        comparison = repro.compare_methods(pattern, grid, 2, methods)
+        speedups = comparison.speedup_over("cuDNN")
+        assert speedups["SparStencil"] > 1.0
+
+    def test_device_spec_customisation(self):
+        custom = repro.A100_SPEC.with_overrides(global_bandwidth_gbs=2039.0)
+        heat = repro.StencilPattern.star(2, 1)
+        fast = repro.compile_stencil(heat, (64, 64), spec=custom)
+        slow = repro.compile_stencil(heat, (64, 64))
+        assert fast.plan.estimate.t_memory <= slow.plan.estimate.t_memory

@@ -1,0 +1,95 @@
+"""Unit tests for the golden reference implementation."""
+
+import numpy as np
+import pytest
+from scipy import ndimage
+
+from repro.stencils.grid import Grid, make_grid
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import (
+    apply_stencil_reference,
+    run_stencil_iterations,
+    stencil_flops,
+    stencil_points_updated,
+)
+from repro.util.validation import ValidationError
+
+
+class TestApplyStencilReference:
+    def test_identity_kernel(self):
+        p = StencilPattern(name="id", ndim=2, offsets=((0, 0),), weights=(1.0,))
+        data = np.arange(25.0).reshape(5, 5)
+        out = apply_stencil_reference(p, data)
+        # radius 0 -> output equals input
+        assert np.array_equal(out, data)
+
+    def test_matches_scipy_correlate_2d(self, box2d9p, rng):
+        data = rng.random((12, 14))
+        out = apply_stencil_reference(box2d9p, data)
+        expected = ndimage.correlate(data, box2d9p.to_dense(), mode="constant")[1:-1, 1:-1]
+        assert np.allclose(out, expected)
+
+    def test_matches_scipy_correlate_3d(self, heat3d, rng):
+        data = rng.random((8, 9, 10))
+        out = apply_stencil_reference(heat3d, data)
+        expected = ndimage.correlate(data, heat3d.to_dense(), mode="constant")[1:-1, 1:-1, 1:-1]
+        assert np.allclose(out, expected)
+
+    def test_asymmetric_kernel_orientation(self):
+        # A kernel that only looks "left" must shift data to the right.
+        p = StencilPattern(name="left", ndim=1, offsets=((-1,), (0,)),
+                           weights=(1.0, 0.0))
+        data = np.arange(6.0)
+        out = apply_stencil_reference(p, data)
+        assert np.array_equal(out, data[:-2])
+
+    def test_output_shape(self, box2d49p, rng):
+        data = rng.random((20, 25))
+        out = apply_stencil_reference(box2d49p, data)
+        assert out.shape == (14, 19)
+
+    def test_grid_smaller_than_kernel_rejected(self, box2d49p):
+        with pytest.raises(ValidationError):
+            apply_stencil_reference(box2d49p, np.zeros((5, 5)))
+
+    def test_ndim_mismatch_rejected(self, heat2d):
+        with pytest.raises(ValidationError):
+            apply_stencil_reference(heat2d, np.zeros(10))
+
+
+class TestRunStencilIterations:
+    def test_boundary_held_fixed(self, heat2d):
+        grid = make_grid((10, 10), kind="ones")
+        out = run_stencil_iterations(heat2d, grid, 3)
+        assert np.array_equal(out[0, :], grid.data[0, :])
+        assert np.array_equal(out[:, -1], grid.data[:, -1])
+
+    def test_one_iteration_updates_interior(self, heat2d, small_grid_2d):
+        out = run_stencil_iterations(heat2d, small_grid_2d, 1)
+        expected_interior = apply_stencil_reference(heat2d, small_grid_2d.data)
+        assert np.allclose(out[1:-1, 1:-1], expected_interior)
+
+    def test_iterations_compose(self, heat2d, small_grid_2d):
+        two = run_stencil_iterations(heat2d, small_grid_2d, 2)
+        one = run_stencil_iterations(heat2d, small_grid_2d, 1)
+        again = run_stencil_iterations(heat2d, Grid(data=one, dtype=small_grid_2d.dtype), 1)
+        assert np.allclose(two, again)
+
+    def test_conservation_of_constant_field(self):
+        # weights summing to 1 keep a constant field constant
+        p = StencilPattern.star(2, 1)
+        grid = make_grid((12, 12), kind="ones")
+        out = run_stencil_iterations(p, grid, 5)
+        assert np.allclose(out, 1.0)
+
+
+class TestCountingHelpers:
+    def test_points_updated(self, heat2d):
+        assert stencil_points_updated(heat2d, (10, 10), 3) == 8 * 8 * 3
+
+    def test_flops(self, heat2d):
+        assert stencil_flops(heat2d, (10, 10), 1) == 2 * 5 * 64
+
+    def test_too_small_grid_rejected(self, box2d49p):
+        with pytest.raises(ValidationError):
+            stencil_points_updated(box2d49p, (6, 6), 1)

@@ -1,0 +1,116 @@
+"""Unit tests for 2:4 sparsity validation, compression and metadata."""
+
+import numpy as np
+import pytest
+
+from repro.tcu.sparsity24 import (
+    Compressed24,
+    compress_24,
+    decompress_24,
+    is_24_sparse,
+    sparsity_ratio,
+    violations_24,
+)
+from repro.util.validation import ValidationError
+from tests.conftest import make_24_sparse
+
+
+class TestIs24Sparse:
+    def test_zero_matrix_is_sparse(self):
+        assert is_24_sparse(np.zeros((4, 8)))
+
+    def test_exactly_two_per_group_is_sparse(self):
+        row = np.array([[1.0, 2.0, 0.0, 0.0, 0.0, 3.0, 0.0, 4.0]])
+        assert is_24_sparse(row)
+
+    def test_three_per_group_violates(self):
+        row = np.array([[1.0, 2.0, 3.0, 0.0]])
+        assert not is_24_sparse(row)
+
+    def test_dense_matrix_violates(self):
+        assert not is_24_sparse(np.ones((2, 8)))
+
+    def test_padding_of_k_not_multiple_of_4(self):
+        # 6 columns: the final group is padded with zeros and may hold 2 nonzeros.
+        row = np.array([[1.0, 0.0, 0.0, 2.0, 3.0, 4.0]])
+        assert is_24_sparse(row)
+
+    def test_violations_reported_with_positions(self):
+        matrix = np.array([[1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0],
+                           [0.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0]])
+        bad = violations_24(matrix)
+        assert (0, 0, 3) in bad
+        assert (1, 1, 4) in bad
+        assert len(bad) == 2
+
+
+class TestSparsityRatio:
+    def test_all_zero(self):
+        assert sparsity_ratio(np.zeros((3, 4))) == 1.0
+
+    def test_all_nonzero(self):
+        assert sparsity_ratio(np.ones((3, 4))) == 0.0
+
+    def test_half(self):
+        m = np.array([[1.0, 0.0], [0.0, 2.0]])
+        assert sparsity_ratio(m) == pytest.approx(0.5)
+
+
+class TestCompressDecompress:
+    def test_roundtrip_random(self, rng):
+        matrix = make_24_sparse(rng, 16, 32)
+        compressed = compress_24(matrix)
+        assert np.allclose(decompress_24(compressed), matrix)
+
+    def test_roundtrip_with_sub24_groups(self):
+        # groups with 0 or 1 nonzeros are legal and must roundtrip too
+        matrix = np.array([[0.0, 0.0, 0.0, 0.0, 5.0, 0.0, 0.0, 0.0],
+                           [1.0, 0.0, 2.0, 0.0, 0.0, 0.0, 0.0, 3.0]])
+        compressed = compress_24(matrix)
+        assert np.allclose(decompress_24(compressed), matrix)
+
+    def test_compressed_shapes(self, rng):
+        matrix = make_24_sparse(rng, 8, 16)
+        compressed = compress_24(matrix)
+        assert compressed.values.shape == (8, 8)
+        assert compressed.indices.shape == (8, 8)
+        assert compressed.k == 16
+
+    def test_indices_are_2bit(self, rng):
+        compressed = compress_24(make_24_sparse(rng, 8, 16))
+        assert compressed.indices.min() >= 0
+        assert compressed.indices.max() <= 3
+
+    def test_indices_sorted_within_groups(self, rng):
+        compressed = compress_24(make_24_sparse(rng, 8, 16))
+        pairs = compressed.indices.reshape(8, 4, 2)
+        assert np.all(pairs[:, :, 0] < pairs[:, :, 1])
+
+    def test_k_padded_to_multiple_of_4(self):
+        matrix = np.array([[1.0, 0.0, 0.0, 2.0, 3.0, 0.0]])
+        compressed = compress_24(matrix)
+        assert compressed.k == 8
+        assert np.allclose(decompress_24(compressed)[:, :6], matrix)
+
+    def test_non_24_matrix_rejected(self):
+        with pytest.raises(ValidationError):
+            compress_24(np.ones((2, 8)))
+
+    def test_metadata_size_accounting(self, rng):
+        compressed = compress_24(make_24_sparse(rng, 4, 16))
+        assert compressed.metadata_bits() == 2 * 4 * 8
+        assert compressed.metadata_bytes() == 8
+
+
+class TestCompressed24Validation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            Compressed24(values=np.zeros((2, 4)), indices=np.zeros((2, 3)), k=8)
+
+    def test_k_not_multiple_of_4_rejected(self):
+        with pytest.raises(ValidationError):
+            Compressed24(values=np.zeros((2, 3)), indices=np.zeros((2, 3)), k=6)
+
+    def test_wrong_value_columns_rejected(self):
+        with pytest.raises(ValidationError):
+            Compressed24(values=np.zeros((2, 3)), indices=np.zeros((2, 3)), k=8)

@@ -1,0 +1,101 @@
+"""Unit tests for repro.util.arrays."""
+
+import numpy as np
+import pytest
+
+from repro.util.arrays import (
+    as_contiguous,
+    block_view_2d,
+    ceil_div,
+    pad_to_multiple,
+    sliding_windows_1d,
+)
+from repro.util.validation import ValidationError
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize("a,b,expected", [
+        (0, 4, 0), (1, 4, 1), (4, 4, 1), (5, 4, 2), (16, 8, 2), (17, 8, 3),
+    ])
+    def test_values(self, a, b, expected):
+        assert ceil_div(a, b) == expected
+
+    def test_rejects_negative_numerator(self):
+        with pytest.raises(ValidationError):
+            ceil_div(-1, 4)
+
+    def test_rejects_zero_denominator(self):
+        with pytest.raises(ValidationError):
+            ceil_div(4, 0)
+
+
+class TestPadToMultiple:
+    def test_no_padding_returns_same_object(self):
+        arr = np.arange(8.0)
+        assert pad_to_multiple(arr, 4) is arr
+
+    def test_pads_last_axis(self):
+        arr = np.ones((3, 5))
+        out = pad_to_multiple(arr, 4, axis=1)
+        assert out.shape == (3, 8)
+        assert np.all(out[:, 5:] == 0.0)
+        assert np.all(out[:, :5] == 1.0)
+
+    def test_pads_first_axis(self):
+        arr = np.ones((3, 5))
+        out = pad_to_multiple(arr, 4, axis=0)
+        assert out.shape == (4, 5)
+        assert np.all(out[3, :] == 0.0)
+
+    def test_negative_axis(self):
+        arr = np.ones((2, 3))
+        out = pad_to_multiple(arr, 4, axis=-1)
+        assert out.shape == (2, 4)
+
+
+class TestAsContiguous:
+    def test_returns_contiguous_view_of_transpose(self):
+        arr = np.arange(12.0).reshape(3, 4).T
+        assert not arr.flags["C_CONTIGUOUS"]
+        out = as_contiguous(arr)
+        assert out.flags["C_CONTIGUOUS"]
+        assert np.array_equal(out, arr)
+
+    def test_no_copy_when_already_contiguous(self):
+        arr = np.arange(6.0)
+        assert as_contiguous(arr) is arr
+
+
+class TestSlidingWindows1D:
+    def test_basic_windows(self):
+        arr = np.arange(6)
+        out = sliding_windows_1d(arr, 3)
+        assert out.shape == (4, 3)
+        assert np.array_equal(out[0], [0, 1, 2])
+        assert np.array_equal(out[-1], [3, 4, 5])
+
+    def test_stride(self):
+        arr = np.arange(10)
+        out = sliding_windows_1d(arr, 4, stride=3)
+        assert np.array_equal(out[:, 0], [0, 3, 6])
+
+    def test_window_larger_than_array(self):
+        out = sliding_windows_1d(np.arange(3), 5)
+        assert out.shape == (0, 5)
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            sliding_windows_1d(np.zeros((2, 2)), 2)
+
+
+class TestBlockView2D:
+    def test_blocks_roundtrip(self):
+        arr = np.arange(24.0).reshape(4, 6)
+        blocks = block_view_2d(arr, 2, 3)
+        assert blocks.shape == (2, 2, 2, 3)
+        assert np.array_equal(blocks[0, 0], arr[:2, :3])
+        assert np.array_equal(blocks[1, 1], arr[2:, 3:])
+
+    def test_rejects_non_divisible(self):
+        with pytest.raises(ValueError):
+            block_view_2d(np.zeros((4, 5)), 2, 3)

@@ -1,0 +1,88 @@
+"""Unit tests for repro.util.timing and repro.util.rng."""
+
+import numpy as np
+import pytest
+
+from repro.util.rng import DEFAULT_SEED, default_rng
+from repro.util.timing import StageTimer, Timer
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        t = Timer()
+        with t:
+            sum(range(100))
+        assert t.elapsed > 0.0
+
+    def test_multiple_intervals_accumulate(self):
+        t = Timer()
+        with t:
+            pass
+        first = t.elapsed
+        with t:
+            pass
+        assert t.elapsed >= first
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.elapsed == 0.0
+
+
+class TestStageTimer:
+    def test_stage_records_named_timing(self):
+        st = StageTimer()
+        with st.stage("a"):
+            sum(range(10))
+        assert "a" in st.stages
+        assert st.stages["a"] >= 0.0
+
+    def test_total_is_sum_of_stages(self):
+        st = StageTimer()
+        with st.stage("a"):
+            pass
+        with st.stage("b"):
+            pass
+        assert st.total() == pytest.approx(st.stages["a"] + st.stages["b"])
+
+    def test_same_stage_accumulates(self):
+        st = StageTimer()
+        with st.stage("a"):
+            pass
+        first = st.stages["a"]
+        with st.stage("a"):
+            pass
+        assert st.stages["a"] >= first
+
+    def test_fractions_sum_to_one(self):
+        st = StageTimer()
+        with st.stage("a"):
+            sum(range(1000))
+        with st.stage("b"):
+            sum(range(1000))
+        fractions = st.fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fractions_empty(self):
+        assert StageTimer().fractions() == {}
+
+
+class TestDefaultRng:
+    def test_deterministic_with_default_seed(self):
+        a = default_rng().random(5)
+        b = default_rng().random(5)
+        assert np.array_equal(a, b)
+
+    def test_explicit_seed_changes_stream(self):
+        a = default_rng(1).random(5)
+        b = default_rng(2).random(5)
+        assert not np.array_equal(a, b)
+
+    def test_default_seed_constant(self):
+        assert isinstance(DEFAULT_SEED, int)

@@ -1,0 +1,117 @@
+"""Unit tests for repro.util.validation."""
+
+import numpy as np
+import pytest
+
+from repro.util.validation import (
+    ValidationError,
+    require,
+    require_array,
+    require_dtype,
+    require_in,
+    require_non_negative_int,
+    require_odd,
+    require_positive_int,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "never raised")
+
+    def test_raises_on_false(self):
+        with pytest.raises(ValidationError, match="boom"):
+            require(False, "boom")
+
+    def test_error_is_value_error(self):
+        # callers that catch ValueError keep working
+        with pytest.raises(ValueError):
+            require(False, "boom")
+
+
+class TestRequirePositiveInt:
+    def test_accepts_python_int(self):
+        assert require_positive_int(3, "x") == 3
+
+    def test_accepts_numpy_int(self):
+        assert require_positive_int(np.int64(5), "x") == 5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            require_positive_int(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            require_positive_int(-2, "x")
+
+    def test_rejects_bool(self):
+        with pytest.raises(ValidationError):
+            require_positive_int(True, "x")
+
+    def test_rejects_float(self):
+        with pytest.raises(ValidationError):
+            require_positive_int(2.5, "x")
+
+    def test_error_message_contains_name(self):
+        with pytest.raises(ValidationError, match="my_param"):
+            require_positive_int(-1, "my_param")
+
+
+class TestRequireNonNegativeInt:
+    def test_accepts_zero(self):
+        assert require_non_negative_int(0, "x") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValidationError):
+            require_non_negative_int(-1, "x")
+
+
+class TestRequireOdd:
+    def test_accepts_odd(self):
+        assert require_odd(5, "k") == 5
+
+    def test_rejects_even(self):
+        with pytest.raises(ValidationError):
+            require_odd(4, "k")
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValidationError):
+            require_odd(0, "k")
+
+
+class TestRequireIn:
+    def test_accepts_member(self):
+        assert require_in("a", ("a", "b"), "opt") == "a"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValidationError, match="opt"):
+            require_in("c", ("a", "b"), "opt")
+
+
+class TestRequireArray:
+    def test_coerces_list(self):
+        out = require_array([[1, 2], [3, 4]], "m", ndim=2)
+        assert isinstance(out, np.ndarray)
+        assert out.shape == (2, 2)
+
+    def test_rejects_wrong_ndim(self):
+        with pytest.raises(ValidationError):
+            require_array([1, 2, 3], "m", ndim=2)
+
+    def test_min_shape_enforced(self):
+        with pytest.raises(ValidationError):
+            require_array(np.zeros((2, 3)), "m", min_shape=(4, 1))
+
+    def test_min_shape_passes(self):
+        out = require_array(np.zeros((5, 3)), "m", min_shape=(4, 1))
+        assert out.shape == (5, 3)
+
+
+class TestRequireDtype:
+    def test_accepts_listed_dtype(self):
+        arr = np.zeros(3, dtype=np.float32)
+        assert require_dtype(arr, [np.float32, np.float64], "a") is arr
+
+    def test_rejects_unlisted_dtype(self):
+        with pytest.raises(ValidationError):
+            require_dtype(np.zeros(3, dtype=np.int32), [np.float32], "a")
