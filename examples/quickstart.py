@@ -1,5 +1,6 @@
 """Quickstart: compile a 2D heat stencil for the simulated sparse Tensor Cores
-and run a few time steps.
+and run a few time steps — through the compilation cache, the way a serving
+deployment would.
 
 Run with::
 
@@ -11,12 +12,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
+    CompileCache,
     StencilPattern,
-    compile_stencil,
     make_grid,
     render_cuda_source,
     run_stencil,
     run_stencil_iterations,
+    sparstencil_solve,
 )
 
 
@@ -29,29 +31,45 @@ def main() -> None:
     # 2. Build a workload: a Gaussian temperature bump on a 128x128 grid.
     grid = make_grid((128, 128), kind="gaussian")
 
-    # 3. Compile — layout search, 2:4 conversion and kernel generation happen here.
-    compiled = compile_stencil(heat, grid.shape)
+    # 3. Solve through the compilation cache — layout search, 2:4 conversion
+    #    and kernel generation happen here, exactly once per fingerprint.
+    cache = CompileCache()
+    compiled, result = sparstencil_solve(heat, grid, 8, cache=cache)
     plan = compiled.plan
     print("\nCompiled kernel plan:")
     for key, value in plan.summary().items():
         print(f"  {key:24s} {value}")
 
-    # 4. Run 8 time steps on the simulated A100.
-    result = run_stencil(compiled, grid, iterations=8)
     print(f"\nSimulated device time : {result.elapsed_seconds * 1e6:9.2f} us")
     print(f"Throughput            : {result.gstencil_per_second:9.2f} GStencil/s")
     print(f"Roofline side         : {'compute' if result.compute_seconds >= result.memory_seconds else 'memory'}-bound")
 
-    # 5. Verify against the golden numpy reference.
+    # 4. Verify against the golden numpy reference.
     reference = run_stencil_iterations(heat, grid, 8)
     error = float(np.max(np.abs(result.output - reference)))
     print(f"Max |error| vs reference (fp16 device arithmetic): {error:.2e}")
     assert error < 5e-3
 
+    # 5. Solve again: the warm cache skips morphing, conversion and the
+    #    layout search entirely and goes straight to execution.
+    compiled_again, warm = run_warm(heat, grid, cache)
+    assert compiled_again is compiled
+    assert np.array_equal(warm.output, result.output)
+    stats = cache.stats
+    print(f"\nCache after a repeat solve: {stats.hits} hit(s), "
+          f"{stats.misses} miss(es), hit rate {stats.hit_rate:.0%}, "
+          f"{stats.saved_seconds * 1e3:.1f} ms of compile time saved")
+
     # 6. Peek at the generated CUDA-like kernel source.
     source = render_cuda_source(plan)
     print("\nFirst lines of the generated kernel source:")
     print("\n".join(source.splitlines()[:12]))
+
+
+def run_warm(heat, grid, cache):
+    """A second request for the same workload: pure cache hit."""
+    compiled = cache.compile(heat, grid.shape)
+    return compiled, run_stencil(compiled, grid, iterations=8)
 
 
 if __name__ == "__main__":

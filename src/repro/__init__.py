@@ -13,7 +13,10 @@ Scientific Stencil Computations via Structured Sparsity Transformation*
 * :mod:`repro.baselines` — cuDNN / AMOS / Brick / DRStencil / TCStencil /
   ConvStencil comparators on the same simulated device;
 * :mod:`repro.analysis` — metrics, sparsity/utilisation/overhead analysis and
-  the per-figure experiment support.
+  the per-figure experiment support;
+* :mod:`repro.service` — the serving layer: an LRU compilation cache keyed by
+  canonical compile fingerprints, plus the batched ``solve_many`` API that
+  compiles each distinct plan once and sweeps every request.
 
 Quickstart
 ----------
@@ -24,6 +27,16 @@ Quickstart
 >>> result = run_stencil(compiled, grid, iterations=4)
 >>> result.output.shape
 (64, 64)
+
+Repeated solves should go through the compilation cache — a warm hit skips
+layout morphing, sparsity conversion and the layout search entirely:
+
+>>> from repro import CompileCache, sparstencil_solve
+>>> cache = CompileCache()
+>>> _, first = sparstencil_solve(heat, grid, 4, cache=cache)   # compiles
+>>> _, again = sparstencil_solve(heat, grid, 4, cache=cache)   # cache hit
+>>> cache.stats.hits, cache.stats.misses
+(1, 1)
 """
 
 from repro.stencils import (
@@ -51,6 +64,7 @@ from repro.core import (
     morph_stencil,
     convert_to_24,
     search_layout,
+    search_layout_many,
     generate_kernel,
     render_cuda_source,
     compile_stencil,
@@ -58,8 +72,16 @@ from repro.core import (
     SparStencilCompiler,
 )
 from repro.core.pipeline import sparstencil_solve
+from repro.service import (
+    CompileCache,
+    CompileRequest,
+    SolveRequest,
+    BatchReport,
+    solve_many,
+    run_stencil_batch,
+)
 from repro.baselines import get_baseline, available_baselines, all_methods
-from repro.analysis import compare_methods
+from repro.analysis import cache_amortization, compare_methods
 
 __version__ = "1.0.0"
 
@@ -90,9 +112,17 @@ __all__ = [
     "run_stencil",
     "sparstencil_solve",
     "SparStencilCompiler",
+    "search_layout_many",
+    "CompileCache",
+    "CompileRequest",
+    "SolveRequest",
+    "BatchReport",
+    "solve_many",
+    "run_stencil_batch",
     "get_baseline",
     "available_baselines",
     "all_methods",
+    "cache_amortization",
     "compare_methods",
     "__version__",
 ]

@@ -17,7 +17,12 @@ from repro.analysis.metrics import (
 )
 from repro.analysis.sparsity import SparsityReport, analyze_sparsity
 from repro.analysis.utilization import utilization_comparison
-from repro.analysis.overhead import OverheadBreakdown, preprocessing_overhead
+from repro.analysis.overhead import (
+    CacheAmortization,
+    OverheadBreakdown,
+    cache_amortization,
+    preprocessing_overhead,
+)
 from repro.analysis.breakdown import BreakdownStage, performance_breakdown
 from repro.analysis.report import render_markdown_report, write_report
 
@@ -34,6 +39,8 @@ __all__ = [
     "utilization_comparison",
     "OverheadBreakdown",
     "preprocessing_overhead",
+    "CacheAmortization",
+    "cache_amortization",
     "BreakdownStage",
     "performance_breakdown",
     "render_markdown_report",

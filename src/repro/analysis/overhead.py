@@ -19,7 +19,12 @@ from repro.stencils.pattern import StencilPattern
 from repro.tcu.spec import A100_SPEC, DataType, GPUSpec
 from repro.util.validation import require, require_positive_int
 
-__all__ = ["OverheadBreakdown", "preprocessing_overhead"]
+__all__ = [
+    "OverheadBreakdown",
+    "CacheAmortization",
+    "preprocessing_overhead",
+    "cache_amortization",
+]
 
 #: Figure 8 category labels.
 CATEGORIES = ("transformation", "metadata", "lookup_table")
@@ -89,4 +94,69 @@ def preprocessing_overhead(
         overhead_seconds=overhead,
         sweep_seconds=sweep_seconds,
         percentages=percentages,
+    )
+
+
+@dataclass(frozen=True)
+class CacheAmortization:
+    """How far a :class:`repro.service.CompileCache` amortises compile cost.
+
+    The Figure-8 story is that preprocessing amortises over *iterations of
+    one solve*; with the service cache it additionally amortises over
+    *requests*: every hit reuses a compilation some earlier request paid for.
+    """
+
+    lookups: int
+    hits: int
+    misses: int
+    hit_rate: float
+    compile_seconds: float
+    saved_seconds: float
+
+    @property
+    def amortized_seconds_per_request(self) -> float:
+        """Host compile cost divided over every request the cache served."""
+        return self.compile_seconds / self.lookups if self.lookups else 0.0
+
+    @property
+    def speedup_vs_uncached(self) -> float:
+        """Host compile time an uncached service would have spent, relative
+        to what was actually spent.
+
+        1.0 when the cache never hit; ``inf`` when every compile was avoided
+        (e.g. a fully disk-warmed cache that spent nothing itself).
+        """
+        if self.compile_seconds <= 0.0:
+            return float("inf") if self.saved_seconds > 0.0 else 1.0
+        return (self.compile_seconds + self.saved_seconds) / self.compile_seconds
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "compile_seconds": self.compile_seconds,
+            "saved_seconds": self.saved_seconds,
+            "amortized_seconds_per_request": self.amortized_seconds_per_request,
+            "speedup_vs_uncached": self.speedup_vs_uncached,
+        }
+
+
+def cache_amortization(cache) -> CacheAmortization:
+    """Summarise a :class:`repro.service.CompileCache`'s amortisation.
+
+    Accepts the cache itself or a bare :class:`repro.service.CacheStats`.
+    """
+    if hasattr(cache, "snapshot_stats"):
+        stats = cache.snapshot_stats()  # consistent read on a live cache
+    else:
+        stats = getattr(cache, "stats", cache)
+    return CacheAmortization(
+        lookups=stats.lookups,
+        hits=stats.hits,
+        misses=stats.misses,
+        hit_rate=stats.hit_rate,
+        compile_seconds=stats.compile_seconds,
+        saved_seconds=stats.saved_seconds,
     )

@@ -86,12 +86,40 @@ def _section_table3(data: dict) -> List[str]:
     return lines + [""]
 
 
+def _section_service_cache(data: dict) -> List[str]:
+    lines = ["## Service layer — compile cache and batched solves", ""]
+    latency = data.get("compile_latency", {})
+    if latency:
+        rows = [[kernel,
+                 f"{entry['cold_seconds'] * 1e3:.2f} ms",
+                 f"{entry['warm_seconds'] * 1e6:.2f} us",
+                 f"{entry['speedup']:,.0f}x"]
+                for kernel, entry in sorted(latency.items())]
+        lines += _table(["kernel", "cold compile", "warm lookup", "speedup"],
+                        rows)
+        lines.append("")
+    batch = data.get("batch_throughput")
+    if batch:
+        rows = [["requests (distinct plans)",
+                 f"{batch['requests']} ({batch['distinct_plans']})"],
+                ["sequential uncached",
+                 f"{batch['sequential_uncached_seconds'] * 1e3:.1f} ms"],
+                ["warm batched",
+                 f"{batch['warm_batched_seconds'] * 1e3:.1f} ms"],
+                ["speedup", f"{batch['speedup']:.1f}x"],
+                ["aggregate throughput",
+                 f"{batch['aggregate_gstencil_per_second']:.1f} GStencil/s"]]
+        lines += _table(["quantity", "value"], rows)
+    return lines + [""]
+
+
 _SECTIONS = {
     "fig6_sota_comparison": _section_fig6,
     "fig7_breakdown": _section_fig7,
     "fig10_catalog": _section_fig10,
     "fig11_utilization": _section_fig11,
     "table3_fp64": _section_table3,
+    "service_cache": _section_service_cache,
 }
 
 

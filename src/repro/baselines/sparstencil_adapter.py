@@ -26,10 +26,14 @@ class SparStencilMethod(Baseline):
 
     def __init__(self, fragment: Optional[FragmentShape] = None,
                  search: bool = True,
-                 conversion_method: str = "auto") -> None:
+                 conversion_method: str = "auto",
+                 cache=None) -> None:
         self.fragment = fragment
         self.search = search
         self.conversion_method = conversion_method
+        #: Optional :class:`repro.service.CompileCache`; when set, repeated
+        #: benchmark runs of the same workload reuse the compiled plan.
+        self.cache = cache
 
     def run(
         self,
@@ -43,7 +47,8 @@ class SparStencilMethod(Baseline):
     ) -> BaselineResult:
         self._validate(pattern, grid, iterations)
         dtype = DataType(dtype)
-        compiled = compile_stencil(
+        compiler = self.cache.compile if self.cache is not None else compile_stencil
+        compiled = compiler(
             pattern, tuple(grid.shape),
             dtype=dtype, spec=spec,
             engine="auto",

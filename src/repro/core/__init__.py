@@ -33,15 +33,23 @@ from repro.core.fusion import fuse_pattern, fused_iterations
 from repro.core.pit import apply_pit, invert_permutation, pad_operands
 from repro.core.conversion import ConversionResult, convert_to_24
 from repro.core.perf_model import PerfEstimate, estimate_layout
-from repro.core.layout_search import LayoutCandidate, LayoutSearchResult, search_layout
+from repro.core.layout_search import (
+    LayoutCandidate,
+    LayoutSearchResult,
+    search_layout,
+    search_layout_many,
+)
 from repro.core.metadata import SparseMetadata, build_metadata
 from repro.core.lookup_table import LookupTable, build_lookup_table, gather_b_matrix
 from repro.core.codegen import KernelPlan, generate_kernel, render_cuda_source
 from repro.core.pipeline import (
     SparStencilCompiler,
+    CompileOptions,
     CompiledStencil,
     StencilRunResult,
+    compile_resolved,
     compile_stencil,
+    resolve_compile_options,
     run_stencil,
 )
 
@@ -77,6 +85,7 @@ __all__ = [
     "LayoutCandidate",
     "LayoutSearchResult",
     "search_layout",
+    "search_layout_many",
     "SparseMetadata",
     "build_metadata",
     "LookupTable",
@@ -86,8 +95,11 @@ __all__ = [
     "generate_kernel",
     "render_cuda_source",
     "SparStencilCompiler",
+    "CompileOptions",
     "CompiledStencil",
     "StencilRunResult",
+    "compile_resolved",
     "compile_stencil",
+    "resolve_compile_options",
     "run_stencil",
 ]

@@ -18,9 +18,16 @@ from repro.core.morphing import MorphConfig
 from repro.core.perf_model import PerfEstimate, estimate_layout
 from repro.stencils.pattern import StencilPattern
 from repro.tcu.spec import A100_SPEC, DataType, FragmentShape, GPUSpec, SPARSE_FRAGMENTS
+from repro.util.parallel import parallel_map
 from repro.util.validation import require, require_positive_int
 
-__all__ = ["LayoutCandidate", "LayoutSearchResult", "default_search_space", "search_layout"]
+__all__ = [
+    "LayoutCandidate",
+    "LayoutSearchResult",
+    "default_search_space",
+    "search_layout",
+    "search_layout_many",
+]
 
 
 @dataclass(frozen=True)
@@ -150,3 +157,21 @@ def search_layout(
         pattern_name=pattern.name,
         grid_shape=grid_shape,
     )
+
+
+def search_layout_many(
+    jobs: Sequence[Tuple[StencilPattern, Sequence[int]]],
+    *,
+    max_workers: Optional[int] = None,
+    **search_kwargs,
+) -> List[LayoutSearchResult]:
+    """Run :func:`search_layout` for many ``(pattern, grid_shape)`` jobs.
+
+    The analytical model is pure Python/numpy, so distinct searches are
+    independent and run concurrently on a thread pool (the same
+    :func:`repro.util.parallel.parallel_map` fan-out the batched solve
+    service uses for whole compilations).  Results come back in job order.
+    """
+    return parallel_map(
+        lambda job: search_layout(job[0], job[1], **search_kwargs),
+        list(jobs), max_workers=max_workers)

@@ -12,6 +12,7 @@ performance metrics the benchmark harness reports.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -38,9 +39,12 @@ from repro.util.timing import StageTimer
 from repro.util.validation import require, require_in, require_positive_int
 
 __all__ = [
+    "CompileOptions",
     "CompiledStencil",
     "StencilRunResult",
     "SparStencilCompiler",
+    "resolve_compile_options",
+    "compile_resolved",
     "compile_stencil",
     "run_stencil",
     "sparstencil_solve",
@@ -134,6 +138,104 @@ class StencilRunResult:
                 for name, value in self.overhead_seconds.items()}
 
 
+@dataclass(frozen=True)
+class CompileOptions:
+    """Fully resolved compile inputs: the canonical form of every argument
+    :func:`compile_stencil` accepts.
+
+    Resolution normalises the user-facing conveniences — ``engine="auto"`` is
+    pinned to the concrete engine, the default fragment is materialised and
+    the grid shape is coerced to an int tuple — so that two calls that
+    *mean* the same compilation resolve to equal options.
+    :func:`compile_resolved` is a pure function of this object, which is what
+    lets the service-layer compilation cache key on it (see
+    :mod:`repro.service.fingerprint`).
+    """
+
+    pattern: StencilPattern
+    grid_shape: Tuple[int, ...]
+    dtype: DataType
+    spec: GPUSpec
+    engine: str
+    fragment: FragmentShape
+    search: bool
+    r1: Optional[int]
+    r2: Optional[int]
+    temporal_fusion: int
+    conversion_method: str
+    block_hint: Optional[Tuple[int, ...]]
+
+    @cached_property
+    def effective_pattern(self) -> StencilPattern:
+        """The (possibly temporally fused) pattern the kernel implements.
+
+        Computed lazily: it is a pure function of ``pattern`` and
+        ``temporal_fusion`` (both fingerprinted), and fusing large kernels
+        costs dense convolutions — work a warm cache lookup must not pay.
+        """
+        effective = fuse_pattern(self.pattern, self.temporal_fusion)
+        require(all(s >= effective.diameter for s in self.grid_shape),
+                f"grid {self.grid_shape} too small for the fused kernel "
+                f"(diameter {effective.diameter})")
+        return effective
+
+
+def resolve_compile_options(
+    pattern: StencilPattern,
+    grid_shape: Tuple[int, ...],
+    *,
+    dtype: DataType = DataType.FP16,
+    spec: GPUSpec = A100_SPEC,
+    engine: str = "auto",
+    fragment: Optional[FragmentShape] = None,
+    search: bool = True,
+    r1: Optional[int] = None,
+    r2: Optional[int] = None,
+    temporal_fusion: int = 1,
+    conversion_method: str = "auto",
+    block_hint: Optional[Tuple[int, ...]] = None,
+) -> CompileOptions:
+    """Validate and canonicalise every compile argument (no compilation)."""
+    dtype = DataType(dtype)
+    require_in(engine, ("auto", "sparse_mma", "dense_mma"), "engine")
+    require_positive_int(temporal_fusion, "temporal_fusion")
+    grid_shape = tuple(int(s) for s in grid_shape)
+
+    if engine == "auto":
+        engine = "sparse_mma" if dtype.supports_sparse_tcu else "dense_mma"
+    if fragment is None:
+        fragment = SPARSE_FRAGMENTS[1] if engine == "sparse_mma" else DENSE_FRAGMENTS[0]
+    require(fragment.sparse == (engine == "sparse_mma"),
+            f"fragment {fragment.label} does not match engine {engine!r}")
+    if not search:
+        require(r1 is not None,
+                "search=False requires an explicit r1 (and r2 for >=2D)")
+    # cheap unfused bound here; the exact fused-diameter check runs when
+    # `effective_pattern` is first materialised (i.e. at compile time)
+    require(all(s >= pattern.diameter for s in grid_shape),
+            f"grid {grid_shape} too small for pattern {pattern.name} "
+            f"(diameter {pattern.diameter})")
+
+    return CompileOptions(
+        pattern=pattern,
+        grid_shape=grid_shape,
+        dtype=dtype,
+        spec=spec,
+        engine=engine,
+        fragment=fragment,
+        search=bool(search),
+        # with search=True the explicit extents are never read, and with
+        # search=False an omitted r2 (or any r2 on a 1D pattern) means 1 —
+        # canonicalise both so equal-meaning calls resolve (and fingerprint)
+        # equally
+        r1=None if search else int(r1),
+        r2=None if search else (1 if pattern.ndim == 1 else int(r2 or 1)),
+        temporal_fusion=int(temporal_fusion),
+        conversion_method=conversion_method,
+        block_hint=None if block_hint is None else tuple(int(b) for b in block_hint),
+    )
+
+
 def compile_stencil(
     pattern: StencilPattern,
     grid_shape: Tuple[int, ...],
@@ -163,27 +265,33 @@ def compile_stencil(
         Fold this many time steps into one sweep (3 is what ConvStencil uses
         for small kernels; Figure 6 applies the same to SparStencil).
     """
-    dtype = DataType(dtype)
-    require_in(engine, ("auto", "sparse_mma", "dense_mma"), "engine")
-    require_positive_int(temporal_fusion, "temporal_fusion")
-    grid_shape = tuple(int(s) for s in grid_shape)
+    options = resolve_compile_options(
+        pattern, grid_shape,
+        dtype=dtype, spec=spec, engine=engine, fragment=fragment,
+        search=search, r1=r1, r2=r2, temporal_fusion=temporal_fusion,
+        conversion_method=conversion_method, block_hint=block_hint,
+    )
+    return compile_resolved(options)
 
-    if engine == "auto":
-        engine = "sparse_mma" if dtype.supports_sparse_tcu else "dense_mma"
-    if fragment is None:
-        fragment = SPARSE_FRAGMENTS[1] if engine == "sparse_mma" else DENSE_FRAGMENTS[0]
-    require(fragment.sparse == (engine == "sparse_mma"),
-            f"fragment {fragment.label} does not match engine {engine!r}")
 
-    effective = fuse_pattern(pattern, temporal_fusion)
-    require(all(s >= effective.diameter for s in grid_shape),
-            f"grid {grid_shape} too small for the fused kernel "
-            f"(diameter {effective.diameter})")
+def compile_resolved(options: CompileOptions) -> CompiledStencil:
+    """Run the three compilation stages on fully resolved options.
+
+    This is a pure function of ``options`` (plus wall-clock stage timings):
+    equal options produce plans with identical operands, metadata, lookup
+    tables and estimates, which is the invariant the compilation cache relies
+    on.
+    """
+    effective = options.effective_pattern
+    grid_shape = options.grid_shape
+    dtype, spec, engine = options.dtype, options.spec, options.engine
+    fragment = options.fragment
+    conversion_method = options.conversion_method
 
     timer = StageTimer()
     search_result: Optional[LayoutSearchResult] = None
     with timer.stage("transformation"):
-        if search:
+        if options.search:
             search_result = search_layout(
                 effective, grid_shape,
                 fragment=fragment, dtype=dtype, spec=spec, engine=engine,
@@ -191,9 +299,8 @@ def compile_stencil(
             )
             config = search_result.best_config
         else:
-            require(r1 is not None,
-                    "search=False requires an explicit r1 (and r2 for >=2D)")
-            config = MorphConfig.from_r1_r2(effective.ndim, int(r1), int(r2 or 1))
+            config = MorphConfig.from_r1_r2(
+                effective.ndim, int(options.r1), int(options.r2))
 
     # The remaining preprocessing is timed per stage so Figure 8 can split the
     # cost into transformation (morphing + conversion), metadata and LUT.
@@ -220,7 +327,7 @@ def compile_stencil(
     plan = generate_kernel(
         effective, grid_shape, config,
         fragment=fragment, dtype=dtype, spec=spec, engine=engine,
-        conversion_method=conversion_method, block_hint=block_hint,
+        conversion_method=conversion_method, block_hint=options.block_hint,
         render_source=False,
         prebuilt_conversion=conversion,
         prebuilt_metadata=metadata,
@@ -228,14 +335,14 @@ def compile_stencil(
     )
 
     return CompiledStencil(
-        original_pattern=pattern,
+        original_pattern=options.pattern,
         pattern=effective,
         grid_shape=grid_shape,
         plan=plan,
         search=search_result,
         spec=spec,
         overhead_seconds=dict(timer.stages),
-        temporal_fusion=temporal_fusion,
+        temporal_fusion=options.temporal_fusion,
     )
 
 
@@ -328,10 +435,23 @@ def sparstencil_solve(
     pattern: StencilPattern,
     grid: Grid,
     iterations: int,
+    cache=None,
     **compile_kwargs,
 ) -> Tuple[CompiledStencil, StencilRunResult]:
-    """Convenience wrapper: compile for ``grid`` and run ``iterations`` steps."""
-    compiled = compile_stencil(pattern, tuple(grid.shape), **compile_kwargs)
+    """Convenience wrapper: compile for ``grid`` and run ``iterations`` steps.
+
+    Parameters
+    ----------
+    cache:
+        Optional :class:`repro.service.CompileCache`.  When given, the compile
+        step becomes a cache lookup: a warm hit reuses the stored
+        :class:`CompiledStencil` and skips morphing, conversion and the layout
+        search entirely.
+    """
+    if cache is not None:
+        compiled = cache.compile(pattern, tuple(grid.shape), **compile_kwargs)
+    else:
+        compiled = compile_stencil(pattern, tuple(grid.shape), **compile_kwargs)
     result = run_stencil(compiled, grid, iterations)
     return compiled, result
 
@@ -344,17 +464,37 @@ class SparStencilCompiler:
     >>> compiler = SparStencilCompiler()
     >>> compiled = compiler.compile(pattern, (128, 128))   # doctest: +SKIP
     >>> result = compiler.run(compiled, grid, iterations=4)  # doctest: +SKIP
+
+    Passing ``cache=True`` (or an explicit :class:`repro.service.CompileCache`)
+    makes ``compile``/``solve`` memoise compiled plans, so repeated workloads
+    against the same device configuration pay the layout search only once.
     """
 
     def __init__(self, spec: GPUSpec = A100_SPEC,
-                 dtype: DataType = DataType.FP16) -> None:
+                 dtype: DataType = DataType.FP16,
+                 cache=None) -> None:
         self.spec = spec
         self.dtype = DataType(dtype)
+        self.cache = None
+        self.cache = self._coerce_cache(cache)
+
+    def _coerce_cache(self, cache):
+        """``True`` → the compiler-owned cache (created on demand, so
+        memoisation persists across calls), ``False`` → no cache."""
+        if cache is True:
+            if self.cache is None:
+                from repro.service.cache import CompileCache
+                self.cache = CompileCache()
+            return self.cache
+        return cache if cache is not False else None
 
     def compile(self, pattern: StencilPattern, grid_shape: Tuple[int, ...],
                 **kwargs) -> CompiledStencil:
         kwargs.setdefault("spec", self.spec)
         kwargs.setdefault("dtype", self.dtype)
+        cache = self._coerce_cache(kwargs.pop("cache", self.cache))
+        if cache is not None:
+            return cache.compile(pattern, grid_shape, **kwargs)
         return compile_stencil(pattern, grid_shape, **kwargs)
 
     def run(self, compiled: CompiledStencil, grid: Grid,
@@ -365,4 +505,6 @@ class SparStencilCompiler:
               **kwargs) -> Tuple[CompiledStencil, StencilRunResult]:
         kwargs.setdefault("spec", self.spec)
         kwargs.setdefault("dtype", self.dtype)
-        return sparstencil_solve(pattern, grid, iterations, **kwargs)
+        cache = self._coerce_cache(kwargs.pop("cache", self.cache))
+        return sparstencil_solve(pattern, grid, iterations, cache=cache,
+                                 **kwargs)

@@ -1,0 +1,42 @@
+"""Serving layer: compilation cache and batched solve service.
+
+The paper's pipeline is "compile once, sweep many times"
+(:mod:`repro.core.pipeline`); this package makes the *once* hold across
+independent requests, which is what a deployment serving many users needs:
+
+* :mod:`repro.service.fingerprint` — canonical, injective fingerprints of
+  ``(pattern, grid shape, dtype, device spec, layout options)``;
+* :mod:`repro.service.cache` — a thread-safe LRU :class:`CompileCache` with
+  hit/miss statistics and optional on-disk plan persistence;
+* :mod:`repro.service.batch` — :func:`solve_many` / :func:`run_stencil_batch`,
+  which group heterogeneous requests by fingerprint, compile each distinct
+  plan once (in parallel) and report aggregate throughput.
+"""
+
+from repro.service.fingerprint import (
+    CompileRequest,
+    compile_fingerprint,
+    pattern_fingerprint,
+)
+from repro.service.cache import CacheEntry, CacheStats, CompileCache
+from repro.service.batch import (
+    BatchItem,
+    BatchReport,
+    SolveRequest,
+    run_stencil_batch,
+    solve_many,
+)
+
+__all__ = [
+    "CompileRequest",
+    "compile_fingerprint",
+    "pattern_fingerprint",
+    "CacheEntry",
+    "CacheStats",
+    "CompileCache",
+    "BatchItem",
+    "BatchReport",
+    "SolveRequest",
+    "run_stencil_batch",
+    "solve_many",
+]

@@ -1,0 +1,212 @@
+"""Batched solve service: group, compile once, sweep many.
+
+``solve_many`` takes a heterogeneous list of solve requests, groups them by
+compile fingerprint, compiles each *distinct* plan exactly once (layout
+search and the rest of the compile pipeline run in parallel across plans on
+a thread pool) and then executes every request against its shared plan.  The
+report carries per-request results plus the aggregate throughput and cache
+numbers a serving deployment would export as metrics.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import CompiledStencil, StencilRunResult, run_stencil
+from repro.service.cache import CacheStats, CompileCache, _rebrand
+from repro.service.fingerprint import CompileRequest
+from repro.stencils.grid import Grid
+from repro.stencils.pattern import StencilPattern
+from repro.stencils.reference import stencil_points_updated
+from repro.util.parallel import parallel_map
+from repro.util.validation import require, require_positive_int
+
+__all__ = ["SolveRequest", "BatchItem", "BatchReport", "solve_many",
+           "run_stencil_batch"]
+
+
+@dataclass
+class SolveRequest:
+    """One unit of work for the batched solver.
+
+    ``options`` takes the same keyword arguments as
+    :func:`repro.compile_stencil` (dtype, spec, engine, temporal_fusion, ...).
+    """
+
+    pattern: StencilPattern
+    grid: Grid
+    iterations: int
+    options: Dict[str, Any] = field(default_factory=dict)
+    tag: Optional[str] = None
+
+    def compile_request(self) -> CompileRequest:
+        return CompileRequest.build(
+            self.pattern, tuple(self.grid.shape), **self.options)
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """Outcome of one request inside a batch."""
+
+    request: SolveRequest
+    compiled: CompiledStencil
+    result: StencilRunResult
+    fingerprint: str
+    shared_plan: bool
+
+    @property
+    def tag(self) -> Optional[str]:
+        return self.request.tag
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Per-request results plus the aggregate service-level metrics."""
+
+    items: Tuple[BatchItem, ...]
+    distinct_plans: int
+    compiles_performed: int
+    cache_hits: int
+    compile_wall_seconds: float
+    execute_wall_seconds: float
+    #: lifetime snapshot of the (possibly shared) cache at batch completion;
+    #: per-batch attribution lives in ``compiles_performed``/``cache_hits``
+    cache_stats: CacheStats
+
+    @property
+    def results(self) -> List[StencilRunResult]:
+        return [item.result for item in self.items]
+
+    @property
+    def total_device_seconds(self) -> float:
+        return sum(item.result.elapsed_seconds for item in self.items)
+
+    @property
+    def total_points_updated(self) -> float:
+        """Original-resolution stencil updates across the whole batch."""
+        total = 0.0
+        for item in self.items:
+            compiled = item.compiled
+            total += (stencil_points_updated(compiled.pattern,
+                                             compiled.grid_shape,
+                                             item.result.sweeps)
+                      * compiled.temporal_fusion)
+        return total
+
+    @property
+    def aggregate_gstencil_per_second(self) -> float:
+        device = self.total_device_seconds
+        return self.total_points_updated / device / 1e9 if device > 0 else 0.0
+
+    @property
+    def amortized_compile_seconds(self) -> float:
+        """Compile wall time divided over every request served by the batch."""
+        return self.compile_wall_seconds / len(self.items) if self.items else 0.0
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Share of *this batch's* plan lookups served from the cache."""
+        lookups = self.cache_hits + self.compiles_performed
+        return self.cache_hits / lookups if lookups else 0.0
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "requests": len(self.items),
+            "distinct_plans": self.distinct_plans,
+            "compiles_performed": self.compiles_performed,
+            "cache_hit_rate": self.cache_hit_rate,
+            "cache_lifetime_hit_rate": self.cache_stats.hit_rate,
+            "compile_wall_seconds": self.compile_wall_seconds,
+            "amortized_compile_seconds": self.amortized_compile_seconds,
+            "execute_wall_seconds": self.execute_wall_seconds,
+            "total_device_seconds": self.total_device_seconds,
+            "aggregate_gstencil_per_second": self.aggregate_gstencil_per_second,
+        }
+
+
+def solve_many(
+    requests: Sequence[SolveRequest],
+    *,
+    cache: Optional[CompileCache] = None,
+    max_workers: Optional[int] = None,
+) -> BatchReport:
+    """Solve a batch of heterogeneous stencil requests.
+
+    Requests are grouped by compile fingerprint; each distinct fingerprint is
+    compiled at most once (served from ``cache`` when already warm), with
+    distinct compilations — dominated by the layout search — spread across a
+    thread pool.  Execution then runs per request in submission order, so the
+    outputs are identical to sequential, uncached ``sparstencil_solve`` calls.
+    """
+    requests = list(requests)
+    require(len(requests) > 0, "solve_many needs at least one request")
+    for request in requests:
+        require_positive_int(request.iterations, "iterations")
+    if cache is None:
+        cache = CompileCache(capacity=max(len(requests), 8))
+
+    compile_requests = [request.compile_request() for request in requests]
+    distinct: Dict[str, CompileRequest] = {}
+    for creq in compile_requests:
+        distinct.setdefault(creq.fingerprint, creq)
+
+    # `events` attributes work to *this batch's* lookups — a shared cache may
+    # concurrently serve other callers, so global miss counters can't be used.
+    # list.append is atomic, so one list is safe across pool workers.
+    events: List[str] = []
+    compile_start = time.perf_counter()
+    cold = [creq for creq in distinct.values() if not cache.contains(creq)]
+    cold_plans = parallel_map(
+        lambda creq: cache.get_or_compile(creq, events=events),
+        cold, max_workers=max_workers)
+    plans = {creq.fingerprint: plan for creq, plan in zip(cold, cold_plans)}
+    for creq in distinct.values():
+        if creq.fingerprint not in plans:
+            plans[creq.fingerprint] = cache.get_or_compile(creq, events=events)
+    compile_wall = time.perf_counter() - compile_start
+    compiles_performed = events.count("compile")
+    cache_hits = len(events) - compiles_performed
+
+    fingerprint_counts = Counter(creq.fingerprint for creq in compile_requests)
+    shared = {fp for fp, count in fingerprint_counts.items() if count > 1}
+
+    execute_start = time.perf_counter()
+    items: List[BatchItem] = []
+    for request, creq in zip(requests, compile_requests):
+        # the shared plan was compiled for the first request on this
+        # fingerprint; every item still reports its own pattern identity
+        compiled = _rebrand(plans[creq.fingerprint], creq)
+        result = run_stencil(compiled, request.grid, request.iterations)
+        items.append(BatchItem(
+            request=request,
+            compiled=compiled,
+            result=result,
+            fingerprint=creq.fingerprint,
+            shared_plan=creq.fingerprint in shared,
+        ))
+    execute_wall = time.perf_counter() - execute_start
+
+    return BatchReport(
+        items=tuple(items),
+        distinct_plans=len(distinct),
+        compiles_performed=compiles_performed,
+        cache_hits=cache_hits,
+        compile_wall_seconds=compile_wall,
+        execute_wall_seconds=execute_wall,
+        # snapshot — the live stats keep mutating as the cache serves later
+        # batches, and a report must describe the batch it came from
+        cache_stats=cache.snapshot_stats(),
+    )
+
+
+def run_stencil_batch(
+    requests: Sequence[SolveRequest],
+    *,
+    cache: Optional[CompileCache] = None,
+    max_workers: Optional[int] = None,
+) -> List[StencilRunResult]:
+    """Thin wrapper over :func:`solve_many` returning just the run results."""
+    return solve_many(requests, cache=cache, max_workers=max_workers).results

@@ -1,0 +1,348 @@
+"""LRU compilation cache with optional on-disk persistence.
+
+The paper's pipeline is "compile once, sweep many times"; this cache makes
+the *once* literal across independent solve calls.  Plans are keyed by the
+canonical compile fingerprint (:mod:`repro.service.fingerprint`), bounded by
+an LRU policy, and optionally persisted to disk so a fresh process starts
+warm.  All operations are thread-safe — the batched solve service compiles
+distinct plans from a thread pool against a shared cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core.pipeline import CompiledStencil
+from repro.service.fingerprint import CompileRequest
+from repro.stencils.pattern import StencilPattern
+from repro.util.validation import require_positive_int
+
+__all__ = ["CacheStats", "CacheEntry", "CompileCache"]
+
+
+_PIPELINE_VERSION: Optional[str] = None
+
+
+def _pipeline_version() -> str:
+    """Build stamp for persisted plans: package version + a hash of the
+    compilation pipeline's source.
+
+    ``__version__`` alone is hand-maintained and rarely bumped, so it cannot
+    tell two pipeline builds apart; hashing the source of every module that
+    feeds :func:`compile_resolved` (core stages, the device model, the
+    pattern definition) makes any code change invalidate persisted plans.
+    Computed once per process; on any filesystem hiccup the stamp degrades
+    to a unique value, which safely disables disk reuse.
+    """
+    global _PIPELINE_VERSION
+    if _PIPELINE_VERSION is None:
+        import repro
+        digest = hashlib.sha256()
+        try:
+            package_dir = Path(repro.__file__).parent
+            sources = sorted(
+                list((package_dir / "core").glob("*.py"))
+                + list((package_dir / "tcu").glob("*.py"))
+                + list((package_dir / "util").glob("*.py"))
+                + [package_dir / "stencils" / "pattern.py"])
+            for source in sources:
+                digest.update(source.name.encode())
+                digest.update(source.read_bytes())
+            stamp = digest.hexdigest()[:16]
+        except OSError:
+            stamp = f"unhashable-{os.getpid()}-{time.time_ns()}"
+        _PIPELINE_VERSION = f"{repro.__version__}+{stamp}"
+    return _PIPELINE_VERSION
+
+
+def _rebrand(compiled: CompiledStencil, request: CompileRequest) -> CompiledStencil:
+    """Return ``compiled`` carrying the *requester's* pattern identity.
+
+    Fingerprints deliberately ignore cosmetic pattern fields (name, kind,
+    metadata, tap order), so a hit may have been compiled for a semantically
+    equal but differently named pattern.  The plan's operands are shared
+    as-is — only the pattern objects are swapped, so launch names, summaries
+    and batch items report the identity of the request that hit.
+    """
+    options = request.options
+    # equal original patterns imply equal fused patterns (fusion count is
+    # fingerprinted), so the common case never materialises effective_pattern
+    if compiled.original_pattern == options.pattern:
+        return compiled
+    plan = replace(compiled.plan, pattern=options.effective_pattern)
+    search = compiled.search
+    if search is not None:
+        search = replace(search, pattern_name=options.effective_pattern.name)
+    return replace(compiled,
+                   original_pattern=options.pattern,
+                   pattern=options.effective_pattern,
+                   plan=plan,
+                   search=search)
+
+
+@dataclass
+class CacheStats:
+    """Counters a service operator would watch on a dashboard.
+
+    ``compile_seconds`` is host wall time actually spent compiling (misses);
+    ``saved_seconds`` sums the recorded compile cost of every hit — the time
+    the cache avoided re-spending.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+    evictions: int = 0
+    compile_seconds: float = 0.0
+    saved_seconds: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from memory or disk (0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "compile_seconds": self.compile_seconds,
+            "saved_seconds": self.saved_seconds,
+        }
+
+
+@dataclass
+class CacheEntry:
+    """A cached plan plus the bookkeeping the stats need."""
+
+    compiled: CompiledStencil
+    compile_seconds: float
+    hits: int = 0
+    created_at: float = field(default_factory=time.time)
+
+
+class CompileCache:
+    """LRU-bounded cache of :class:`CompiledStencil` plans.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of plans held in memory; the least recently used entry
+        is evicted beyond that.
+    persist_dir:
+        Optional directory for write-through persistence.  Misses check the
+        directory before compiling, so a new process (or a plan evicted from
+        memory) reloads instead of recompiling; corrupt, unreadable or
+        wrong-build files are treated as plain misses.  Unlike the in-memory
+        tier, the directory is *not* LRU-bounded — plans accumulate until
+        :meth:`clear` is called with ``remove_persisted=True`` (or the
+        operator prunes the directory).
+
+        .. warning::
+           Plans are stored with :mod:`pickle`, and unpickling executes
+           code.  ``persist_dir`` must be a trusted, same-privilege location
+           (never a world-writable or untrusted-shared path).
+    """
+
+    def __init__(self, capacity: int = 128,
+                 persist_dir: Optional[str | Path] = None) -> None:
+        require_positive_int(capacity, "capacity")
+        self.capacity = capacity
+        self.persist_dir = Path(persist_dir) if persist_dir is not None else None
+        if self.persist_dir is not None:
+            self.persist_dir.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        #: Per-fingerprint locks so concurrent misses on the *same* plan
+        #: compile once while distinct plans compile in parallel.
+        self._compile_locks: Dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------ #
+    # core API
+    # ------------------------------------------------------------------ #
+    def get_or_compile(self, request: CompileRequest,
+                       events: Optional[list] = None) -> CompiledStencil:
+        """Return the plan for ``request``, compiling it at most once.
+
+        ``events``, when given, receives one of ``"hit"`` / ``"disk"`` /
+        ``"compile"`` per call — a race-free way for callers (the batch
+        service) to attribute work to *their* lookups on a shared cache.
+        """
+        record = events.append if events is not None else lambda event: None
+        fingerprint = request.fingerprint
+        cached = self._lookup(fingerprint)
+        if cached is not None:
+            record("hit")
+            return _rebrand(cached, request)
+
+        with self._fingerprint_lock(fingerprint):
+            # Re-check: another thread may have compiled while we waited.
+            cached = self._lookup(fingerprint)
+            if cached is not None:
+                record("hit")
+                return _rebrand(cached, request)
+            persisted = self._load_persisted(fingerprint)
+            if persisted is not None:
+                compiled, compile_seconds = persisted
+                with self._lock:
+                    self.stats.hits += 1
+                    self.stats.disk_hits += 1
+                    self.stats.saved_seconds += compile_seconds
+                self._store(fingerprint, CacheEntry(compiled, compile_seconds))
+                record("disk")
+                return _rebrand(compiled, request)
+            start = time.perf_counter()
+            compiled = request.compile()
+            elapsed = time.perf_counter() - start
+            with self._lock:
+                self.stats.misses += 1
+                self.stats.compile_seconds += elapsed
+            self._store(fingerprint, CacheEntry(compiled, elapsed))
+            self._persist(fingerprint, compiled, elapsed)
+            record("compile")
+            return compiled
+
+    def compile(self, pattern: StencilPattern, grid_shape: Tuple[int, ...],
+                **compile_kwargs) -> CompiledStencil:
+        """Drop-in cached equivalent of :func:`repro.compile_stencil`."""
+        return self.get_or_compile(
+            CompileRequest.build(pattern, grid_shape, **compile_kwargs))
+
+    def contains(self, request: CompileRequest) -> bool:
+        with self._lock:
+            return request.fingerprint in self._entries
+
+    def snapshot_stats(self) -> CacheStats:
+        """Internally consistent copy of the statistics (taken under the
+        cache lock, so concurrent lookups can't tear the counters)."""
+        with self._lock:
+            return replace(self.stats)
+
+    def clear(self, remove_persisted: bool = False) -> None:
+        """Drop all in-memory entries and reset the statistics.
+
+        Persisted plans are kept by default (a later lookup resurrects them
+        as disk hits); pass ``remove_persisted=True`` to delete them too.
+        """
+        with self._lock:
+            self._entries.clear()
+            self._compile_locks.clear()
+            self.stats = CacheStats()
+        if remove_persisted and self.persist_dir is not None:
+            for path in self.persist_dir.glob("*.plan.pkl"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def fingerprints(self) -> Tuple[str, ...]:
+        """Resident fingerprints, least → most recently used."""
+        with self._lock:
+            return tuple(self._entries)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _fingerprint_lock(self, fingerprint: str) -> threading.Lock:
+        with self._lock:
+            lock = self._compile_locks.get(fingerprint)
+            if lock is None:
+                lock = self._compile_locks[fingerprint] = threading.Lock()
+            return lock
+
+    def _lookup(self, fingerprint: str) -> Optional[CompiledStencil]:
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is None:
+                return None
+            self._entries.move_to_end(fingerprint)
+            entry.hits += 1
+            self.stats.hits += 1
+            self.stats.saved_seconds += entry.compile_seconds
+            return entry.compiled
+
+    def _store(self, fingerprint: str, entry: CacheEntry) -> None:
+        with self._lock:
+            self._entries[fingerprint] = entry
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.capacity:
+                evicted, _ = self._entries.popitem(last=False)
+                # drop the per-fingerprint compile lock with the entry so the
+                # lock table stays bounded on long-lived, high-churn services
+                # (a concurrent waiter at worst duplicates one compile)
+                self._compile_locks.pop(evicted, None)
+                self.stats.evictions += 1
+
+    def _path_for(self, fingerprint: str) -> Path:
+        assert self.persist_dir is not None
+        return self.persist_dir / f"{fingerprint}.plan.pkl"
+
+    def _persist(self, fingerprint: str, compiled: CompiledStencil,
+                 compile_seconds: float) -> None:
+        if self.persist_dir is None:
+            return
+        path = self._path_for(fingerprint)
+        # unique tmp name: two processes sharing a persist_dir may write the
+        # same fingerprint concurrently, and a shared tmp inode would
+        # interleave their writes into a corrupt published file
+        tmp = path.with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
+        payload = {"version": _pipeline_version(), "compiled": compiled,
+                   "compile_seconds": compile_seconds}
+        try:
+            with tmp.open("wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            tmp.replace(path)
+        except Exception:
+            # best-effort: an unwritable directory or an unpicklable plan
+            # (e.g. exotic pattern metadata) must never fail the solve — the
+            # plan is already served from memory
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def _load_persisted(self, fingerprint: str
+                        ) -> Optional[Tuple[CompiledStencil, float]]:
+        if self.persist_dir is None:
+            return None
+        path = self._path_for(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            # Corrupt, truncated, or written by an incompatible build
+            # (ModuleNotFoundError, UnpicklingError, ...): a persisted plan is
+            # an optimisation, never a correctness dependency — recompile.
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != _pipeline_version():
+            # compiled by a different build of the pipeline: its plan may
+            # legitimately differ from what this build would produce
+            return None
+        compiled = payload.get("compiled")
+        if not isinstance(compiled, CompiledStencil):
+            return None
+        return compiled, float(payload.get("compile_seconds", 0.0))

@@ -22,6 +22,7 @@ from repro.util.arrays import (
     block_view_2d,
 )
 from repro.util.rng import default_rng
+from repro.util.parallel import default_workers, parallel_map
 
 __all__ = [
     "require",
@@ -38,4 +39,6 @@ __all__ = [
     "sliding_windows_1d",
     "block_view_2d",
     "default_rng",
+    "default_workers",
+    "parallel_map",
 ]

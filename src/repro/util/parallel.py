@@ -1,0 +1,42 @@
+"""Small thread-pool helpers shared by the layout search and solve service.
+
+The compile pipeline is pure Python/numpy, so independent jobs parallelise
+well on threads (numpy releases the GIL in the hot loops).  One shared
+worker heuristic and fan-out keeps the callers from drifting apart.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+__all__ = ["default_workers", "parallel_map"]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+
+def default_workers(jobs: int) -> int:
+    """Worker count for ``jobs`` independent tasks: leave one core for the
+    caller, never exceed the job count, always at least one."""
+    return min(max(jobs, 1), max(1, (os.cpu_count() or 2) - 1))
+
+
+def parallel_map(fn: Callable[[T], R], items: Sequence[T],
+                 max_workers: Optional[int] = None) -> List[R]:
+    """Apply ``fn`` to every item, in order, on a bounded thread pool.
+
+    Falls back to a plain loop for a single item or a single worker; the
+    first exception propagates (matching the sequential behaviour).
+    """
+    items = list(items)
+    if not items:
+        return []
+    if max_workers is None:
+        max_workers = default_workers(len(items))
+    if max_workers <= 1 or len(items) == 1:
+        return [fn(item) for item in items]
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        futures = [pool.submit(fn, item) for item in items]
+        return [future.result() for future in futures]

@@ -9,6 +9,16 @@ from repro.stencils.grid import Grid, make_grid
 from repro.stencils.pattern import StencilPattern
 
 
+def pytest_configure(config: pytest.Config) -> None:
+    # Tier-1 CI runs `pytest -m "not slow"`; the heavier regression/property
+    # layers opt in to the `slow` marker and run in the full (nightly) tier.
+    config.addinivalue_line(
+        "markers",
+        "slow: heavier golden-regression / property tests "
+        "(deselect with -m \"not slow\")",
+    )
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(12345)

@@ -1,0 +1,65 @@
+"""Regenerate the golden-regression fixtures.
+
+Each fixture freezes one Table-2 benchmark workload at a reduced grid size:
+the numpy golden reference (what the math says) and the pipeline output as of
+fixture generation (what the compiled kernel produced).  The regression test
+checks new pipeline output against *both* — the reference with the fp16
+device tolerance, the frozen pipeline output near-exactly — so numerics can't
+silently drift during refactors.
+
+Regenerate (only when an intentional numerical change lands) with::
+
+    PYTHONPATH=src python tests/golden/generate_golden.py
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro import compile_stencil, get_benchmark, make_grid, run_stencil
+from repro.stencils.reference import run_stencil_iterations
+
+GOLDEN_DIR = Path(__file__).parent
+
+#: (benchmark name, reduced grid, iterations, workload seed).  The grids are
+#: scaled down from the simulator sizes so tier-1 stays fast; the patterns and
+#: precision are exactly the Table-2 configurations.
+CASES = [
+    ("Heat-1D", (2048,), 4, 2026),
+    ("Heat-2D", (96, 96), 4, 2026),
+    ("Box-2D49P", (96, 96), 2, 2026),
+]
+
+
+def fixture_path(name: str) -> Path:
+    return GOLDEN_DIR / f"{name.lower()}.npz"
+
+
+def generate(name: str, grid_shape, iterations: int, seed: int) -> Path:
+    config = get_benchmark(name)
+    grid = make_grid(grid_shape, kind="random", seed=seed)
+    compiled = compile_stencil(config.pattern, grid_shape)
+    result = run_stencil(compiled, grid, iterations)
+    reference = run_stencil_iterations(config.pattern, grid, iterations)
+    path = fixture_path(name)
+    np.savez_compressed(
+        path,
+        reference=reference,
+        pipeline=result.output,
+        grid_shape=np.asarray(grid_shape),
+        iterations=np.asarray(iterations),
+        seed=np.asarray(seed),
+    )
+    return path
+
+
+def main() -> None:
+    for name, grid_shape, iterations, seed in CASES:
+        path = generate(name, grid_shape, iterations, seed)
+        print(f"wrote {path.name} ({path.stat().st_size} bytes)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+"""Golden-regression tests: frozen reference outputs for Table-2 workloads.
+
+Two layers of protection per fixture (see ``tests/golden/generate_golden.py``):
+
+* against the stored *numpy reference* with the fp16 device tolerance —
+  the pipeline must stay functionally correct;
+* against the stored *pipeline output* near-exactly — refactors of the
+  compile/execute path must not silently move the numerics at all.
+
+The cached and batched service paths are held to the same goldens, so the new
+serving layer can never return different numbers than a direct solve.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import compile_stencil, get_benchmark, make_grid, run_stencil
+from repro.service import CompileCache, SolveRequest, solve_many
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Must mirror CASES in tests/golden/generate_golden.py.
+CASES = [
+    ("Heat-1D", (2048,), 4, 2026),
+    ("Heat-2D", (96, 96), 4, 2026),
+    ("Box-2D49P", (96, 96), 2, 2026),
+]
+
+#: fp16 device-arithmetic tolerance (same bound the e2e tests use).
+REFERENCE_TOL = 5e-3
+#: Drift bound for the frozen pipeline output: effectively exact, with a
+#: whisker of slack for BLAS/numpy reduction-order differences across builds.
+DRIFT_TOL = 1e-9
+
+
+def load_fixture(name: str):
+    path = GOLDEN_DIR / f"{name.lower()}.npz"
+    assert path.exists(), (
+        f"golden fixture {path} missing — regenerate with "
+        f"`PYTHONPATH=src python tests/golden/generate_golden.py`")
+    return np.load(path)
+
+def workload(name: str, grid_shape, seed: int):
+    config = get_benchmark(name)
+    return config.pattern, make_grid(grid_shape, kind="random", seed=seed)
+
+
+@pytest.mark.parametrize("name,grid_shape,iterations,seed", CASES,
+                         ids=[c[0] for c in CASES])
+class TestGoldenRegression:
+    def test_fixture_matches_workload(self, name, grid_shape, iterations, seed):
+        fixture = load_fixture(name)
+        assert tuple(fixture["grid_shape"]) == tuple(grid_shape)
+        assert int(fixture["iterations"]) == iterations
+        assert int(fixture["seed"]) == seed
+
+    def test_run_stencil_matches_golden(self, name, grid_shape, iterations, seed):
+        fixture = load_fixture(name)
+        pattern, grid = workload(name, grid_shape, seed)
+        compiled = compile_stencil(pattern, grid_shape)
+        result = run_stencil(compiled, grid, iterations)
+        assert np.max(np.abs(result.output - fixture["reference"])) < REFERENCE_TOL
+        np.testing.assert_allclose(result.output, fixture["pipeline"],
+                                   rtol=0.0, atol=DRIFT_TOL)
+
+    def test_cached_solve_matches_golden(self, name, grid_shape, iterations, seed):
+        fixture = load_fixture(name)
+        pattern, grid = workload(name, grid_shape, seed)
+        cache = CompileCache()
+        cache.compile(pattern, grid_shape)           # cold compile
+        compiled = cache.compile(pattern, grid_shape)  # warm hit
+        assert cache.stats.hits == 1
+        result = run_stencil(compiled, grid, iterations)
+        np.testing.assert_allclose(result.output, fixture["pipeline"],
+                                   rtol=0.0, atol=DRIFT_TOL)
+
+
+@pytest.mark.slow
+def test_batched_service_matches_goldens():
+    """One batch over all golden workloads reproduces every fixture."""
+    requests = []
+    fixtures = []
+    for name, grid_shape, iterations, seed in CASES:
+        pattern, grid = workload(name, grid_shape, seed)
+        requests.append(SolveRequest(pattern, grid, iterations, tag=name))
+        fixtures.append(load_fixture(name))
+    report = solve_many(requests)
+    for item, fixture in zip(report.items, fixtures):
+        np.testing.assert_allclose(item.result.output, fixture["pipeline"],
+                                   rtol=0.0, atol=DRIFT_TOL)

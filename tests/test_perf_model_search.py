@@ -7,6 +7,7 @@ from repro.core.layout_search import (
     LayoutSearchResult,
     default_search_space,
     search_layout,
+    search_layout_many,
 )
 from repro.core.morphing import MorphConfig
 from repro.core.perf_model import estimate_layout
@@ -145,3 +146,27 @@ class TestSearchLayout:
     def test_1d_search(self, heat1d):
         result = search_layout(heat1d, (4096,))
         assert result.best.r2 == 1
+
+
+class TestSearchLayoutMany:
+    def test_matches_sequential_searches_in_order(self, heat1d, heat2d, box2d9p):
+        jobs = [(heat1d, (4096,)), (heat2d, GRID_2D), (box2d9p, GRID_2D)]
+        many = search_layout_many(jobs)
+        for (pattern, shape), result in zip(jobs, many):
+            single = search_layout(pattern, shape)
+            assert result.pattern_name == pattern.name
+            assert result.grid_shape == tuple(shape)
+            assert result.best.r1 == single.best.r1
+            assert result.best.r2 == single.best.r2
+            assert result.best.t_total == single.best.t_total
+
+    def test_serial_fallback_and_empty(self, heat2d):
+        assert search_layout_many([]) == []
+        (only,) = search_layout_many([(heat2d, GRID_2D)], max_workers=1)
+        assert isinstance(only, LayoutSearchResult)
+
+    def test_kwargs_forwarded(self, box2d9p):
+        results = search_layout_many(
+            [(box2d9p, GRID_2D)], engine="dense_mma",
+            fragment=DENSE_FRAGMENTS[0], max_workers=2)
+        assert results[0].best.estimate.engine == "dense_mma"

@@ -1,0 +1,164 @@
+"""Batched solve service tests: output equivalence with sequential uncached
+solves and compile-once-per-fingerprint guarantees."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.core.pipeline
+from repro.core.pipeline import sparstencil_solve
+from repro.service import (
+    CompileCache,
+    SolveRequest,
+    run_stencil_batch,
+    solve_many,
+)
+from repro.stencils.grid import make_grid
+from repro.stencils.pattern import StencilPattern
+from repro.tcu.spec import DataType
+
+
+def mixed_requests():
+    """8 mixed requests over 4 distinct compile fingerprints.
+
+    A slice of the benchmark catalog's diversity: 1D and 2D kernels, star and
+    box shapes, repeated fingerprints with different grid *data* (same shape)
+    and one dtype variant.
+    """
+    heat1d = StencilPattern.star(1, 1, weights=[0.5, 0.25, 0.25], name="heat-1d")
+    heat2d = StencilPattern.star(2, 1, weights=[0.6, 0.1, 0.1, 0.1, 0.1],
+                                 name="heat-2d")
+    box2d = StencilPattern.box(2, 1, name="box-2d9p")
+    return [
+        SolveRequest(heat1d, make_grid((256,), seed=0), 2, tag="a"),
+        SolveRequest(heat2d, make_grid((40, 44), seed=1), 2, tag="b"),
+        SolveRequest(heat2d, make_grid((40, 44), seed=2), 3, tag="c"),
+        SolveRequest(box2d, make_grid((40, 44), seed=3), 2, tag="d"),
+        SolveRequest(heat1d, make_grid((256,), seed=4), 4, tag="e"),
+        SolveRequest(box2d, make_grid((40, 44), seed=5), 2,
+                     options={"dtype": DataType.TF32}, tag="f"),
+        SolveRequest(heat2d, make_grid((40, 44), seed=6), 2, tag="g"),
+        SolveRequest(box2d, make_grid((40, 44), seed=7), 2, tag="h"),
+    ]
+
+
+class TestSolveMany:
+    def test_matches_sequential_uncached_solves(self):
+        requests = mixed_requests()
+        report = solve_many(requests)
+        assert len(report.items) == len(requests)
+        for request, item in zip(requests, report.items):
+            _, expected = sparstencil_solve(
+                request.pattern, request.grid, request.iterations,
+                **request.options)
+            assert np.array_equal(item.result.output, expected.output), request.tag
+            assert item.result.elapsed_seconds == expected.elapsed_seconds
+            assert item.request is request
+
+    def test_compiles_each_distinct_fingerprint_exactly_once(self, monkeypatch):
+        requests = mixed_requests()
+        lock = threading.Lock()
+        searches = []
+        original = repro.core.pipeline.search_layout
+
+        def counting_search(pattern, grid_shape, **kwargs):
+            with lock:
+                searches.append((pattern.name, tuple(grid_shape)))
+            return original(pattern, grid_shape, **kwargs)
+
+        monkeypatch.setattr(repro.core.pipeline, "search_layout", counting_search)
+        report = solve_many(requests)
+        distinct = {req.compile_request().fingerprint for req in requests}
+        assert report.distinct_plans == len(distinct) == 4
+        assert report.compiles_performed == len(distinct)
+        assert len(searches) == len(distinct)
+
+    def test_warm_cache_compiles_nothing(self):
+        requests = mixed_requests()
+        cache = CompileCache()
+        first = solve_many(requests, cache=cache)
+        assert first.compiles_performed == 4
+        assert first.cache_hit_rate == 0.0
+        second = solve_many(requests, cache=cache)
+        assert second.compiles_performed == 0
+        assert second.cache_hits == 4
+        # per-batch attribution: the warm batch reports 100% reuse even
+        # though the shared cache's lifetime rate is only 50%
+        assert second.cache_hit_rate == 1.0
+        assert second.summary()["cache_lifetime_hit_rate"] == pytest.approx(0.5)
+        assert cache.stats.misses == 4
+        for a, b in zip(first.items, second.items):
+            assert np.array_equal(a.result.output, b.result.output)
+
+    def test_items_keep_their_own_pattern_identity(self):
+        alpha = StencilPattern.star(2, 1, name="alpha")
+        beta = StencilPattern.star(2, 1, name="beta")  # same taps, new name
+        report = solve_many([
+            SolveRequest(alpha, make_grid((40, 44), seed=0), 2),
+            SolveRequest(beta, make_grid((40, 44), seed=1), 2),
+        ])
+        assert report.distinct_plans == 1
+        names = [item.compiled.original_pattern.name for item in report.items]
+        assert names == ["alpha", "beta"]
+
+    def test_report_stats_are_a_snapshot(self):
+        requests = mixed_requests()
+        cache = CompileCache()
+        first = solve_many(requests, cache=cache)
+        hit_rate_then = first.cache_stats.hit_rate
+        solve_many(requests, cache=cache)  # warm reuse mutates the live stats
+        assert first.cache_stats.hit_rate == hit_rate_then
+        assert first.cache_stats is not cache.stats
+
+    def test_shared_plan_flag_and_order(self):
+        requests = mixed_requests()
+        report = solve_many(requests)
+        by_tag = {item.tag: item for item in report.items}
+        assert [item.tag for item in report.items] == list("abcdefgh")
+        # heat2d (b, c, g) and heat1d (a, e) and fp16-box (d, h) share plans;
+        # the tf32 box request (f) is alone on its fingerprint.
+        assert by_tag["b"].shared_plan and by_tag["c"].shared_plan
+        assert by_tag["b"].compiled is by_tag["c"].compiled is by_tag["g"].compiled
+        assert by_tag["d"].compiled is by_tag["h"].compiled
+        assert not by_tag["f"].shared_plan
+        assert by_tag["f"].compiled.plan.dtype == DataType.TF32
+
+    def test_aggregate_metrics(self):
+        report = solve_many(mixed_requests())
+        summary = report.summary()
+        assert summary["requests"] == 8
+        assert summary["distinct_plans"] == 4
+        assert report.total_device_seconds > 0
+        assert report.aggregate_gstencil_per_second > 0
+        assert summary["amortized_compile_seconds"] == pytest.approx(
+            report.compile_wall_seconds / 8)
+        assert summary["compiles_performed"] == 4
+
+    def test_serial_worker_path(self, monkeypatch):
+        report = solve_many(mixed_requests(), max_workers=1)
+        assert report.distinct_plans == 4
+        assert report.compiles_performed == 4
+
+    def test_single_request_batch(self):
+        request = mixed_requests()[0]
+        report = solve_many([request])
+        _, expected = sparstencil_solve(
+            request.pattern, request.grid, request.iterations)
+        assert np.array_equal(report.items[0].result.output, expected.output)
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(Exception):
+            solve_many([])
+
+
+class TestRunStencilBatch:
+    def test_returns_results_in_request_order(self):
+        requests = mixed_requests()
+        results = run_stencil_batch(requests)
+        assert len(results) == len(requests)
+        for request, result in zip(requests, results):
+            assert result.output.shape == request.grid.shape
+            assert result.iterations == request.iterations

@@ -1,8 +1,11 @@
-"""Unit tests for repro.util.timing and repro.util.rng."""
+"""Unit tests for repro.util.timing, repro.util.rng and repro.util.parallel."""
+
+import threading
 
 import numpy as np
 import pytest
 
+from repro.util.parallel import default_workers, parallel_map
 from repro.util.rng import DEFAULT_SEED, default_rng
 from repro.util.timing import StageTimer, Timer
 
@@ -86,3 +89,29 @@ class TestDefaultRng:
 
     def test_default_seed_constant(self):
         assert isinstance(DEFAULT_SEED, int)
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        assert parallel_map(lambda x: x * x, range(20)) == [i * i for i in range(20)]
+
+    def test_empty_and_single(self):
+        assert parallel_map(lambda x: x, []) == []
+        assert parallel_map(lambda x: x + 1, [41]) == [42]
+
+    def test_serial_fallback_runs_on_caller_thread(self):
+        threads = set()
+        parallel_map(lambda x: threads.add(threading.current_thread()),
+                     [1, 2, 3], max_workers=1)
+        assert threads == {threading.current_thread()}
+
+    def test_exceptions_propagate(self):
+        def boom(x):
+            raise RuntimeError(f"item {x}")
+        with pytest.raises(RuntimeError):
+            parallel_map(boom, [1, 2, 3, 4], max_workers=4)
+
+    def test_default_workers_bounds(self):
+        assert default_workers(0) == 1
+        assert default_workers(1) == 1
+        assert 1 <= default_workers(10_000) <= 10_000
