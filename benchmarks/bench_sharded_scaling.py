@@ -1,0 +1,91 @@
+"""Sharded multi-device scaling — modelled weak-scaling sweep.
+
+One grid is decomposed over 1/2/4/8 simulated A100s by the sharded execution
+engine (:class:`repro.engine.ShardedExecutor`); every point reports the
+modelled speedup over the single-device run, the parallel efficiency, the
+halo-traffic fraction (the communication tax of the decomposition) and the
+shard load balance.  Outputs are bit-identical across all points, so the
+sweep isolates the execution model: per-device kernel time shrinking with
+the shard size versus the NVLink latency/bandwidth cost of the per-sweep
+halo exchange.
+
+Regenerate with::
+
+    pytest benchmarks/bench_sharded_scaling.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_results
+from repro.analysis import sharded_scaling
+from repro.stencils.catalog import get_benchmark
+from repro.stencils.grid import make_grid
+
+#: Large enough that per-sweep device time clears the interconnect latency —
+#: the regime where sharding pays (tiny tier-1 grids are latency-bound).
+WORKLOADS = [
+    ("Heat-1D", (1 << 22,), 2),
+    ("Heat-2D", (2048, 2048), 2),
+    ("Box-2D49P", (2048, 2048), 2),
+]
+DEVICE_COUNTS = (1, 2, 4, 8)
+
+_ROWS: dict = {}
+
+
+@pytest.mark.parametrize("name,grid_shape,iterations", WORKLOADS,
+                         ids=[w[0] for w in WORKLOADS])
+def test_sharded_scaling(benchmark, name, grid_shape, iterations):
+    config = get_benchmark(name)
+    grid = make_grid(grid_shape, kind="random", seed=2026)
+
+    report = benchmark.pedantic(
+        lambda: sharded_scaling(config.pattern, grid, iterations,
+                                device_counts=DEVICE_COUNTS),
+        rounds=1, iterations=1)
+
+    _ROWS[name] = {
+        "grid_shape": list(grid_shape),
+        "iterations": iterations,
+        "single_device_seconds": report.single_device_seconds,
+        "points": report.as_rows(),
+    }
+
+    print(f"\nSharded scaling — {name} {grid_shape}, "
+          f"{iterations} iterations "
+          f"(single device: {report.single_device_seconds * 1e6:.1f} us)")
+    for point in report.points:
+        print(f"  {point.devices:2d} device(s) shards={point.shard_grid}: "
+              f"{point.elapsed_seconds * 1e6:8.1f} us  "
+              f"speedup {point.speedup:5.2f}x  "
+              f"efficiency {point.efficiency:5.2f}  "
+              f"halo traffic {100 * point.halo_traffic_fraction:5.2f}%  "
+              f"balance {point.load_balance:.3f}")
+
+    best = report.best
+    assert best.speedup >= 1.0, "sharding should pay at this grid size"
+    for point in report.points[1:]:
+        assert point.halo_traffic_fraction > 0.0
+
+
+def test_save_results():
+    """Persist the scaling rows once every workload has run."""
+    if _ROWS:
+        path = save_results("sharded_scaling", _ROWS)
+        print(f"\nsaved {path}")
+
+
+def test_sharded_outputs_stay_bit_identical():
+    """Spot check at benchmark scale: 4-way sharding reproduces 1-way bits."""
+    config = get_benchmark("Heat-2D")
+    grid = make_grid((1024, 1024), kind="random", seed=7)
+    from repro import compile_stencil, run_stencil
+    from repro.engine import ShardedExecutor
+
+    compiled = compile_stencil(config.pattern, (1024, 1024))
+    single = run_stencil(compiled, grid, 1)
+    sharded = ShardedExecutor(4).execute(compiled, grid, 1)
+    assert np.array_equal(single.output, sharded.output)

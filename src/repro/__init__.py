@@ -43,6 +43,7 @@ from repro.stencils import (
     StencilPattern,
     StencilKind,
     Grid,
+    GridPartition,
     make_grid,
     apply_stencil_reference,
     run_stencil_iterations,
@@ -55,9 +56,11 @@ from repro.tcu import (
     DataType,
     FragmentShape,
     GPUSpec,
+    MultiDeviceSpec,
     A100_SPEC,
     SPARSE_FRAGMENTS,
     DENSE_FRAGMENTS,
+    multi_a100,
 )
 from repro.core import (
     MorphConfig,
@@ -79,9 +82,16 @@ from repro.service import (
     BatchReport,
     solve_many,
     run_stencil_batch,
+    solve_sharded,
+)
+from repro.engine import (
+    SweepExecutor,
+    SingleDeviceExecutor,
+    ShardedExecutor,
+    ShardedRunResult,
 )
 from repro.baselines import get_baseline, available_baselines, all_methods
-from repro.analysis import cache_amortization, compare_methods
+from repro.analysis import cache_amortization, compare_methods, sharded_scaling
 
 __version__ = "1.0.0"
 
@@ -89,6 +99,7 @@ __all__ = [
     "StencilPattern",
     "StencilKind",
     "Grid",
+    "GridPartition",
     "make_grid",
     "apply_stencil_reference",
     "run_stencil_iterations",
@@ -99,7 +110,9 @@ __all__ = [
     "DataType",
     "FragmentShape",
     "GPUSpec",
+    "MultiDeviceSpec",
     "A100_SPEC",
+    "multi_a100",
     "SPARSE_FRAGMENTS",
     "DENSE_FRAGMENTS",
     "MorphConfig",
@@ -119,10 +132,16 @@ __all__ = [
     "BatchReport",
     "solve_many",
     "run_stencil_batch",
+    "solve_sharded",
+    "SweepExecutor",
+    "SingleDeviceExecutor",
+    "ShardedExecutor",
+    "ShardedRunResult",
     "get_baseline",
     "available_baselines",
     "all_methods",
     "cache_amortization",
     "compare_methods",
+    "sharded_scaling",
     "__version__",
 ]

@@ -24,6 +24,12 @@ from repro.analysis.overhead import (
     preprocessing_overhead,
 )
 from repro.analysis.breakdown import BreakdownStage, performance_breakdown
+from repro.analysis.scaling import (
+    ScalingReport,
+    ShardScalingPoint,
+    per_shard_utilization,
+    sharded_scaling,
+)
 from repro.analysis.report import render_markdown_report, write_report
 
 __all__ = [
@@ -43,6 +49,10 @@ __all__ = [
     "cache_amortization",
     "BreakdownStage",
     "performance_breakdown",
+    "ScalingReport",
+    "ShardScalingPoint",
+    "per_shard_utilization",
+    "sharded_scaling",
     "render_markdown_report",
     "write_report",
 ]

@@ -113,6 +113,27 @@ def _section_service_cache(data: dict) -> List[str]:
     return lines + [""]
 
 
+def _section_sharded_scaling(data: dict) -> List[str]:
+    lines = ["## Sharded execution — modelled multi-device scaling", ""]
+    for name, entry in data.items():
+        grid = "x".join(str(s) for s in entry.get("grid_shape", []))
+        lines.append(f"**{name}** ({grid}, {entry.get('iterations', '?')} "
+                     f"iterations)")
+        lines.append("")
+        rows = [[point["devices"],
+                 "x".join(str(c) for c in point["shard_grid"]),
+                 f"{point['elapsed_seconds'] * 1e6:.1f} us",
+                 f"{point['speedup']:.2f}x",
+                 f"{point['efficiency']:.2f}",
+                 f"{100 * point['halo_traffic_fraction']:.2f}%",
+                 f"{point['load_balance']:.3f}"]
+                for point in entry.get("points", [])]
+        lines += _table(["devices", "shards", "modelled time", "speedup",
+                         "efficiency", "halo traffic", "balance"], rows)
+        lines.append("")
+    return lines
+
+
 _SECTIONS = {
     "fig6_sota_comparison": _section_fig6,
     "fig7_breakdown": _section_fig7,
@@ -120,6 +141,7 @@ _SECTIONS = {
     "fig11_utilization": _section_fig11,
     "table3_fp64": _section_table3,
     "service_cache": _section_service_cache,
+    "sharded_scaling": _section_sharded_scaling,
 }
 
 

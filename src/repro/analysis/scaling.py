@@ -1,0 +1,155 @@
+"""Multi-device scaling analysis: shard utilization and halo traffic.
+
+The sharded execution engine models a weak-scaling deployment — one grid
+decomposed over N simulated devices with per-sweep halo exchange.  This
+module turns its :class:`repro.engine.ShardedRunResult` into the quantities
+a scaling study reports: modelled speedup and parallel efficiency against
+the single-device run, the halo-traffic fraction (the communication tax the
+decomposition pays), and per-shard utilization (how evenly the devices are
+loaded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import CompiledStencil, run_stencil
+from repro.stencils.grid import Grid
+from repro.stencils.pattern import StencilPattern
+from repro.tcu.spec import MultiDeviceSpec
+from repro.util.validation import require, require_positive_int
+
+__all__ = ["ShardScalingPoint", "ScalingReport", "sharded_scaling",
+           "per_shard_utilization"]
+
+
+@dataclass(frozen=True)
+class ShardScalingPoint:
+    """One shard count of a scaling sweep."""
+
+    devices: int
+    shard_grid: Tuple[int, ...]
+    elapsed_seconds: float
+    speedup: float
+    efficiency: float
+    halo_traffic_fraction: float
+    halo_exchange_seconds: float
+    load_balance: float
+    gstencil_per_second: float
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "devices": self.devices,
+            "shard_grid": list(self.shard_grid),
+            "elapsed_seconds": self.elapsed_seconds,
+            "speedup": self.speedup,
+            "efficiency": self.efficiency,
+            "halo_traffic_fraction": self.halo_traffic_fraction,
+            "halo_exchange_seconds": self.halo_exchange_seconds,
+            "load_balance": self.load_balance,
+            "gstencil_per_second": self.gstencil_per_second,
+        }
+
+
+@dataclass(frozen=True)
+class ScalingReport:
+    """Scaling sweep of one workload over increasing device counts."""
+
+    pattern_name: str
+    grid_shape: Tuple[int, ...]
+    iterations: int
+    single_device_seconds: float
+    points: Tuple[ShardScalingPoint, ...]
+
+    def as_rows(self) -> List[Dict[str, Any]]:
+        return [point.as_dict() for point in self.points]
+
+    @property
+    def best(self) -> ShardScalingPoint:
+        return min(self.points, key=lambda p: p.elapsed_seconds)
+
+
+def sharded_scaling(
+    pattern: StencilPattern,
+    grid: Grid,
+    iterations: int,
+    device_counts: Sequence[int] = (1, 2, 4, 8),
+    *,
+    interconnect: Optional[MultiDeviceSpec] = None,
+    cache=None,
+    compiled: Optional[CompiledStencil] = None,
+    **compile_kwargs,
+) -> ScalingReport:
+    """Sweep shard counts and compare against the single-device run.
+
+    The single-device baseline and every sharded point execute the *same*
+    compiled plan family (the sharded executor pins its per-shard plans to
+    the baseline layout), so the outputs are bit-identical and the comparison
+    isolates the execution model: per-device kernel time shrinking with the
+    shard size versus the growing halo-exchange tax.
+    """
+    from repro.engine.sharded import ShardedExecutor
+
+    require_positive_int(iterations, "iterations")
+    require(len(device_counts) > 0, "need at least one device count")
+    for count in device_counts:
+        require_positive_int(count, "device count")
+
+    grid_shape = tuple(grid.shape)
+    if compiled is None:
+        from repro.core.pipeline import compile_cached
+        compiled = compile_cached(pattern, grid_shape, cache=cache,
+                                  **compile_kwargs)
+    require(iterations % compiled.temporal_fusion == 0,
+            f"sharded scaling requires iterations divisible by the temporal "
+            f"fusion factor {compiled.temporal_fusion} (got {iterations})")
+
+    baseline = run_stencil(compiled, grid, iterations)
+    single_seconds = baseline.elapsed_seconds
+
+    points = []
+    for count in device_counts:
+        # a bare count clusters the baseline's own device (the executor
+        # resolves it), so speedup compares like with like even when the
+        # workload targets a custom GPUSpec
+        spec = count if interconnect is None \
+            else interconnect.with_overrides(device_count=count)
+        result = ShardedExecutor(spec, cache=cache).execute(
+            compiled, grid, iterations)
+        speedup = single_seconds / result.elapsed_seconds \
+            if result.elapsed_seconds > 0 else 0.0
+        points.append(ShardScalingPoint(
+            devices=count,
+            shard_grid=result.shard_grid,
+            elapsed_seconds=result.elapsed_seconds,
+            speedup=speedup,
+            efficiency=speedup / count,
+            halo_traffic_fraction=result.halo_traffic_fraction,
+            halo_exchange_seconds=result.halo_exchange_seconds,
+            load_balance=result.load_balance,
+            gstencil_per_second=result.gstencil_per_second,
+        ))
+
+    return ScalingReport(
+        pattern_name=pattern.name,
+        grid_shape=grid_shape,
+        iterations=iterations,
+        single_device_seconds=single_seconds,
+        points=tuple(points),
+    )
+
+
+def per_shard_utilization(result) -> List[Dict[str, float]]:
+    """Per-shard utilization rows of a :class:`repro.engine.ShardedRunResult`.
+
+    One row per shard with its device time and the six NCU-style counters —
+    the multi-device analogue of the Figure-11 comparison.
+    """
+    rows = []
+    for i, (elapsed, report) in enumerate(zip(result.shard_elapsed_seconds,
+                                              result.shard_utilization)):
+        row = {"shard": float(i), "elapsed_seconds": elapsed}
+        row.update(report.as_dict())
+        rows.append(row)
+    return rows

@@ -47,6 +47,7 @@ from repro.core.pipeline import (
     CompileOptions,
     CompiledStencil,
     StencilRunResult,
+    compile_cached,
     compile_resolved,
     compile_stencil,
     resolve_compile_options,
@@ -98,6 +99,7 @@ __all__ = [
     "CompileOptions",
     "CompiledStencil",
     "StencilRunResult",
+    "compile_cached",
     "compile_resolved",
     "compile_stencil",
     "resolve_compile_options",

@@ -31,6 +31,15 @@ from repro.util.validation import require, require_in
 
 __all__ = ["KernelPlan", "generate_kernel", "render_cuda_source"]
 
+#: Per-thread register budgets of the generated kernels.  The sparse kernel
+#: is register-lean (the compressed operand and metadata halve the A-fragment
+#: footprint); the dense-TCU variant (ConvStencil-style execution) carries
+#: roughly the register budget reported for hand-written dense-TCU stencil
+#: kernels.  Recorded on the plan so executors carry no engine-specific
+#: magic numbers.
+SPARSE_KERNEL_REGISTERS = 32
+DENSE_KERNEL_REGISTERS = 52
+
 
 @dataclass(frozen=True)
 class KernelPlan:
@@ -50,6 +59,7 @@ class KernelPlan:
     estimate: PerfEstimate
     threads_per_block: int
     blocks: int
+    registers_per_thread: int = SPARSE_KERNEL_REGISTERS
     cuda_source: str = ""
 
     @property
@@ -167,6 +177,8 @@ def generate_kernel(
         estimate=estimate,
         threads_per_block=threads,
         blocks=blocks,
+        registers_per_thread=(SPARSE_KERNEL_REGISTERS if engine == "sparse_mma"
+                              else DENSE_KERNEL_REGISTERS),
         cuda_source="",
     )
     if render_source:

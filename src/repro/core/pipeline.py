@@ -18,15 +18,12 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.core.codegen import KernelPlan, generate_kernel
-from repro.core.fusion import fuse_pattern, fused_iterations
+from repro.core.fusion import fuse_pattern
 from repro.core.layout_search import LayoutSearchResult, search_layout
-from repro.core.lookup_table import gather_b_matrix
-from repro.core.morphing import MorphConfig, assemble_output
+from repro.core.morphing import MorphConfig
 from repro.stencils.grid import Grid
 from repro.stencils.pattern import StencilPattern
-from repro.stencils.reference import stencil_points_updated
 from repro.tcu.counters import UtilizationReport
-from repro.tcu.executor import KernelLaunch, execute_launch
 from repro.tcu.spec import (
     A100_SPEC,
     DENSE_FRAGMENTS,
@@ -46,6 +43,7 @@ __all__ = [
     "resolve_compile_options",
     "compile_resolved",
     "compile_stencil",
+    "compile_cached",
     "run_stencil",
     "sparstencil_solve",
 ]
@@ -92,6 +90,7 @@ class CompiledStencil:
     spec: GPUSpec
     overhead_seconds: Dict[str, float]
     temporal_fusion: int = 1
+    conversion_method: str = "auto"
 
     @property
     def engine(self) -> str:
@@ -127,6 +126,12 @@ class StencilRunResult:
     utilization: UtilizationReport
     overhead_seconds: Dict[str, float]
     sweeps: int
+    #: sweeps executed with the unfused pattern when ``iterations`` is not a
+    #: multiple of the temporal-fusion factor (0 for divisible runs)
+    leftover_sweeps: int = 0
+    #: original-resolution stencil updates performed (fused sweeps count for
+    #: ``temporal_fusion`` updates each) — the numerator of Eq. 12
+    points_updated: float = 0.0
 
     @property
     def overhead_fraction(self) -> Dict[str, float]:
@@ -343,92 +348,50 @@ def compile_resolved(options: CompileOptions) -> CompiledStencil:
         spec=spec,
         overhead_seconds=dict(timer.stages),
         temporal_fusion=options.temporal_fusion,
+        conversion_method=options.conversion_method,
     )
+
+
+def compile_cached(
+    pattern: StencilPattern,
+    grid_shape: Tuple[int, ...],
+    cache=None,
+    **compile_kwargs,
+) -> CompiledStencil:
+    """Compile through ``cache`` (a :class:`repro.service.CompileCache`) when
+    one is given, else compile directly — the single entry path every
+    cache-aware caller (solve wrappers, sharded service, scaling analysis,
+    leftover plans) funnels through."""
+    if cache is not None:
+        return cache.compile(pattern, grid_shape, **compile_kwargs)
+    return compile_stencil(pattern, grid_shape, **compile_kwargs)
 
 
 def run_stencil(
     compiled: CompiledStencil,
     grid: Grid,
     iterations: int,
+    *,
+    cache=None,
 ) -> StencilRunResult:
     """Run ``iterations`` time steps of the compiled stencil on ``grid``.
 
-    The functional loop mirrors the generated kernel: per sweep, the lookup
+    Thin wrapper over the execution-engine layer
+    (:class:`repro.engine.SingleDeviceExecutor`): per sweep, the lookup
     tables gather ``B'`` from the current grid, the conversion's row
     permutation is applied, the (sparse or dense) MMA runs on the simulated
     Tensor Cores and the result is assembled back into the grid interior.
     Halo cells are held fixed, matching the golden reference.
+
+    When ``iterations`` is not a multiple of the temporal-fusion factor, the
+    remaining ``iterations % temporal_fusion`` steps run as plain (unfused)
+    sweeps after the fused ones.  ``cache`` (an optional
+    :class:`repro.service.CompileCache`) keeps the unfused leftover plan from
+    being recompiled on every call.
     """
-    require_positive_int(iterations, "iterations")
-    require(tuple(grid.shape) == compiled.grid_shape,
-            f"grid shape {tuple(grid.shape)} does not match the compiled shape "
-            f"{compiled.grid_shape}")
-    fusion = compiled.temporal_fusion
-    sweeps, leftover = fused_iterations(iterations, fusion)
-    require(leftover == 0,
-            f"iterations={iterations} must be a multiple of the temporal "
-            f"fusion factor {fusion}")
+    from repro.engine.single import SingleDeviceExecutor
 
-    plan = compiled.plan
-    geometry = compiled.geometry()
-    radius = compiled.pattern.radius
-    interior = tuple(slice(radius, s - radius) for s in compiled.grid_shape)
-
-    current = grid.data.copy()
-    elapsed = compute_s = memory_s = 0.0
-    utilization: Optional[UtilizationReport] = None
-
-    for _ in range(sweeps):
-        b_prime = gather_b_matrix(plan.lut, current)
-        if plan.conversion is not None:
-            b_operand = plan.conversion.apply_to_b(b_prime)
-        else:
-            b_operand = b_prime
-        # The generated sparse kernel is register-lean (the compressed operand
-        # and metadata halve the A-fragment footprint); the dense-TCU variant
-        # (ConvStencil-style execution) carries roughly the register budget
-        # reported for hand-written dense-TCU stencil kernels.
-        registers = 32 if plan.engine == "sparse_mma" else 52
-        launch = KernelLaunch(
-            name=f"sparstencil/{compiled.pattern.name}",
-            engine=plan.engine,
-            a=plan.a_operand,
-            b=b_operand,
-            fragment=plan.fragment,
-            dtype=plan.dtype,
-            traffic=plan.estimate.traffic,
-            threads_per_block=plan.threads_per_block,
-            blocks=plan.blocks,
-            registers_per_thread=registers,
-        )
-        result = execute_launch(launch, compiled.spec)
-        assert result.output is not None
-        output_grid = assemble_output(result.output, geometry)
-        current[interior] = output_grid
-        elapsed += result.elapsed_seconds
-        compute_s += result.compute_seconds
-        memory_s += result.memory_seconds
-        utilization = result.utilization
-
-    assert utilization is not None
-    points = stencil_points_updated(compiled.pattern, compiled.grid_shape, sweeps)
-    original_points = points * fusion  # each fused sweep stands for `fusion` updates
-    gstencil = original_points / elapsed / 1e9 if elapsed > 0 else 0.0
-    flops = 2.0 * compiled.original_pattern.points * original_points
-    gflops = flops / elapsed / 1e9 if elapsed > 0 else 0.0
-
-    return StencilRunResult(
-        output=current,
-        iterations=iterations,
-        elapsed_seconds=elapsed,
-        compute_seconds=compute_s,
-        memory_seconds=memory_s,
-        gstencil_per_second=gstencil,
-        gflops_per_second=gflops,
-        utilization=utilization,
-        overhead_seconds=dict(compiled.overhead_seconds),
-        sweeps=sweeps,
-    )
+    return SingleDeviceExecutor(cache=cache).execute(compiled, grid, iterations)
 
 
 def sparstencil_solve(
@@ -448,11 +411,9 @@ def sparstencil_solve(
         :class:`CompiledStencil` and skips morphing, conversion and the layout
         search entirely.
     """
-    if cache is not None:
-        compiled = cache.compile(pattern, tuple(grid.shape), **compile_kwargs)
-    else:
-        compiled = compile_stencil(pattern, tuple(grid.shape), **compile_kwargs)
-    result = run_stencil(compiled, grid, iterations)
+    compiled = compile_cached(pattern, tuple(grid.shape), cache=cache,
+                              **compile_kwargs)
+    result = run_stencil(compiled, grid, iterations, cache=cache)
     return compiled, result
 
 
@@ -499,7 +460,7 @@ class SparStencilCompiler:
 
     def run(self, compiled: CompiledStencil, grid: Grid,
             iterations: int) -> StencilRunResult:
-        return run_stencil(compiled, grid, iterations)
+        return run_stencil(compiled, grid, iterations, cache=self.cache)
 
     def solve(self, pattern: StencilPattern, grid: Grid, iterations: int,
               **kwargs) -> Tuple[CompiledStencil, StencilRunResult]:

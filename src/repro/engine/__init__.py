@@ -1,0 +1,42 @@
+"""Execution-engine layer: how compiled stencils actually run.
+
+The compile pipeline (:mod:`repro.core.pipeline`) stops at a
+:class:`~repro.core.pipeline.CompiledStencil`; this package owns everything
+after that:
+
+* :mod:`repro.engine.base` — the ``plan -> gather B' -> MMA -> assemble``
+  step API and the :class:`SweepExecutor` protocol;
+* :mod:`repro.engine.single` — :class:`SingleDeviceExecutor`, the original
+  one-grid-one-device sweep loop (what ``run_stencil`` wraps), now with
+  cross-sweep utilization aggregation and leftover-sweep support for
+  iteration counts not divisible by the temporal-fusion factor;
+* :mod:`repro.engine.sharded` — :class:`ShardedExecutor`, domain-decomposed
+  execution across N simulated devices with per-sweep halo exchange,
+  bit-identical to the single-device run.
+"""
+
+from repro.engine.base import (
+    SweepContext,
+    SweepExecutor,
+    assemble_step,
+    gather_step,
+    mma_step,
+    prepare_sweep,
+    run_sweep,
+)
+from repro.engine.single import SingleDeviceExecutor, leftover_plan
+from repro.engine.sharded import ShardedExecutor, ShardedRunResult
+
+__all__ = [
+    "SweepContext",
+    "SweepExecutor",
+    "prepare_sweep",
+    "gather_step",
+    "mma_step",
+    "assemble_step",
+    "run_sweep",
+    "SingleDeviceExecutor",
+    "leftover_plan",
+    "ShardedExecutor",
+    "ShardedRunResult",
+]

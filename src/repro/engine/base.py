@@ -1,0 +1,199 @@
+"""Execution-engine core: the sweep step API and the executor protocol.
+
+The compile side of the pipeline (:mod:`repro.core.pipeline`) produces a
+:class:`~repro.core.pipeline.CompiledStencil`; *executing* it is the
+engine layer's job.  One sweep decomposes into three steps, mirroring the
+generated kernel's stages:
+
+1. :func:`gather_step` — build ``B'`` from the current grid through the
+   lookup tables and apply the conversion's row permutation;
+2. :func:`mma_step` — issue the (sparse or dense) MMA on the simulated
+   Tensor Cores, producing the functional result and the modelled timing;
+3. :func:`assemble_step` — reassemble ``D`` into the grid interior (halo
+   cells stay fixed).
+
+:func:`prepare_sweep` precomputes everything the steps share for one plan;
+executors (:class:`SweepExecutor` implementations) own the loop around the
+steps — how many sweeps, on how many devices, with what halo movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+import numpy as np
+
+from repro.core.lookup_table import gather_b_matrix
+from repro.core.morphing import assemble_output
+from repro.core.pipeline import CompiledStencil, StencilRunResult
+from repro.stencils.grid import Grid
+from repro.stencils.reference import stencil_points_updated
+from repro.tcu.counters import combine_utilization
+from repro.tcu.executor import KernelLaunch, LaunchResult, execute_launch
+from repro.tcu.spec import GPUSpec
+from repro.util.validation import require
+
+__all__ = [
+    "SweepContext",
+    "SweepExecutor",
+    "prepare_sweep",
+    "gather_step",
+    "mma_step",
+    "assemble_step",
+    "run_sweep",
+    "summarize_launches",
+    "original_points",
+    "throughput_metrics",
+]
+
+
+@runtime_checkable
+class SweepExecutor(Protocol):
+    """Anything that can run a compiled stencil for a number of iterations.
+
+    Implementations must preserve the functional contract of the original
+    monolithic loop: interior cells advance by one (possibly fused) time step
+    per sweep, halo cells are held fixed, and the returned
+    :class:`~repro.core.pipeline.StencilRunResult` carries the modelled
+    timing and utilization of the whole run.
+    """
+
+    def execute(self, compiled: CompiledStencil, grid: Grid,
+                iterations: int) -> StencilRunResult:
+        ...
+
+
+@dataclass(frozen=True)
+class SweepContext:
+    """Precomputed per-plan state shared by every sweep of a run."""
+
+    compiled: CompiledStencil
+    spec: GPUSpec
+    interior: Tuple[slice, ...]
+    launch_name: str
+
+    @property
+    def plan(self):
+        return self.compiled.plan
+
+    @property
+    def radius(self) -> int:
+        return self.compiled.pattern.radius
+
+
+def prepare_sweep(compiled: CompiledStencil,
+                  spec: Optional[GPUSpec] = None) -> SweepContext:
+    """Build the :class:`SweepContext` for one compiled plan.
+
+    ``spec`` overrides the device the sweeps are costed on (the sharded
+    executor runs each shard's plan against one device of its cluster);
+    it defaults to the spec the stencil was compiled for.
+    """
+    radius = compiled.pattern.radius
+    interior = tuple(slice(radius, s - radius) for s in compiled.grid_shape)
+    return SweepContext(
+        compiled=compiled,
+        spec=spec if spec is not None else compiled.spec,
+        interior=interior,
+        launch_name=f"sparstencil/{compiled.pattern.name}",
+    )
+
+
+def gather_step(context: SweepContext, current: np.ndarray) -> np.ndarray:
+    """Stage 1: gather ``B'`` through the LUTs and permute its rows."""
+    plan = context.plan
+    b_prime = gather_b_matrix(plan.lut, current)
+    if plan.conversion is not None:
+        return plan.conversion.apply_to_b(b_prime)
+    return b_prime
+
+
+def mma_step(context: SweepContext, b_operand: np.ndarray) -> LaunchResult:
+    """Stage 2: run the fragment MMA on the simulated device."""
+    plan = context.plan
+    launch = KernelLaunch(
+        name=context.launch_name,
+        engine=plan.engine,
+        a=plan.a_operand,
+        b=b_operand,
+        fragment=plan.fragment,
+        dtype=plan.dtype,
+        traffic=plan.estimate.traffic,
+        threads_per_block=plan.threads_per_block,
+        blocks=plan.blocks,
+        registers_per_thread=plan.registers_per_thread,
+    )
+    return execute_launch(launch, context.spec)
+
+
+def assemble_step(context: SweepContext, result: LaunchResult,
+                  current: np.ndarray) -> None:
+    """Stage 3: reassemble ``D`` into the grid interior, in place."""
+    require(result.output is not None,
+            f"launch {result.name!r} produced no functional output")
+    output_grid = assemble_output(result.output, context.compiled.geometry())
+    current[context.interior] = output_grid
+
+
+def run_sweep(context: SweepContext, current: np.ndarray) -> LaunchResult:
+    """One full ``gather B' -> MMA -> assemble`` sweep, updating ``current``."""
+    b_operand = gather_step(context, current)
+    result = mma_step(context, b_operand)
+    assemble_step(context, result, current)
+    return result
+
+
+@dataclass(frozen=True)
+class _LaunchTotals:
+    elapsed_seconds: float
+    compute_seconds: float
+    memory_seconds: float
+    utilization: object
+
+
+def summarize_launches(results: Sequence[LaunchResult]) -> _LaunchTotals:
+    """Sum modelled times and aggregate utilization across launches.
+
+    Utilization is weighted by each launch's elapsed time, so a run mixing
+    fused and leftover sweeps (or differently sized shards) reports the
+    counters an NCU capture over the whole run would.
+    """
+    results = list(results)
+    require(len(results) > 0, "summarize_launches needs at least one launch")
+    return _LaunchTotals(
+        elapsed_seconds=sum(r.elapsed_seconds for r in results),
+        compute_seconds=sum(r.compute_seconds for r in results),
+        memory_seconds=sum(r.memory_seconds for r in results),
+        utilization=combine_utilization(
+            [r.utilization for r in results],
+            [r.elapsed_seconds for r in results]),
+    )
+
+
+def original_points(compiled: CompiledStencil, fused_sweeps: int,
+                    leftover_sweeps: int) -> float:
+    """Original-resolution stencil updates for a mixed fused/plain run."""
+    points = 0.0
+    if fused_sweeps:
+        points += (stencil_points_updated(compiled.pattern,
+                                          compiled.grid_shape, fused_sweeps)
+                   * compiled.temporal_fusion)
+    if leftover_sweeps:
+        points += stencil_points_updated(compiled.original_pattern,
+                                         compiled.grid_shape, leftover_sweeps)
+    return float(points)
+
+
+def throughput_metrics(compiled: CompiledStencil, points: float,
+                       elapsed_seconds: float) -> Tuple[float, float]:
+    """``(GStencil/s, GFlops/s)`` of a run — Eq. 12 and the Table-3 metric.
+
+    Shared by every executor so the throughput definition cannot diverge
+    between the single-device and sharded paths.
+    """
+    if elapsed_seconds <= 0.0:
+        return 0.0, 0.0
+    gstencil = points / elapsed_seconds / 1e9
+    flops = 2.0 * compiled.original_pattern.points * points
+    return gstencil, flops / elapsed_seconds / 1e9

@@ -1,0 +1,303 @@
+"""Sharded multi-device executor: domain decomposition + halo exchange.
+
+The grid's output region is tiled into per-shard subgrids
+(:class:`repro.stencils.partition.GridPartition`), one shard per simulated
+device.  Each shard gets its own compiled plan — obtained through the
+:class:`repro.service.CompileCache`, so shards with equal subgrid shapes
+share one fingerprint and compile once — pinned to the *same* layout config
+as the reference plan and aligned to its tile extents.  That alignment makes
+every shard-local ``B'`` column bit-identical to the corresponding column of
+the global ``B'``, which is what lets the sharded run reproduce the
+single-device output exactly.
+
+Per sweep: every shard runs one ``gather B' -> MMA -> assemble`` step
+(concurrently, on one run-wide thread pool), then the
+radius-wide halos are exchanged between neighbouring shards.  The modelled
+wall time is the weak-scaling critical path: slowest shard per sweep plus
+the interconnect cost of its halo traffic.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.fusion import fused_iterations
+from repro.core.morphing import MorphConfig
+from repro.core.pipeline import CompiledStencil, StencilRunResult
+from repro.engine.base import (
+    original_points,
+    prepare_sweep,
+    run_sweep,
+    summarize_launches,
+    throughput_metrics,
+)
+from repro.stencils.grid import Grid
+from repro.stencils.partition import GridPartition
+from repro.tcu.counters import UtilizationReport, combine_utilization
+from repro.tcu.executor import LaunchResult
+from repro.tcu.spec import MultiDeviceSpec
+from repro.util.parallel import default_workers, parallel_map
+from repro.util.validation import require, require_positive_int
+
+__all__ = ["ShardedExecutor", "ShardedRunResult"]
+
+
+@dataclass(frozen=True)
+class ShardedRunResult(StencilRunResult):
+    """A :class:`StencilRunResult` plus the multi-device execution picture.
+
+    ``elapsed_seconds`` is the modelled *wall* time of the cluster (critical
+    shard per sweep plus halo-exchange time); ``compute_seconds`` and
+    ``memory_seconds`` are the same critical-path decomposition.  Per-shard
+    device time and utilization are kept so the analysis layer can report
+    load balance and scaling efficiency.
+    """
+
+    shard_grid: Tuple[int, ...] = ()
+    device_count: int = 1
+    shard_elapsed_seconds: Tuple[float, ...] = ()
+    shard_utilization: Tuple[UtilizationReport, ...] = ()
+    halo_exchange_bytes: float = 0.0
+    halo_exchange_seconds: float = 0.0
+    device_traffic_bytes: float = 0.0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_elapsed_seconds)
+
+    @property
+    def halo_traffic_fraction(self) -> float:
+        """Share of all modelled byte movement that was halo exchange."""
+        total = self.halo_exchange_bytes + self.device_traffic_bytes
+        return self.halo_exchange_bytes / total if total > 0 else 0.0
+
+    @property
+    def load_balance(self) -> float:
+        """Fastest over slowest shard device time (1.0 = perfectly balanced)."""
+        if not self.shard_elapsed_seconds:
+            return 1.0
+        slowest = max(self.shard_elapsed_seconds)
+        return min(self.shard_elapsed_seconds) / slowest if slowest > 0 else 1.0
+
+
+class ShardedExecutor:
+    """Run a compiled stencil sharded across ``spec.device_count`` devices.
+
+    Parameters
+    ----------
+    spec:
+        A :class:`repro.tcu.spec.MultiDeviceSpec`, or an integer device count
+        (N simulated A100s on NVLink).
+    shard_grid:
+        Shards per grid axis.  Defaults to one shard per device, factored
+        over the axes by :func:`repro.stencils.partition.plan_shard_grid`.
+    cache:
+        Optional :class:`repro.service.CompileCache` for the per-shard plans.
+        A private cache is created when omitted, so equal-shaped shards still
+        compile once per run.
+    max_workers:
+        Thread-pool width for concurrent shard sweeps.
+    """
+
+    def __init__(self, spec: Union[MultiDeviceSpec, int] = 2,
+                 shard_grid: Optional[Sequence[int]] = None,
+                 cache=None, max_workers: Optional[int] = None) -> None:
+        if isinstance(spec, (int, np.integer)):
+            # resolved against the compiled plan's device at execute time, so
+            # an integer count clusters whatever device the workload targets
+            self._device_count = int(spec)
+            require_positive_int(self._device_count, "device count")
+            self.spec: Optional[MultiDeviceSpec] = None
+        else:
+            require(isinstance(spec, MultiDeviceSpec),
+                    f"spec must be a MultiDeviceSpec or a device count, "
+                    f"got {type(spec).__name__}")
+            self.spec = spec
+            self._device_count = spec.device_count
+        self.shard_grid = None if shard_grid is None else tuple(
+            int(c) for c in shard_grid)
+        self.cache = cache
+        self.max_workers = max_workers
+
+    # ------------------------------------------------------------------ #
+    # planning
+    # ------------------------------------------------------------------ #
+    def resolve_spec(self, compiled: CompiledStencil) -> MultiDeviceSpec:
+        """The cluster this run executes on: the configured
+        :class:`MultiDeviceSpec`, or — when the executor was built from a
+        bare device count — N copies of the *compiled plan's* device."""
+        if self.spec is not None:
+            return self.spec
+        return MultiDeviceSpec(device=compiled.spec,
+                               device_count=self._device_count)
+
+    def partition(self, compiled: CompiledStencil) -> GridPartition:
+        """Tile the compiled grid, aligned to the plan's layout tiles."""
+        config = compiled.plan.config
+        pattern = compiled.pattern
+        require(MorphConfig.from_r1_r2(pattern.ndim, config.r1, config.r2)
+                == config,
+                f"layout config {config.r} is not expressible as (r1, r2) — "
+                f"sharded execution supports the standard morph layouts only")
+        shard_grid = self.shard_grid if self.shard_grid is not None \
+            else self._device_count
+        partition = GridPartition.build(
+            compiled.grid_shape, pattern.radius, shard_grid, align=config.r)
+        require(partition.n_shards <= self._device_count,
+                f"{partition.n_shards} shards need more than the "
+                f"{self._device_count} available devices")
+        return partition
+
+    def _shard_plans(self, compiled: CompiledStencil, spec: MultiDeviceSpec,
+                     partition: GridPartition) -> List[CompiledStencil]:
+        """Compile (or fetch) one plan per shard, pinned to the global layout.
+
+        Plans go through the compile cache keyed by the canonical fingerprint,
+        so the typical partition — interior shards all the same shape, edge
+        shards sharing a handful of remainder shapes — compiles each distinct
+        subgrid shape exactly once.
+        """
+        from repro.service.cache import CompileCache
+        from repro.service.fingerprint import CompileRequest
+
+        cache = self.cache
+        if cache is None:
+            cache = CompileCache(capacity=max(8, partition.n_shards))
+        config = compiled.plan.config
+        requests = [
+            CompileRequest.build(
+                compiled.original_pattern, shard.subgrid_shape,
+                dtype=compiled.plan.dtype,
+                spec=spec.device,
+                engine=compiled.engine,
+                fragment=compiled.plan.fragment,
+                search=False,
+                r1=config.r1,
+                r2=config.r2,
+                temporal_fusion=compiled.temporal_fusion,
+                conversion_method=compiled.conversion_method,
+            )
+            for shard in partition.shards
+        ]
+        distinct = {}
+        for request in requests:
+            distinct.setdefault(request.fingerprint, request)
+        parallel_map(cache.get_or_compile, list(distinct.values()),
+                     max_workers=self.max_workers)
+        return [cache.get_or_compile(request) for request in requests]
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def execute(self, compiled: CompiledStencil, grid: Grid,
+                iterations: int) -> ShardedRunResult:
+        require_positive_int(iterations, "iterations")
+        require(tuple(grid.shape) == compiled.grid_shape,
+                f"grid shape {tuple(grid.shape)} does not match the compiled "
+                f"shape {compiled.grid_shape}")
+        sweeps, leftover = fused_iterations(iterations,
+                                            compiled.temporal_fusion)
+        require(leftover == 0,
+                f"sharded execution requires iterations divisible by the "
+                f"temporal fusion factor {compiled.temporal_fusion} "
+                f"(got {iterations}); run the leftover sweeps on the "
+                f"single-device executor")
+
+        spec = self.resolve_spec(compiled)
+        partition = self.partition(compiled)
+        compile_start = time.perf_counter()
+        contexts = [prepare_sweep(plan, spec.device)
+                    for plan in self._shard_plans(compiled, spec, partition)]
+        shard_compile_seconds = time.perf_counter() - compile_start
+
+        itemsize = compiled.plan.dtype.itemsize
+        recv_messages = partition.messages_per_shard()
+        recv_elements = partition.received_elements_per_shard()
+        halo_seconds_per_sweep = max(
+            (spec.exchange_seconds(elements * itemsize, messages)
+             for elements, messages in zip(recv_elements, recv_messages)),
+            default=0.0,
+        ) if partition.n_shards > 1 else 0.0
+        dram_bytes_per_sweep = sum(
+            context.plan.estimate.traffic.global_bytes
+            + context.plan.estimate.traffic.metadata_bytes
+            + context.plan.estimate.traffic.lut_bytes
+            for context in contexts)
+
+        locals_ = partition.extract(grid.data)
+        shard_launches: List[List[LaunchResult]] = [[] for _ in contexts]
+        wall = compute_crit = memory_crit = 0.0
+        halo_bytes = 0.0
+
+        # one pool for the whole run — per-sweep pool churn would dominate
+        # at small shard sizes
+        workers = self.max_workers if self.max_workers is not None \
+            else default_workers(len(contexts))
+        pool = ThreadPoolExecutor(max_workers=workers) \
+            if workers > 1 and len(contexts) > 1 else None
+        try:
+            for sweep in range(sweeps):
+                if pool is not None:
+                    results = list(pool.map(run_sweep, contexts, locals_))
+                else:
+                    results = [run_sweep(context, local)
+                               for context, local in zip(contexts, locals_)]
+                for launches, result in zip(shard_launches, results):
+                    launches.append(result)
+                wall += max(r.elapsed_seconds for r in results)
+                compute_crit += max(r.compute_seconds for r in results)
+                memory_crit += max(r.memory_seconds for r in results)
+                if sweep < sweeps - 1:
+                    # nothing reads halos after the final sweep — the output
+                    # is assembled from interiors only, so the last exchange
+                    # is neither performed nor billed
+                    exchanged = partition.exchange_halos(locals_)
+                    halo_bytes += exchanged * itemsize
+                    wall += halo_seconds_per_sweep
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        output = partition.assemble(locals_, grid.data)
+
+        shard_totals = [summarize_launches(launches)
+                        for launches in shard_launches]
+        all_launches = [r for launches in shard_launches for r in launches]
+        overall = combine_utilization(
+            [r.utilization for r in all_launches],
+            [r.elapsed_seconds for r in all_launches])
+
+        halo_seconds = halo_seconds_per_sweep * max(0, sweeps - 1)
+        points = original_points(compiled, sweeps, 0)
+        elapsed = wall
+        gstencil, gflops = throughput_metrics(compiled, points, elapsed)
+        overhead = dict(compiled.overhead_seconds)
+        overhead["shard_compile"] = shard_compile_seconds
+
+        return ShardedRunResult(
+            output=output,
+            iterations=iterations,
+            elapsed_seconds=elapsed,
+            compute_seconds=compute_crit,
+            memory_seconds=memory_crit,
+            gstencil_per_second=gstencil,
+            gflops_per_second=gflops,
+            utilization=overall,
+            overhead_seconds=overhead,
+            sweeps=sweeps,
+            leftover_sweeps=0,
+            points_updated=points,
+            shard_grid=partition.shard_grid,
+            shard_elapsed_seconds=tuple(t.elapsed_seconds
+                                        for t in shard_totals),
+            shard_utilization=tuple(t.utilization for t in shard_totals),
+            halo_exchange_bytes=halo_bytes,
+            halo_exchange_seconds=halo_seconds,
+            device_traffic_bytes=dram_bytes_per_sweep * sweeps,
+            device_count=spec.device_count,
+        )

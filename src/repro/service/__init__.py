@@ -25,6 +25,7 @@ from repro.service.batch import (
     SolveRequest,
     run_stencil_batch,
     solve_many,
+    solve_sharded,
 )
 
 __all__ = [
@@ -39,4 +40,5 @@ __all__ = [
     "SolveRequest",
     "run_stencil_batch",
     "solve_many",
+    "solve_sharded",
 ]

@@ -20,12 +20,11 @@ from repro.service.cache import CacheStats, CompileCache, _rebrand
 from repro.service.fingerprint import CompileRequest
 from repro.stencils.grid import Grid
 from repro.stencils.pattern import StencilPattern
-from repro.stencils.reference import stencil_points_updated
 from repro.util.parallel import parallel_map
 from repro.util.validation import require, require_positive_int
 
 __all__ = ["SolveRequest", "BatchItem", "BatchReport", "solve_many",
-           "run_stencil_batch"]
+           "run_stencil_batch", "solve_sharded"]
 
 
 @dataclass
@@ -86,15 +85,12 @@ class BatchReport:
 
     @property
     def total_points_updated(self) -> float:
-        """Original-resolution stencil updates across the whole batch."""
-        total = 0.0
-        for item in self.items:
-            compiled = item.compiled
-            total += (stencil_points_updated(compiled.pattern,
-                                             compiled.grid_shape,
-                                             item.result.sweeps)
-                      * compiled.temporal_fusion)
-        return total
+        """Original-resolution stencil updates across the whole batch.
+
+        The engine layer reports this per run, correctly counting mixed
+        fused + leftover sweeps.
+        """
+        return sum(item.result.points_updated for item in self.items)
 
     @property
     def aggregate_gstencil_per_second(self) -> float:
@@ -179,7 +175,10 @@ def solve_many(
         # the shared plan was compiled for the first request on this
         # fingerprint; every item still reports its own pattern identity
         compiled = _rebrand(plans[creq.fingerprint], creq)
-        result = run_stencil(compiled, request.grid, request.iterations)
+        # the batch cache also serves leftover plans (non-divisible
+        # iteration counts), so they compile once per fingerprint too
+        result = run_stencil(compiled, request.grid, request.iterations,
+                             cache=cache)
         items.append(BatchItem(
             request=request,
             compiled=compiled,
@@ -210,3 +209,47 @@ def run_stencil_batch(
 ) -> List[StencilRunResult]:
     """Thin wrapper over :func:`solve_many` returning just the run results."""
     return solve_many(requests, cache=cache, max_workers=max_workers).results
+
+
+def solve_sharded(
+    pattern: StencilPattern,
+    grid: Grid,
+    iterations: int,
+    *,
+    devices=2,
+    shard_grid: Optional[Tuple[int, ...]] = None,
+    cache: Optional[CompileCache] = None,
+    max_workers: Optional[int] = None,
+    **compile_kwargs,
+):
+    """Compile once and execute sharded across N simulated devices.
+
+    The service-level entry point for grids too large for one device: the
+    reference plan compiles exactly like :func:`repro.sparstencil_solve`
+    (through ``cache`` when given), then a
+    :class:`repro.engine.ShardedExecutor` decomposes the grid into per-shard
+    subgrids with radius-wide halos and sweeps them concurrently, exchanging
+    halos between sweeps.  The output is bit-identical to the single-device
+    run; the returned :class:`repro.engine.ShardedRunResult` adds the
+    multi-device picture (per-shard utilization, halo-traffic fraction,
+    modelled weak-scaling wall time).
+
+    Parameters
+    ----------
+    devices:
+        A :class:`repro.tcu.spec.MultiDeviceSpec`, or an integer device
+        count — the cluster then uses the *compiled plan's* device, so the
+        modelled numbers stay on one device even for custom specs.
+    shard_grid:
+        Optional shards-per-axis override (defaults to one shard per device,
+        factored over the grid axes).
+    """
+    from repro.core.pipeline import compile_cached
+    from repro.engine.sharded import ShardedExecutor
+
+    compiled = compile_cached(pattern, tuple(grid.shape), cache=cache,
+                              **compile_kwargs)
+    executor = ShardedExecutor(devices, shard_grid=shard_grid, cache=cache,
+                               max_workers=max_workers)
+    result = executor.execute(compiled, grid, iterations)
+    return compiled, result

@@ -4,6 +4,7 @@ benchmark catalog (Table 2 kernels and the 79-kernel / 9-domain suite).
 
 from repro.stencils.pattern import StencilPattern, StencilKind
 from repro.stencils.grid import Grid, make_grid
+from repro.stencils.partition import GridPartition, Shard, plan_shard_grid, split_extent
 from repro.stencils.reference import (
     apply_stencil_reference,
     run_stencil_iterations,
@@ -23,6 +24,10 @@ __all__ = [
     "StencilKind",
     "Grid",
     "make_grid",
+    "GridPartition",
+    "Shard",
+    "plan_shard_grid",
+    "split_extent",
     "apply_stencil_reference",
     "run_stencil_iterations",
     "stencil_flops",

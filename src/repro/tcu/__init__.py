@@ -16,9 +16,11 @@ from repro.tcu.spec import (
     DataType,
     FragmentShape,
     GPUSpec,
+    MultiDeviceSpec,
     A100_SPEC,
     SPARSE_FRAGMENTS,
     DENSE_FRAGMENTS,
+    multi_a100,
 )
 from repro.tcu.sparsity24 import (
     is_24_sparse,
@@ -32,14 +34,16 @@ from repro.tcu.dense_mma import dense_mma, DenseMMAResult
 from repro.tcu.sparse_mma import sparse_mma, sparse_mma_compressed, SparseMMAResult
 from repro.tcu.memory import MemoryTraffic, memory_time, global_memory_time, shared_memory_time
 from repro.tcu.timing import compute_time, mma_count, roofline_time
-from repro.tcu.counters import UtilizationReport
+from repro.tcu.counters import UtilizationReport, combine_utilization
 from repro.tcu.executor import KernelLaunch, LaunchResult, execute_launch
 
 __all__ = [
     "DataType",
     "FragmentShape",
     "GPUSpec",
+    "MultiDeviceSpec",
     "A100_SPEC",
+    "multi_a100",
     "SPARSE_FRAGMENTS",
     "DENSE_FRAGMENTS",
     "is_24_sparse",
@@ -61,6 +65,7 @@ __all__ = [
     "mma_count",
     "roofline_time",
     "UtilizationReport",
+    "combine_utilization",
     "KernelLaunch",
     "LaunchResult",
     "execute_launch",

@@ -9,14 +9,14 @@ vs ConvStencil vs cuDNN) mirrors the paper's.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict
+from dataclasses import dataclass, fields
+from typing import Dict, Optional, Sequence
 
 from repro.tcu.memory import MemoryTraffic
 from repro.tcu.spec import GPUSpec
 from repro.util.validation import require
 
-__all__ = ["UtilizationReport", "derive_utilization"]
+__all__ = ["UtilizationReport", "derive_utilization", "combine_utilization"]
 
 
 def _clamp_percent(value: float) -> float:
@@ -43,6 +43,41 @@ class UtilizationReport:
             "Memory Throughput": self.memory_throughput,
             "DRAM Throughput": self.dram_throughput,
         }
+
+
+def combine_utilization(
+    reports: Sequence[UtilizationReport],
+    weights: Optional[Sequence[float]] = None,
+) -> UtilizationReport:
+    """Aggregate several per-launch reports into one time-weighted report.
+
+    ``weights`` is typically the elapsed seconds of each launch (so a long
+    sweep dominates the aggregate the way it dominates an NCU capture over the
+    whole run); equal weighting is used when omitted or when every weight is
+    zero.  Identical reports aggregate to themselves exactly — no averaging
+    arithmetic is applied — so homogeneous runs keep bit-stable counters.
+    """
+    reports = list(reports)
+    require(len(reports) > 0, "combine_utilization needs at least one report")
+    first = reports[0]
+    if all(report == first for report in reports[1:]):
+        return first
+    if weights is None:
+        weights = [1.0] * len(reports)
+    weights = [float(w) for w in weights]
+    require(len(weights) == len(reports),
+            f"{len(weights)} weights for {len(reports)} reports")
+    require(all(w >= 0.0 for w in weights), "weights must be non-negative")
+    total = sum(weights)
+    if total <= 0.0:
+        weights = [1.0] * len(reports)
+        total = float(len(reports))
+    values = {}
+    for metric in fields(UtilizationReport):
+        acc = sum(getattr(report, metric.name) * w
+                  for report, w in zip(reports, weights))
+        values[metric.name] = _clamp_percent(acc / total)
+    return UtilizationReport(**values)
 
 
 def derive_utilization(

@@ -21,9 +21,11 @@ __all__ = [
     "DataType",
     "FragmentShape",
     "GPUSpec",
+    "MultiDeviceSpec",
     "A100_SPEC",
     "SPARSE_FRAGMENTS",
     "DENSE_FRAGMENTS",
+    "multi_a100",
 ]
 
 
@@ -177,3 +179,59 @@ class GPUSpec:
 
 #: Default device used across benchmarks and examples.
 A100_SPEC = GPUSpec()
+
+
+@dataclass(frozen=True)
+class MultiDeviceSpec:
+    """A cluster of identical simulated devices joined by an interconnect.
+
+    The sharded execution engine compiles per-shard kernels against the
+    per-device :class:`GPUSpec` and models the cross-device halo exchange with
+    the interconnect numbers below (defaults describe NVLink3 between
+    A100-SXM4 boards: 600 GB/s per direction per GPU, microsecond-scale
+    launch/transfer latency).
+
+    Attributes
+    ----------
+    device: specification of each individual device.
+    device_count: number of devices available to the executor.
+    interconnect_bandwidth_gbs: per-device halo-exchange bandwidth in GB/s.
+    link_latency_seconds: fixed cost per halo message (latency + sync).
+    """
+
+    device: GPUSpec = field(default_factory=GPUSpec)
+    device_count: int = 1
+    interconnect_bandwidth_gbs: float = 600.0
+    link_latency_seconds: float = 2e-6
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.device_count, "device_count")
+        require(self.interconnect_bandwidth_gbs > 0.0,
+                "interconnect_bandwidth_gbs must be positive")
+        require(self.link_latency_seconds >= 0.0,
+                "link_latency_seconds must be non-negative")
+
+    @property
+    def name(self) -> str:
+        return f"{self.device_count}x {self.device.name}"
+
+    @property
+    def total_tcu_count(self) -> int:
+        """Tensor Cores across the whole cluster."""
+        return self.device_count * self.device.n_tcu
+
+    def exchange_seconds(self, bytes_per_device: float, messages: int = 1) -> float:
+        """Modelled time for one device to receive ``bytes_per_device`` of halo
+        data split over ``messages`` point-to-point transfers."""
+        require(bytes_per_device >= 0.0, "bytes_per_device must be non-negative")
+        return (self.link_latency_seconds * max(0, messages)
+                + bytes_per_device / (self.interconnect_bandwidth_gbs * 1e9))
+
+    def with_overrides(self, **kwargs) -> "MultiDeviceSpec":
+        return replace(self, **kwargs)
+
+
+def multi_a100(device_count: int, **overrides) -> MultiDeviceSpec:
+    """Convenience constructor: ``device_count`` simulated A100s on NVLink."""
+    return MultiDeviceSpec(device=A100_SPEC, device_count=device_count,
+                           **overrides)

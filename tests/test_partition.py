@@ -1,0 +1,159 @@
+"""Partition / halo-exchange tests: unit cases plus randomized properties."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.stencils.partition import (
+    GridPartition,
+    plan_shard_grid,
+    split_extent,
+)
+from repro.util.validation import ValidationError
+
+
+class TestSplitExtent:
+    def test_exact_division(self):
+        assert split_extent(64, 4, align=4) == (16, 16, 16, 16)
+
+    def test_remainder_goes_to_last_chunk(self):
+        chunks = split_extent(94, 2, align=8)
+        assert chunks == (48, 46)
+        assert sum(chunks) == 94
+        assert chunks[0] % 8 == 0
+
+    def test_single_chunk_ignores_alignment(self):
+        assert split_extent(13, 1, align=8) == (13,)
+
+    def test_minimum_enforced(self):
+        with pytest.raises(ValidationError):
+            split_extent(16, 4, align=8, minimum=3)
+
+    def test_too_many_chunks_rejected(self):
+        with pytest.raises(ValidationError):
+            split_extent(10, 4, align=8)
+
+
+class TestPlanShardGrid:
+    def test_1d_takes_all_shards(self):
+        assert plan_shard_grid((2046,), 4) == (4,)
+
+    def test_square_2d_goes_2x2(self):
+        assert plan_shard_grid((94, 94), 4) == (2, 2)
+
+    def test_skewed_2d_prefers_long_axis(self):
+        assert plan_shard_grid((1000, 10), 4) == (4, 1)
+
+    def test_product_matches(self):
+        for n in (1, 2, 3, 4, 6, 8, 12):
+            grid = plan_shard_grid((50, 70, 30), n)
+            assert int(np.prod(grid)) == n
+
+
+class TestGridPartition:
+    def test_shards_tile_the_output_exactly(self):
+        part = GridPartition.build((96, 96), 1, (2, 2), align=(8, 8))
+        covered = np.zeros((94, 94), dtype=int)
+        for shard in part.shards:
+            sl = tuple(slice(a, b) for a, b in
+                       zip(shard.out_start, shard.out_stop))
+            covered[sl] += 1
+        assert np.all(covered == 1)
+
+    def test_subgrid_includes_halo(self):
+        part = GridPartition.build((96, 96), 3, (2, 1))
+        shard = part.shards[0]
+        assert shard.subgrid_shape == tuple(s + 6 for s in shard.out_shape)
+
+    def test_degenerate_single_shard(self):
+        part = GridPartition.build((64, 64), 2, (1, 1))
+        shard = part.shards[0]
+        assert shard.subgrid_shape == (64, 64)
+        assert part.messages_per_shard() == (0,)
+        data = np.arange(64 * 64, dtype=float).reshape(64, 64)
+        (local,) = part.extract(data)
+        assert np.array_equal(local, data)
+        assert part.exchange_halos([local]) == 0
+
+    def test_extract_copies_not_views(self):
+        part = GridPartition.build((128,), 1, (2,))
+        data = np.zeros(128)
+        locals_ = part.extract(data)
+        locals_[0][:] = 1.0
+        assert np.all(data == 0.0)
+        assert np.all(locals_[1] == 0.0)
+
+    def test_too_many_shards_raise(self):
+        with pytest.raises(ValidationError):
+            GridPartition.build((16, 16), 1, (32, 1))
+
+    def test_neighbors_2x2(self):
+        part = GridPartition.build((64, 64), 1, (2, 2))
+        corner = part.shard_at((0, 0))
+        neighbors = part.neighbors(corner)
+        assert set(neighbors) == {(0, +1), (1, +1)}
+        middle_keys = set(part.neighbors(part.shard_at((1, 0))))
+        assert middle_keys == {(0, -1), (1, +1)}
+
+
+def _random_partition_case(rng):
+    ndim = int(rng.integers(1, 4))
+    radius = int(rng.integers(1, 4))
+    shard_grid = tuple(int(rng.integers(1, 4)) for _ in range(ndim))
+    align = tuple(int(rng.integers(1, 5)) for _ in range(ndim))
+    shape = tuple(
+        int(2 * radius + max(radius, a) * c + rng.integers(0, 12))
+        for c, a in zip(shard_grid, align))
+    return shape, radius, shard_grid, align
+
+
+class TestPartitionProperties:
+    """Randomized shapes / radii / shard grids (the halo-exchange algebra)."""
+
+    def test_roundtrip_and_exchange_match_global(self):
+        rng = np.random.default_rng(20260728)
+        cases = 0
+        while cases < 25:
+            shape, radius, shard_grid, align = _random_partition_case(rng)
+            try:
+                part = GridPartition.build(shape, radius, shard_grid,
+                                           align=align)
+            except ValidationError:
+                continue  # infeasible random combination
+            cases += 1
+            data = rng.random(shape)
+
+            # extract + assemble with no compute is the identity
+            locals_ = part.extract(data)
+            assert np.array_equal(part.assemble(locals_, data), data)
+
+            # simulate one "sweep": every shard updates its interior with a
+            # position-dependent value, then halos are exchanged; afterwards
+            # every local array must equal the globally updated grid's slab
+            globally = data.copy()
+            interior = tuple(slice(radius, s - radius) for s in shape)
+            globally[interior] = globally[interior] * 2.0 + 1.0
+            for local, shard in zip(locals_, part.shards):
+                view = local[shard.interior_local]
+                local[shard.interior_local] = view * 2.0 + 1.0
+            moved = part.exchange_halos(locals_)
+            assert moved == part.halo_elements_per_exchange()
+            for local, shard in zip(locals_, part.shards):
+                assert np.array_equal(local, globally[shard.subgrid_slices]), (
+                    shape, radius, shard_grid, align, shard.index)
+
+    def test_chunk_alignment_invariant(self):
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            extent = int(rng.integers(8, 200))
+            count = int(rng.integers(1, 6))
+            align = int(rng.integers(1, 9))
+            try:
+                chunks = split_extent(extent, count, align=align)
+            except ValidationError:
+                continue
+            assert sum(chunks) == extent
+            assert len(chunks) == count
+            assert all(c % align == 0 for c in chunks[:-1])
+            assert all(c >= 1 for c in chunks)

@@ -95,11 +95,16 @@ class TestRunStencil:
         inner = (slice(3, -3), slice(3, -3))
         assert np.max(np.abs(result.output[inner] - reference[inner])) < FP16_TOL
 
-    def test_fusion_requires_divisible_iterations(self, heat2d):
+    def test_fusion_leftover_iterations_supported(self, heat2d):
+        """4 iterations at 3x fusion = one fused sweep + one plain sweep."""
         grid = make_grid((40, 40), seed=5)
         compiled = compile_stencil(heat2d, (40, 40), temporal_fusion=3)
-        with pytest.raises(ValidationError):
-            run_stencil(compiled, grid, iterations=4)
+        result = run_stencil(compiled, grid, iterations=4)
+        assert result.sweeps == 2
+        assert result.leftover_sweeps == 1
+        reference = run_stencil_iterations(heat2d, grid, 4)
+        inner = (slice(4, -4), slice(4, -4))
+        assert np.max(np.abs(result.output[inner] - reference[inner])) < FP16_TOL
 
     def test_grid_shape_mismatch_rejected(self, heat2d):
         compiled = compile_stencil(heat2d, (32, 32))
