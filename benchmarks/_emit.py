@@ -1,0 +1,45 @@
+"""Machine-readable benchmark results: one JSON envelope per benchmark.
+
+Every benchmark writes ``benchmarks/results/<name>.json`` through
+:func:`emit_result` so the files share one schema a perf-trajectory tool can
+diff across PRs::
+
+    {
+      "name": "<benchmark name>",
+      "timestamp": "<UTC ISO-8601>",
+      "config": { ... knobs the run was taken with ... },
+      "metrics": { ... the benchmark's rows ... }
+    }
+
+:func:`repro.analysis.report` unwraps the envelope transparently, and also
+accepts the bare legacy payloads older result files may still contain.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+__all__ = ["RESULTS_DIR", "emit_result"]
+
+
+def emit_result(name: str, metrics: Dict[str, Any],
+                config: Optional[Dict[str, Any]] = None,
+                results_dir: Optional[Path] = None) -> Path:
+    """Write one benchmark's results as a timestamped JSON envelope."""
+    directory = Path(results_dir) if results_dir is not None else RESULTS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{name}.json"
+    envelope = {
+        "name": name,
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "config": config or {},
+        "metrics": metrics,
+    }
+    with path.open("w") as handle:
+        json.dump(envelope, handle, indent=2, default=str)
+    return path

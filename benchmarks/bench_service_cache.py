@@ -104,5 +104,9 @@ def test_service_cache_save(benchmark, results_dir):
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     if not _ROWS:
         pytest.skip("no rows collected")
-    path = save_results("service_cache", _ROWS)
+    path = save_results("service_cache", _ROWS, config={
+        "kernels": [c.name for c in CACHE_KERNELS],
+        "bench_grids": {str(k): list(v) for k, v in BENCH_GRIDS.items()},
+        "batch_requests": 8,
+    })
     print(f"\nsaved service-cache benchmark rows to {path}")

@@ -74,7 +74,12 @@ def test_sharded_scaling(benchmark, name, grid_shape, iterations):
 def test_save_results():
     """Persist the scaling rows once every workload has run."""
     if _ROWS:
-        path = save_results("sharded_scaling", _ROWS)
+        path = save_results("sharded_scaling", _ROWS, config={
+            "workloads": [{"name": name, "grid_shape": list(shape),
+                           "iterations": iters}
+                          for name, shape, iters in WORKLOADS],
+            "device_counts": list(DEVICE_COUNTS),
+        })
         print(f"\nsaved {path}")
 
 

@@ -12,11 +12,12 @@ each row.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
 import pytest
+
+from benchmarks._emit import RESULTS_DIR, emit_result
 
 #: Scaled-down workload shapes used by the figure benchmarks (the simulator is
 #: a Python process; the paper's 10240^2 x 10240-iteration runs are modelled
@@ -24,16 +25,12 @@ import pytest
 BENCH_GRIDS = {1: (8192,), 2: (128, 128), 3: (32, 32, 32)}
 BENCH_ITERATIONS = 3
 
-RESULTS_DIR = Path(__file__).parent / "results"
 
-
-def save_results(name: str, payload: Dict[str, Any]) -> Path:
-    """Persist a benchmark's paper-facing rows as JSON."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / f"{name}.json"
-    with path.open("w") as handle:
-        json.dump(payload, handle, indent=2, default=str)
-    return path
+def save_results(name: str, payload: Dict[str, Any],
+                 config: Optional[Dict[str, Any]] = None) -> Path:
+    """Persist a benchmark's paper-facing rows as a timestamped JSON envelope
+    (see :mod:`benchmarks._emit`)."""
+    return emit_result(name, payload, config=config)
 
 
 @pytest.fixture(scope="session")

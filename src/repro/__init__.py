@@ -16,7 +16,10 @@ Scientific Stencil Computations via Structured Sparsity Transformation*
   the per-figure experiment support;
 * :mod:`repro.service` — the serving layer: an LRU compilation cache keyed by
   canonical compile fingerprints, plus the batched ``solve_many`` API that
-  compiles each distinct plan once and sweeps every request.
+  compiles each distinct plan once and sweeps every request;
+* :mod:`repro.server` — the online layer: a bounded request queue with
+  backpressure and deadlines, a fingerprint-coalescing micro-batcher, a
+  device-pool scheduler and the synchronous :class:`StencilServer` facade.
 
 Quickstart
 ----------
@@ -84,6 +87,14 @@ from repro.service import (
     run_stencil_batch,
     solve_sharded,
 )
+from repro.server import (
+    StencilServer,
+    ServerConfig,
+    ServerResult,
+    QueueFullError,
+    DeadlineExceededError,
+    ServerClosedError,
+)
 from repro.engine import (
     SweepExecutor,
     SingleDeviceExecutor,
@@ -133,6 +144,12 @@ __all__ = [
     "solve_many",
     "run_stencil_batch",
     "solve_sharded",
+    "StencilServer",
+    "ServerConfig",
+    "ServerResult",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "ServerClosedError",
     "SweepExecutor",
     "SingleDeviceExecutor",
     "ShardedExecutor",

@@ -25,7 +25,13 @@ def _load(results_dir: Path, name: str) -> Optional[dict]:
     if not path.exists():
         return None
     with path.open() as handle:
-        return json.load(handle)
+        payload = json.load(handle)
+    # benchmarks/_emit.py wraps rows in a {timestamp, config, metrics}
+    # envelope; older result files are the bare rows — accept both
+    if isinstance(payload, dict) and "metrics" in payload \
+            and "timestamp" in payload:
+        return payload["metrics"]
+    return payload
 
 
 def _table(headers: List[str], rows: List[List[str]]) -> List[str]:
@@ -134,6 +140,48 @@ def _section_sharded_scaling(data: dict) -> List[str]:
     return lines
 
 
+def _ms(value: Optional[float]) -> str:
+    """Seconds as milliseconds, degrading to ``?`` when absent."""
+    if not isinstance(value, (int, float)):
+        return "?"
+    return f"{value * 1e3:.1f} ms"
+
+
+def _section_server_load(data: dict) -> List[str]:
+    lines = ["## Online serving — coalesced server vs sequential solves", ""]
+    comparison = data.get("comparison")
+    if comparison:
+        speedup = comparison.get("speedup")
+        rows = [["requests", comparison.get("requests", "?")],
+                ["distinct fingerprints",
+                 comparison.get("distinct_fingerprints", "?")],
+                ["sequential one-at-a-time",
+                 _ms(comparison.get("sequential_seconds"))],
+                ["coalesced serving", _ms(comparison.get("server_seconds"))],
+                ["throughput gain",
+                 f"{speedup:.1f}x" if isinstance(speedup, (int, float))
+                 else "?"]]
+        lines += _table(["quantity", "value"], rows)
+        lines.append("")
+    telemetry = data.get("telemetry", {})
+    coalescing = telemetry.get("coalescing", {})
+    cache = telemetry.get("cache", {})
+    latency = telemetry.get("latency", {}).get("total", {})
+    if telemetry:
+        rows = [["coalescing ratio (requests / plan dispatch)",
+                 f"{coalescing.get('ratio', 0.0):.2f}"],
+                ["cache hit rate", f"{cache.get('hit_rate', 0.0):.2%}"],
+                ["p50 latency", f"{latency.get('p50_seconds', 0.0) * 1e3:.1f} ms"],
+                ["p95 latency", f"{latency.get('p95_seconds', 0.0) * 1e3:.1f} ms"],
+                ["p99 latency", f"{latency.get('p99_seconds', 0.0) * 1e3:.1f} ms"],
+                ["peak queue depth",
+                 telemetry.get("queue", {}).get("peak_depth", 0)],
+                ["peak devices in use",
+                 telemetry.get("devices", {}).get("peak_in_use", 0)]]
+        lines += _table(["serving metric", "value"], rows)
+    return lines + [""]
+
+
 _SECTIONS = {
     "fig6_sota_comparison": _section_fig6,
     "fig7_breakdown": _section_fig7,
@@ -142,6 +190,7 @@ _SECTIONS = {
     "table3_fp64": _section_table3,
     "service_cache": _section_service_cache,
     "sharded_scaling": _section_sharded_scaling,
+    "server_load": _section_server_load,
 }
 
 

@@ -132,6 +132,9 @@ class StencilRunResult:
     #: original-resolution stencil updates performed (fused sweeps count for
     #: ``temporal_fusion`` updates each) — the numerator of Eq. 12
     points_updated: float = 0.0
+    #: caller-supplied request label, propagated by the batch service and the
+    #: online server so a result can be attributed without positional lookup
+    tag: Optional[str] = None
 
     @property
     def overhead_fraction(self) -> Dict[str, float]:

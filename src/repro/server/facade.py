@@ -1,0 +1,432 @@
+"""The synchronous :class:`StencilServer` facade over the serving pipeline.
+
+One object owns the whole online path::
+
+    submit() ──> RequestQueue ──> Coalescer ──> DevicePoolScheduler ──> engine
+      (admission)   (bounded)    (fingerprint     (single / sharded,     (solve_many /
+                                  micro-batches)   occupancy ledger)      ShardedExecutor)
+
+Callers stay synchronous: :meth:`StencilServer.submit` returns a
+:class:`SubmitHandle` immediately (or raises a typed admission error), and
+``handle.result()`` blocks for that request alone.  Internally an asyncio
+event loop on a daemon thread runs the dispatcher, and micro-batches execute
+on a thread pool sized to the device pool — the same "asyncio front, thread
+workers back" split a real serving process would use, since the simulated
+sweeps are numpy-bound and release the GIL.
+
+Results are bit-identical to sequential :func:`repro.sparstencil_solve`
+calls: coalescing only changes *when* plans compile (once per fingerprint,
+through the shared :class:`~repro.service.cache.CompileCache`), never what
+executes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Optional, Union
+
+from repro.core.pipeline import StencilRunResult, run_stencil
+from repro.engine.sharded import ShardedExecutor
+from repro.server.coalesce import Coalescer, MicroBatch
+from repro.server.queue import (
+    DeadlineExceededError,
+    QueuedRequest,
+    RequestQueue,
+    ServerClosedError,
+    ServerError,
+)
+from repro.server.scheduler import DevicePoolScheduler
+from repro.server.telemetry import ServerTelemetry
+from repro.service.batch import SolveRequest, solve_many
+from repro.service.cache import CompileCache, rebrand
+from repro.stencils.grid import Grid
+from repro.stencils.pattern import StencilPattern
+from repro.tcu.spec import MultiDeviceSpec
+from repro.util.validation import require_positive_int
+
+__all__ = ["ServerConfig", "ServerResult", "SubmitHandle", "StencilServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tunables of the serving pipeline (defaults suit the test workloads).
+
+    Attributes
+    ----------
+    queue_bound:
+        Admission-control bound; submissions beyond it raise
+        :class:`~repro.server.queue.QueueFullError`.
+    window_seconds / max_batch_size:
+        The coalescer's collection window and per-dispatch size cap.
+    max_workers:
+        Thread-pool width for concurrent micro-batch execution; defaults to
+        the device-pool size (extra workers would only queue on the ledger).
+    default_deadline_seconds:
+        Deadline applied to submissions that do not set their own
+        (``None`` = no deadline).
+    min_speedup / max_halo_fraction:
+        The scheduler's sharding thresholds (see
+        :class:`~repro.server.scheduler.DevicePoolScheduler`).
+    cache_capacity:
+        Capacity of the server-owned compile cache when none is injected.
+    """
+
+    queue_bound: int = 128
+    window_seconds: float = 0.002
+    max_batch_size: int = 16
+    max_workers: Optional[int] = None
+    default_deadline_seconds: Optional[float] = None
+    min_speedup: float = 1.25
+    max_halo_fraction: float = 0.25
+    cache_capacity: int = 128
+    latency_window: int = 2048
+
+
+@dataclass(frozen=True)
+class ServerResult:
+    """What a resolved :class:`SubmitHandle` yields."""
+
+    run: StencilRunResult
+    tag: Optional[str]
+    fingerprint: str
+    executor: str           # "single" | "sharded"
+    devices: int
+    batch_size: int         # live requests in the dispatched micro-batch
+    queue_wait_seconds: float
+    service_seconds: float  # submit -> result, the client-visible latency
+
+    @property
+    def output(self):
+        return self.run.output
+
+    @property
+    def coalesced(self) -> bool:
+        return self.batch_size > 1
+
+
+class SubmitHandle:
+    """Synchronous handle to one in-flight request."""
+
+    def __init__(self, item: QueuedRequest) -> None:
+        self._item = item
+
+    @property
+    def fingerprint(self) -> str:
+        return self._item.fingerprint
+
+    @property
+    def tag(self) -> Optional[str]:
+        return self._item.tag
+
+    def done(self) -> bool:
+        return self._item.future.done()
+
+    def result(self, timeout: Optional[float] = None) -> ServerResult:
+        """Block until the request resolves; re-raises typed failures."""
+        return self._item.future.result(timeout)
+
+    def exception(self, timeout: Optional[float] = None
+                  ) -> Optional[BaseException]:
+        return self._item.future.exception(timeout)
+
+
+class StencilServer:
+    """Online stencil-solving server over a pool of simulated devices.
+
+    Usage::
+
+        with StencilServer(devices=4) as server:
+            handles = [server.submit(pattern, grid, iterations=8, tag=str(i))
+                       for i, grid in enumerate(grids)]
+            outputs = [h.result().output for h in handles]
+            print(server.metrics()["coalescing"]["ratio"])
+
+    Parameters
+    ----------
+    devices:
+        The device pool: a :class:`repro.tcu.spec.MultiDeviceSpec` or a bare
+        device count (N simulated A100s on NVLink).
+    cache:
+        Optional shared :class:`~repro.service.cache.CompileCache` (e.g. one
+        with disk persistence); the server creates a private one otherwise.
+    config:
+        A :class:`ServerConfig`; defaults are reasonable for tests/examples.
+    """
+
+    def __init__(self, devices: Union[MultiDeviceSpec, int] = 1, *,
+                 cache: Optional[CompileCache] = None,
+                 config: Optional[ServerConfig] = None) -> None:
+        self.config = config if config is not None else ServerConfig()
+        self.cache = cache if cache is not None \
+            else CompileCache(capacity=self.config.cache_capacity)
+        self.scheduler = DevicePoolScheduler(
+            devices,
+            min_speedup=self.config.min_speedup,
+            max_halo_fraction=self.config.max_halo_fraction)
+        self.telemetry = ServerTelemetry(self.config.latency_window)
+        self.queue = RequestQueue(self.config.queue_bound)
+        self.coalescer = Coalescer(self.config.window_seconds,
+                                   self.config.max_batch_size)
+        workers = self.config.max_workers if self.config.max_workers \
+            else self.scheduler.pool.device_count
+        require_positive_int(workers, "max_workers")
+        self._workers = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="stencil-server")
+        #: bounds micro-batches handed to the thread pool: without it the
+        #: executor's internal queue would be an unbounded buffer behind the
+        #: bounded request queue, and admission control would never trigger
+        self._dispatch_slots = asyncio.Semaphore(workers)
+        self._pending = 0
+        self._pending_cond = threading.Condition()
+        self._shutdown_lock = threading.Lock()
+        self._closed = False
+
+        self._loop = asyncio.new_event_loop()
+        self.queue.bind_loop(self._loop)
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=self._run_loop, args=(ready,), daemon=True,
+            name="stencil-server-loop")
+        self._thread.start()
+        ready.wait()
+        self._dispatcher = asyncio.run_coroutine_threadsafe(
+            self._dispatch_loop(), self._loop)
+
+    # ------------------------------------------------------------------ #
+    # client API (any thread, synchronous)
+    # ------------------------------------------------------------------ #
+    def submit(self, pattern: StencilPattern, grid: Grid, iterations: int, *,
+               tag: Optional[str] = None,
+               deadline_seconds: Optional[float] = None,
+               **options: Any) -> SubmitHandle:
+        """Admit one solve request; returns immediately.
+
+        ``options`` takes the same keyword arguments as
+        :func:`repro.compile_stencil`.  Raises
+        :class:`~repro.server.queue.QueueFullError` (backpressure),
+        :class:`~repro.server.queue.DeadlineExceededError` (dead on arrival)
+        or :class:`~repro.server.queue.ServerClosedError` — typed, never a
+        silent drop.
+        """
+        request = SolveRequest(pattern=pattern, grid=grid,
+                               iterations=iterations,
+                               options=dict(options), tag=tag)
+        return self.submit_request(request, deadline_seconds=deadline_seconds)
+
+    def submit_request(self, request: SolveRequest, *,
+                       deadline_seconds: Optional[float] = None
+                       ) -> SubmitHandle:
+        """:meth:`submit` for a prebuilt :class:`~repro.service.SolveRequest`."""
+        require_positive_int(request.iterations, "iterations")
+        if deadline_seconds is None:
+            deadline_seconds = self.config.default_deadline_seconds
+        deadline = None if deadline_seconds is None \
+            else time.perf_counter() + float(deadline_seconds)
+        item = QueuedRequest(
+            request=request,
+            compile_request=request.compile_request(),
+            future=Future(),
+            deadline=deadline)
+        self.telemetry.submitted()
+        with self._pending_cond:
+            self._pending += 1
+        try:
+            self.queue.offer(item)
+        except ServerError as exc:
+            self._settle_pending()
+            self.telemetry.rejected(type(exc).__name__)
+            raise
+        item.future.add_done_callback(lambda _: self._settle_pending())
+        return SubmitHandle(item)
+
+    def drain(self, timeout: Optional[float] = None) -> None:
+        """Block until every accepted request has resolved (ok or error)."""
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._pending_cond:
+            while self._pending > 0:
+                remaining = None if deadline is None \
+                    else deadline - time.perf_counter()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"drain timed out with {self._pending} requests "
+                        f"in flight")
+                self._pending_cond.wait(remaining)
+
+    def shutdown(self, drain: bool = True,
+                 timeout: Optional[float] = None) -> None:
+        """Stop the server.  Idempotent.
+
+        ``drain=True`` (default) serves everything already accepted first;
+        ``drain=False`` fails still-queued requests with
+        :class:`~repro.server.queue.ServerClosedError` (in-flight
+        micro-batches always finish — work on devices is never abandoned).
+        """
+        with self._shutdown_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.queue.close()
+        if drain:
+            self.drain(timeout)
+        else:
+            for item in self.queue.drain_pending():
+                self._resolve_error(
+                    item,
+                    ServerClosedError("server shut down before dispatch"),
+                    "ServerClosedError")
+        self._dispatcher.result(timeout=timeout)
+        self._workers.shutdown(wait=True)
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        self._loop.close()
+
+    def metrics(self) -> Dict[str, Any]:
+        """Plain-dict snapshot of every serving metric (see
+        :class:`~repro.server.telemetry.ServerTelemetry`)."""
+        return self.telemetry.snapshot(queue=self.queue, cache=self.cache,
+                                       ledger=self.scheduler.ledger)
+
+    @property
+    def pending(self) -> int:
+        with self._pending_cond:
+            return self._pending
+
+    def __enter__(self) -> "StencilServer":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown(drain=exc_type is None)
+
+    # ------------------------------------------------------------------ #
+    # dispatcher (server loop thread)
+    # ------------------------------------------------------------------ #
+    def _run_loop(self, ready: threading.Event) -> None:
+        asyncio.set_event_loop(self._loop)
+        ready.set()
+        self._loop.run_forever()
+
+    async def _dispatch_loop(self) -> None:
+        while True:
+            try:
+                batches = await self.coalescer.collect(self.queue)
+            except Exception:
+                # collect() only raises before it has popped anything (its
+                # post-pop paths degrade internally), so continuing here
+                # cannot strand a request's future — count it, keep serving
+                self.telemetry.failed("dispatcher_error")
+                continue
+            if batches is None:
+                return  # queue closed and fully drained
+            for batch in batches:
+                await self._dispatch_slots.acquire()
+                future = self._loop.run_in_executor(
+                    self._workers, self._execute_batch, batch)
+                # done callbacks run on the loop thread, so releasing the
+                # slot here is race-free with the acquire above
+                future.add_done_callback(
+                    lambda _: self._dispatch_slots.release())
+
+    # ------------------------------------------------------------------ #
+    # batch execution (thread-pool workers)
+    # ------------------------------------------------------------------ #
+    def _execute_batch(self, batch: MicroBatch) -> None:
+        dispatch_start = time.perf_counter()
+        live = []
+        for item in batch.items:
+            if item.expired(dispatch_start):
+                self._resolve_error(
+                    item,
+                    DeadlineExceededError(
+                        f"deadline exceeded after "
+                        f"{item.queue_wait_seconds(dispatch_start) * 1e3:.1f}"
+                        f" ms in queue"),
+                    "DeadlineExceededError")
+            else:
+                live.append(item)
+        if not live:
+            return
+        try:
+            # one compile per fingerprint: every path below (solve_many, the
+            # sharded executor's per-shard plans, leftover plans) shares it
+            # through the server cache
+            compiled = self.cache.get_or_compile(live[0].compile_request)
+            decision, lease = self.scheduler.route(
+                compiled, live[0].request.iterations)
+            self.telemetry.batch_dispatched(
+                len(live), decision.executor, decision.devices)
+            modelled = 0.0
+            try:
+                if decision.sharded:
+                    executor = ShardedExecutor(
+                        self.scheduler.spec_for(decision, compiled),
+                        cache=self.cache)
+                    for item in live:
+                        request = item.request
+                        plan = rebrand(compiled, item.compile_request)
+                        if request.iterations % compiled.temporal_fusion == 0:
+                            run = executor.execute(plan, request.grid,
+                                                   request.iterations)
+                            kind, used = "sharded", decision.devices
+                        else:
+                            # non-divisible stragglers on a sharded batch run
+                            # single-device (leftover sweeps need it anyway)
+                            run = run_stencil(plan, request.grid,
+                                              request.iterations,
+                                              cache=self.cache)
+                            kind, used = "single", 1
+                        modelled += run.elapsed_seconds
+                        self._resolve(item, run, kind, used,
+                                      len(live), dispatch_start)
+                else:
+                    report = solve_many(
+                        [item.request for item in live],
+                        cache=self.cache,
+                        compile_requests=[item.compile_request
+                                          for item in live])
+                    for item, batch_item in zip(live, report.items):
+                        modelled += batch_item.result.elapsed_seconds
+                        self._resolve(item, batch_item.result, "single", 1,
+                                      len(live), dispatch_start)
+            finally:
+                self.scheduler.ledger.release(lease,
+                                              modelled_seconds=modelled)
+        except Exception as exc:  # noqa: BLE001 — futures carry the failure
+            for item in live:
+                if not item.future.done():
+                    self._resolve_error(item, exc, type(exc).__name__)
+
+    def _resolve(self, item: QueuedRequest, run: StencilRunResult,
+                 executor: str, devices: int, batch_size: int,
+                 dispatch_start: float) -> None:
+        end = time.perf_counter()
+        if item.tag is not None and run.tag != item.tag:
+            run = replace(run, tag=item.tag)
+        result = ServerResult(
+            run=run,
+            tag=item.tag,
+            fingerprint=item.fingerprint,
+            executor=executor,
+            devices=devices,
+            batch_size=batch_size,
+            queue_wait_seconds=dispatch_start - item.enqueued_at,
+            service_seconds=end - item.enqueued_at)
+        item.future.set_result(result)
+        self.telemetry.completed(
+            queue_wait_seconds=dispatch_start - item.enqueued_at,
+            execute_seconds=end - dispatch_start,
+            total_seconds=end - item.enqueued_at)
+
+    def _resolve_error(self, item: QueuedRequest, exc: BaseException,
+                       reason: str) -> None:
+        if not item.future.done():
+            item.future.set_exception(exc)
+            self.telemetry.failed(reason)
+
+    def _settle_pending(self) -> None:
+        with self._pending_cond:
+            self._pending -= 1
+            self._pending_cond.notify_all()

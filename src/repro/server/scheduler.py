@@ -1,0 +1,221 @@
+"""Device-pool scheduler: route each micro-batch to the right executor.
+
+Given a compiled plan and the pool's current free devices, the scheduler
+answers two questions with the *existing* analytical model (no new cost
+model is introduced):
+
+* **single or sharded?**  The per-sweep roofline time of the plan
+  (``plan.estimate.t_total``) is compared against the modelled sharded sweep
+  — per-shard compute shrinking with the device count versus the
+  interconnect cost of the partition's real halo geometry
+  (:class:`repro.stencils.partition.GridPartition` +
+  :meth:`repro.tcu.spec.MultiDeviceSpec.exchange_seconds`, exactly what the
+  :class:`~repro.engine.sharded.ShardedExecutor` bills at run time).  Small
+  grids are latency-bound and stay on one device; large grids clear the
+  NVLink latency and shard.
+* **how many devices?**  Every free power-of-two count is evaluated and the
+  best modelled speedup wins, provided it beats ``min_speedup`` and the
+  halo-traffic fraction stays under ``max_halo_fraction``.
+
+Occupancy is enforced by the :class:`repro.tcu.occupancy.OccupancyLedger`:
+:meth:`DevicePoolScheduler.route` decides and leases in one step, and the
+lease protocol guarantees in-use devices never exceed the pool size.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.morphing import MorphConfig
+from repro.core.pipeline import CompiledStencil
+from repro.stencils.partition import GridPartition
+from repro.tcu.occupancy import DeviceLease, OccupancyLedger
+from repro.tcu.spec import MultiDeviceSpec
+from repro.util.validation import require, require_positive_int
+
+__all__ = ["RoutingDecision", "DevicePoolScheduler"]
+
+
+@dataclass(frozen=True)
+class RoutingDecision:
+    """Where one micro-batch executes, and the model's reasons."""
+
+    executor: str                 # "single" | "sharded"
+    devices: int
+    reason: str
+    sweep_seconds: float          # modelled single-device sweep (roofline)
+    modelled_speedup: float       # sharded speedup at `devices` (1.0 single)
+    halo_fraction: float          # modelled halo share of byte movement
+
+    @property
+    def sharded(self) -> bool:
+        return self.executor == "sharded"
+
+
+def _shardable(compiled: CompiledStencil) -> bool:
+    """Whether the sharded executor supports this plan's layout at all."""
+    config = compiled.plan.config
+    pattern = compiled.pattern
+    return MorphConfig.from_r1_r2(pattern.ndim, config.r1, config.r2) == config
+
+
+class DevicePoolScheduler:
+    """Pick executors for compiled plans over a shared pool of devices.
+
+    Parameters
+    ----------
+    pool:
+        The cluster, as a :class:`MultiDeviceSpec` or a bare device count
+        (N simulated A100s on NVLink).
+    min_speedup:
+        Modelled sharded speedup required before leaving the single-device
+        path (sharding has real costs — shard compiles, halo exchanges — so
+        a marginal win is not worth them).
+    max_halo_fraction:
+        Upper bound on the modelled halo share of total byte movement; past
+        it the decomposition is communication-dominated and stays single.
+    """
+
+    def __init__(self, pool: Union[MultiDeviceSpec, int] = 1, *,
+                 min_speedup: float = 1.25,
+                 max_halo_fraction: float = 0.25,
+                 ledger: Optional[OccupancyLedger] = None) -> None:
+        if isinstance(pool, (int, np.integer)):
+            require_positive_int(int(pool), "pool device count")
+            pool = MultiDeviceSpec(device_count=int(pool))
+        require(isinstance(pool, MultiDeviceSpec),
+                f"pool must be a MultiDeviceSpec or a device count, "
+                f"got {type(pool).__name__}")
+        require(min_speedup >= 1.0, "min_speedup must be >= 1.0")
+        require(0.0 <= max_halo_fraction <= 1.0,
+                "max_halo_fraction must be in [0, 1]")
+        self.pool = pool
+        self.min_speedup = min_speedup
+        self.max_halo_fraction = max_halo_fraction
+        self.ledger = ledger if ledger is not None \
+            else OccupancyLedger(pool.device_count)
+
+    # ------------------------------------------------------------------ #
+    # decision model
+    # ------------------------------------------------------------------ #
+    def _sharded_estimate(self, compiled: CompiledStencil, devices: int
+                          ) -> Optional[Tuple[float, float]]:
+        """``(modelled speedup, halo fraction)`` of a ``devices``-way shard.
+
+        Uses the same partition geometry and interconnect model the sharded
+        executor bills at run time; ``None`` when the grid cannot be tiled
+        into that many shards.
+        """
+        try:
+            partition = GridPartition.build(
+                compiled.grid_shape, compiled.pattern.radius, devices,
+                align=compiled.plan.config.r)
+        except Exception:
+            return None
+        if partition.n_shards > devices or partition.n_shards < 2:
+            return None
+        itemsize = compiled.plan.dtype.itemsize
+        halo_seconds = max(
+            self.pool.exchange_seconds(elements * itemsize, messages)
+            for elements, messages in zip(
+                partition.received_elements_per_shard(),
+                partition.messages_per_shard()))
+        sweep = compiled.plan.estimate.t_total
+        sharded_sweep = sweep / partition.n_shards + halo_seconds
+        speedup = sweep / sharded_sweep if sharded_sweep > 0 else 0.0
+        traffic = compiled.plan.estimate.traffic
+        device_bytes = (traffic.global_bytes + traffic.metadata_bytes
+                        + traffic.lut_bytes)
+        halo_bytes = float(sum(partition.received_elements_per_shard())
+                           * itemsize)
+        total = halo_bytes + device_bytes
+        halo_fraction = halo_bytes / total if total > 0 else 0.0
+        return speedup, halo_fraction
+
+    def decide(self, compiled: CompiledStencil, iterations: int,
+               free_devices: Optional[int] = None) -> RoutingDecision:
+        """Routing decision for one plan given the pool's free devices."""
+        require_positive_int(iterations, "iterations")
+        free = self.ledger.free if free_devices is None else free_devices
+        free = max(0, min(free, self.pool.device_count))
+        sweep = compiled.plan.estimate.t_total
+
+        def single(reason: str) -> RoutingDecision:
+            return RoutingDecision(
+                executor="single", devices=1, reason=reason,
+                sweep_seconds=sweep, modelled_speedup=1.0, halo_fraction=0.0)
+
+        if free < 2:
+            return single("pool busy: fewer than 2 devices free")
+        if iterations % compiled.temporal_fusion != 0:
+            return single("iterations not divisible by the temporal-fusion "
+                          "factor (leftover sweeps are single-device)")
+        if not _shardable(compiled):
+            return single("layout not expressible as (r1, r2); sharded "
+                          "execution unsupported")
+
+        best: Optional[RoutingDecision] = None
+        devices = 2
+        while devices <= free:
+            estimate = self._sharded_estimate(compiled, devices)
+            if estimate is not None:
+                speedup, halo_fraction = estimate
+                if (halo_fraction <= self.max_halo_fraction
+                        and (best is None
+                             or speedup > best.modelled_speedup)):
+                    best = RoutingDecision(
+                        executor="sharded", devices=devices,
+                        reason=f"modelled {speedup:.2f}x on {devices} "
+                               f"devices",
+                        sweep_seconds=sweep, modelled_speedup=speedup,
+                        halo_fraction=halo_fraction)
+            devices *= 2
+        if best is None or best.modelled_speedup < self.min_speedup:
+            return single("latency-bound: modelled sharded speedup below "
+                          f"{self.min_speedup:.2f}x threshold")
+        return best
+
+    # ------------------------------------------------------------------ #
+    # lease integration
+    # ------------------------------------------------------------------ #
+    def route(self, compiled: CompiledStencil, iterations: int
+              ) -> Tuple[RoutingDecision, DeviceLease]:
+        """Decide against the live free count and lease atomically.
+
+        The free count can shrink between the decision and the lease (other
+        worker threads grab devices); when the optimistic lease fails the
+        decision is recomputed against the new free count, degrading toward
+        the always-satisfiable single-device route rather than blocking on
+        devices that may never free up together.
+        """
+        while True:
+            decision = self.decide(compiled, iterations,
+                                   free_devices=self.ledger.free)
+            if decision.devices == 1:
+                return decision, self.ledger.acquire(1)
+            lease = self.ledger.try_acquire(decision.devices)
+            if lease is not None:
+                return decision, lease
+
+    @contextlib.contextmanager
+    def leased(self, decision: RoutingDecision
+               ) -> Iterator[DeviceLease]:
+        """Context manager leasing ``decision.devices`` for a run."""
+        lease = self.ledger.acquire(decision.devices)
+        try:
+            yield lease
+        finally:
+            self.ledger.release(lease)
+
+    def spec_for(self, decision: RoutingDecision,
+                 compiled: CompiledStencil) -> MultiDeviceSpec:
+        """The cluster slice a sharded run executes on: ``decision.devices``
+        copies of the *compiled plan's* device (so per-shard fingerprints
+        match the plan, as the sharded executor requires), joined by the
+        pool's interconnect."""
+        return self.pool.with_overrides(device=compiled.spec,
+                                        device_count=decision.devices)

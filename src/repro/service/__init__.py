@@ -18,7 +18,7 @@ from repro.service.fingerprint import (
     compile_fingerprint,
     pattern_fingerprint,
 )
-from repro.service.cache import CacheEntry, CacheStats, CompileCache
+from repro.service.cache import CacheEntry, CacheStats, CompileCache, rebrand
 from repro.service.batch import (
     BatchItem,
     BatchReport,
@@ -35,6 +35,7 @@ __all__ = [
     "CacheEntry",
     "CacheStats",
     "CompileCache",
+    "rebrand",
     "BatchItem",
     "BatchReport",
     "SolveRequest",

@@ -12,11 +12,11 @@ from __future__ import annotations
 
 import time
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import CompiledStencil, StencilRunResult, run_stencil
-from repro.service.cache import CacheStats, CompileCache, _rebrand
+from repro.service.cache import CacheStats, CompileCache, rebrand
 from repro.service.fingerprint import CompileRequest
 from repro.stencils.grid import Grid
 from repro.stencils.pattern import StencilPattern
@@ -79,6 +79,10 @@ class BatchReport:
     def results(self) -> List[StencilRunResult]:
         return [item.result for item in self.items]
 
+    def by_tag(self) -> Dict[str, BatchItem]:
+        """Tagged items keyed by their tag (untagged items are skipped)."""
+        return {item.tag: item for item in self.items if item.tag is not None}
+
     @property
     def total_device_seconds(self) -> float:
         return sum(item.result.elapsed_seconds for item in self.items)
@@ -128,6 +132,7 @@ def solve_many(
     *,
     cache: Optional[CompileCache] = None,
     max_workers: Optional[int] = None,
+    compile_requests: Optional[Sequence[CompileRequest]] = None,
 ) -> BatchReport:
     """Solve a batch of heterogeneous stencil requests.
 
@@ -136,6 +141,11 @@ def solve_many(
     distinct compilations — dominated by the layout search — spread across a
     thread pool.  Execution then runs per request in submission order, so the
     outputs are identical to sequential, uncached ``sparstencil_solve`` calls.
+
+    ``compile_requests``, when given, must be the per-request
+    :class:`CompileRequest` objects in the same order; callers that already
+    resolved them (the online server does, at admission) skip re-deriving
+    each request's canonical fingerprint on the hot path.
     """
     requests = list(requests)
     require(len(requests) > 0, "solve_many needs at least one request")
@@ -144,7 +154,12 @@ def solve_many(
     if cache is None:
         cache = CompileCache(capacity=max(len(requests), 8))
 
-    compile_requests = [request.compile_request() for request in requests]
+    if compile_requests is None:
+        compile_requests = [request.compile_request() for request in requests]
+    else:
+        compile_requests = list(compile_requests)
+        require(len(compile_requests) == len(requests),
+                "compile_requests must match requests one-to-one")
     distinct: Dict[str, CompileRequest] = {}
     for creq in compile_requests:
         distinct.setdefault(creq.fingerprint, creq)
@@ -174,11 +189,15 @@ def solve_many(
     for request, creq in zip(requests, compile_requests):
         # the shared plan was compiled for the first request on this
         # fingerprint; every item still reports its own pattern identity
-        compiled = _rebrand(plans[creq.fingerprint], creq)
+        compiled = rebrand(plans[creq.fingerprint], creq)
         # the batch cache also serves leftover plans (non-divisible
         # iteration counts), so they compile once per fingerprint too
         result = run_stencil(compiled, request.grid, request.iterations,
                              cache=cache)
+        if request.tag is not None:
+            # stamp the request's tag onto the result itself, so results
+            # stay attributable after they leave the BatchItem wrapper
+            result = replace(result, tag=request.tag)
         items.append(BatchItem(
             request=request,
             compiled=compiled,
@@ -220,6 +239,7 @@ def solve_sharded(
     shard_grid: Optional[Tuple[int, ...]] = None,
     cache: Optional[CompileCache] = None,
     max_workers: Optional[int] = None,
+    tag: Optional[str] = None,
     **compile_kwargs,
 ):
     """Compile once and execute sharded across N simulated devices.
@@ -243,6 +263,9 @@ def solve_sharded(
     shard_grid:
         Optional shards-per-axis override (defaults to one shard per device,
         factored over the grid axes).
+    tag:
+        Optional request label, stamped onto the returned result (the same
+        attribution :class:`BatchItem` carries for batched solves).
     """
     from repro.core.pipeline import compile_cached
     from repro.engine.sharded import ShardedExecutor
@@ -252,4 +275,6 @@ def solve_sharded(
     executor = ShardedExecutor(devices, shard_grid=shard_grid, cache=cache,
                                max_workers=max_workers)
     result = executor.execute(compiled, grid, iterations)
+    if tag is not None:
+        result = replace(result, tag=tag)
     return compiled, result

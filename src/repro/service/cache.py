@@ -25,7 +25,7 @@ from repro.service.fingerprint import CompileRequest
 from repro.stencils.pattern import StencilPattern
 from repro.util.validation import require_positive_int
 
-__all__ = ["CacheStats", "CacheEntry", "CompileCache"]
+__all__ = ["CacheStats", "CacheEntry", "CompileCache", "rebrand"]
 
 
 _PIPELINE_VERSION: Optional[str] = None
@@ -63,14 +63,18 @@ def _pipeline_version() -> str:
     return _PIPELINE_VERSION
 
 
-def _rebrand(compiled: CompiledStencil, request: CompileRequest) -> CompiledStencil:
+def rebrand(compiled: CompiledStencil, request: CompileRequest) -> CompiledStencil:
     """Return ``compiled`` carrying the *requester's* pattern identity.
 
     Fingerprints deliberately ignore cosmetic pattern fields (name, kind,
-    metadata, tap order), so a hit may have been compiled for a semantically
-    equal but differently named pattern.  The plan's operands are shared
-    as-is — only the pattern objects are swapped, so launch names, summaries
-    and batch items report the identity of the request that hit.
+    metadata, tap order), so a cache hit may have been compiled for a
+    semantically equal but differently named pattern.  The plan's operands
+    are shared as-is — only the pattern objects are swapped, so launch
+    names, summaries and batch items report the identity of the request
+    that hit.  Every consumer that serves one plan to many requests (the
+    batch service, the online server) funnels through this helper; when the
+    requester's pattern already equals the compiled one, ``compiled`` is
+    returned unchanged.
     """
     options = request.options
     # equal original patterns imply equal fused patterns (fusion count is
@@ -86,6 +90,10 @@ def _rebrand(compiled: CompiledStencil, request: CompileRequest) -> CompiledSten
                    pattern=options.effective_pattern,
                    plan=plan,
                    search=search)
+
+
+#: Backwards-compatible alias from when the helper was module-private.
+_rebrand = rebrand
 
 
 @dataclass

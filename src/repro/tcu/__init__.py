@@ -36,6 +36,7 @@ from repro.tcu.memory import MemoryTraffic, memory_time, global_memory_time, sha
 from repro.tcu.timing import compute_time, mma_count, roofline_time
 from repro.tcu.counters import UtilizationReport, combine_utilization
 from repro.tcu.executor import KernelLaunch, LaunchResult, execute_launch
+from repro.tcu.occupancy import DeviceLease, DeviceState, OccupancyLedger
 
 __all__ = [
     "DataType",
@@ -69,4 +70,7 @@ __all__ = [
     "KernelLaunch",
     "LaunchResult",
     "execute_launch",
+    "DeviceLease",
+    "DeviceState",
+    "OccupancyLedger",
 ]

@@ -1,0 +1,210 @@
+"""Device-pool occupancy accounting for the simulated cluster.
+
+A serving deployment runs many concurrent solves against one pool of
+devices; the scheduler needs to know, at any instant, how many devices are
+free, and the operator needs to know, over time, how busy each device has
+been.  :class:`OccupancyLedger` provides both: an atomic lease/release
+protocol (a lease can never over-subscribe the pool — acquisition blocks
+until enough devices are free) plus per-device busy-time accounting that the
+telemetry layer exports as utilization.
+
+The ledger tracks *host* wall time while a lease is held.  The modelled
+device seconds of the runs themselves live in the
+:class:`~repro.core.pipeline.StencilRunResult`; callers may additionally
+record them on release so both pictures are available.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.validation import require, require_positive_int
+
+__all__ = ["DeviceLease", "DeviceState", "OccupancyLedger"]
+
+
+@dataclass
+class DeviceState:
+    """Lifetime accounting for one device of the pool."""
+
+    device_id: int
+    busy_seconds: float = 0.0
+    modelled_seconds: float = 0.0
+    leases: int = 0
+    in_use: bool = False
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "device_id": self.device_id,
+            "busy_seconds": self.busy_seconds,
+            "modelled_seconds": self.modelled_seconds,
+            "leases": self.leases,
+            "in_use": self.in_use,
+        }
+
+
+@dataclass(frozen=True)
+class DeviceLease:
+    """A set of devices held by one run; returned by :meth:`OccupancyLedger.acquire`."""
+
+    device_ids: Tuple[int, ...]
+    acquired_at: float = field(default_factory=time.perf_counter)
+
+    @property
+    def device_count(self) -> int:
+        return len(self.device_ids)
+
+
+class OccupancyLedger:
+    """Thread-safe lease/release accounting over a fixed pool of devices.
+
+    Invariants (enforced, not advisory):
+
+    * the devices of every outstanding lease are disjoint — occupancy can
+      never exceed ``device_count``;
+    * :meth:`acquire` blocks until enough devices are free (so callers may
+      simply ask; the pool itself is the backpressure);
+    * ``peak_in_use`` records the high-water mark, which is what the
+      occupancy tests assert against.
+    """
+
+    def __init__(self, device_count: int) -> None:
+        require_positive_int(device_count, "device_count")
+        self.device_count = device_count
+        self._condition = threading.Condition()
+        self._devices = [DeviceState(device_id=i) for i in range(device_count)]
+        self._free: List[int] = list(range(device_count))
+        self._peak_in_use = 0
+        self._total_leases = 0
+        self._created_at = time.perf_counter()
+
+    # ------------------------------------------------------------------ #
+    # lease protocol
+    # ------------------------------------------------------------------ #
+    def acquire(self, devices: int = 1,
+                timeout: Optional[float] = None) -> DeviceLease:
+        """Block until ``devices`` devices are free and lease them atomically.
+
+        Raises :class:`TimeoutError` when ``timeout`` elapses first.
+        """
+        require_positive_int(devices, "devices")
+        require(devices <= self.device_count,
+                f"cannot lease {devices} devices from a pool of "
+                f"{self.device_count}")
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with self._condition:
+            while len(self._free) < devices:
+                remaining = None if deadline is None \
+                    else deadline - time.perf_counter()
+                if remaining is not None and remaining <= 0:
+                    raise TimeoutError(
+                        f"no {devices} free devices within {timeout}s "
+                        f"({self.device_count - len(self._free)} of "
+                        f"{self.device_count} in use)")
+                self._condition.wait(remaining)
+            return self._grant(devices)
+
+    def try_acquire(self, devices: int = 1) -> Optional[DeviceLease]:
+        """Non-blocking :meth:`acquire`: ``None`` when not enough are free."""
+        require_positive_int(devices, "devices")
+        if devices > self.device_count:
+            return None
+        with self._condition:
+            if len(self._free) < devices:
+                return None
+            return self._grant(devices)
+
+    def _grant(self, devices: int) -> DeviceLease:
+        """Hand out ``devices`` free devices; caller holds the condition."""
+        ids = tuple(self._free.pop(0) for _ in range(devices))
+        for device_id in ids:
+            state = self._devices[device_id]
+            state.in_use = True
+            state.leases += 1
+        self._total_leases += 1
+        in_use = self.device_count - len(self._free)
+        self._peak_in_use = max(self._peak_in_use, in_use)
+        return DeviceLease(device_ids=ids)
+
+    def release(self, lease: DeviceLease,
+                modelled_seconds: float = 0.0) -> float:
+        """Return a lease's devices to the pool.
+
+        Records the host wall time the lease was held against every leased
+        device (they ran concurrently, so each was busy for the full span).
+        ``modelled_seconds`` is the run's *total* modelled device time and is
+        split evenly across the leased devices, so summing
+        ``modelled_seconds`` over the pool reproduces the total rather than
+        multiplying it by the lease width.  Returns the held wall seconds.
+        """
+        held = time.perf_counter() - lease.acquired_at
+        modelled_share = modelled_seconds / lease.device_count
+        with self._condition:
+            for device_id in lease.device_ids:
+                state = self._devices[device_id]
+                require(state.in_use,
+                        f"device {device_id} released but not leased")
+                state.in_use = False
+                state.busy_seconds += held
+                state.modelled_seconds += modelled_share
+                self._free.append(device_id)
+            self._free.sort()
+            self._condition.notify_all()
+        return held
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def free(self) -> int:
+        with self._condition:
+            return len(self._free)
+
+    @property
+    def in_use(self) -> int:
+        with self._condition:
+            return self.device_count - len(self._free)
+
+    @property
+    def peak_in_use(self) -> int:
+        with self._condition:
+            return self._peak_in_use
+
+    @property
+    def total_leases(self) -> int:
+        with self._condition:
+            return self._total_leases
+
+    def utilization(self, wall_seconds: Optional[float] = None
+                    ) -> Dict[int, float]:
+        """Busy fraction per device over ``wall_seconds`` (ledger lifetime
+        when omitted), clamped to [0, 1]."""
+        if wall_seconds is None:
+            wall_seconds = time.perf_counter() - self._created_at
+        with self._condition:
+            if wall_seconds <= 0:
+                return {state.device_id: 0.0 for state in self._devices}
+            return {
+                state.device_id:
+                    min(1.0, max(0.0, state.busy_seconds / wall_seconds))
+                for state in self._devices
+            }
+
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-dict occupancy picture for the telemetry exporter."""
+        wall = time.perf_counter() - self._created_at
+        with self._condition:
+            busy = [state.busy_seconds for state in self._devices]
+            return {
+                "device_count": self.device_count,
+                "in_use": self.device_count - len(self._free),
+                "peak_in_use": self._peak_in_use,
+                "total_leases": self._total_leases,
+                "wall_seconds": wall,
+                "per_device": [state.as_dict() for state in self._devices],
+                "mean_utilization": (sum(busy) / (wall * self.device_count)
+                                     if wall > 0 else 0.0),
+            }

@@ -1,0 +1,156 @@
+"""CompileCache under concurrency: one fingerprint hammered from N threads
+compiles exactly once, and the hit/miss counters stay consistent even under
+eviction pressure."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.service.fingerprint as fingerprint_module
+from repro.service import CompileCache, CompileRequest
+from repro.stencils.pattern import StencilPattern
+
+
+@pytest.fixture
+def compile_counter(monkeypatch):
+    """Count actual compile-pipeline invocations, thread-safely."""
+    lock = threading.Lock()
+    calls = {"count": 0}
+    original = fingerprint_module.CompileRequest.compile
+
+    def counting(self):
+        with lock:
+            calls["count"] += 1
+        return original(self)
+
+    monkeypatch.setattr(fingerprint_module.CompileRequest, "compile",
+                        counting)
+    return calls
+
+
+def hammer(threads, work):
+    workers = [threading.Thread(target=work) for _ in range(threads)]
+    for t in workers:
+        t.start()
+    for t in workers:
+        t.join()
+
+
+class TestSingleFingerprintHammer:
+    def test_exactly_one_compile_from_n_threads(self, heat2d,
+                                                compile_counter):
+        cache = CompileCache()
+        request = CompileRequest.build(heat2d, (40, 44))
+        threads, rounds = 8, 5
+        results = []
+        results_lock = threading.Lock()
+
+        def work():
+            for _ in range(rounds):
+                compiled = cache.get_or_compile(request)
+                with results_lock:
+                    results.append(compiled)
+
+        hammer(threads, work)
+
+        assert compile_counter["count"] == 1
+        stats = cache.snapshot_stats()
+        assert stats.misses == 1
+        assert stats.hits == threads * rounds - 1
+        assert stats.lookups == threads * rounds
+        # every thread got the very same plan object
+        assert all(r is results[0] for r in results)
+
+    def test_distinct_fingerprints_may_compile_in_parallel(self,
+                                                           compile_counter):
+        cache = CompileCache()
+        patterns = [StencilPattern.star(1, 1,
+                                        weights=[0.5, 0.25, 0.25],
+                                        name=f"p{i}")
+                    for i in range(4)]
+        requests = [CompileRequest.build(p, (64 + 8 * i,))
+                    for i, p in enumerate(patterns)]
+
+        def work():
+            for request in requests:
+                cache.get_or_compile(request)
+
+        hammer(6, work)
+        # same-shape-but-renamed patterns share fingerprints only when taps
+        # match; here each request has a distinct grid shape => 4 compiles
+        assert compile_counter["count"] == 4
+        stats = cache.snapshot_stats()
+        assert stats.misses == 4
+        assert stats.lookups == 6 * 4
+
+
+class TestEvictionPressure:
+    def test_stats_stay_consistent_under_eviction(self, compile_counter):
+        """Capacity 2, 5 distinct fingerprints, 8 threads: entries churn
+        constantly, yet every lookup is exactly one hit or one miss and every
+        miss is exactly one compile."""
+        cache = CompileCache(capacity=2)
+        pattern = StencilPattern.star(1, 1, weights=[0.5, 0.25, 0.25])
+        requests = [CompileRequest.build(pattern, (64 + 8 * i,))
+                    for i in range(5)]
+        threads, rounds = 8, 4
+
+        def work():
+            for round_i in range(rounds):
+                for request in requests:
+                    compiled = cache.get_or_compile(request)
+                    assert compiled.grid_shape == request.options.grid_shape
+
+        hammer(threads, work)
+
+        stats = cache.snapshot_stats()
+        total_lookups = threads * rounds * len(requests)
+        # conservation: every lookup resolved as exactly one hit or miss
+        assert stats.lookups == total_lookups
+        assert stats.hits + stats.misses == total_lookups
+        # every miss is exactly one pipeline compile (no lost or double work)
+        assert compile_counter["count"] == stats.misses
+        # capacity 2 with 5 live fingerprints must evict — and with
+        # eviction, fingerprints genuinely recompile
+        assert stats.evictions > 0
+        assert stats.misses > len(requests)
+        assert len(cache) <= 2
+
+    def test_hammered_entry_survives_when_hot(self, heat1d, monkeypatch):
+        """The LRU protects the hot fingerprint: hammering it while cold
+        entries churn keeps it resident, so it compiles exactly once."""
+        lock = threading.Lock()
+        compiles_by_fingerprint: dict = {}
+        original = fingerprint_module.CompileRequest.compile
+
+        def counting(request):
+            with lock:
+                compiles_by_fingerprint[request.fingerprint] = \
+                    compiles_by_fingerprint.get(request.fingerprint, 0) + 1
+            return original(request)
+
+        monkeypatch.setattr(fingerprint_module.CompileRequest, "compile",
+                            counting)
+
+        cache = CompileCache(capacity=2)
+        hot = CompileRequest.build(heat1d, (256,))
+        cache.get_or_compile(hot)
+        cold_pattern = StencilPattern.star(1, 1, weights=[0.4, 0.3, 0.3])
+        colds = [CompileRequest.build(cold_pattern, (64 + 8 * i,))
+                 for i in range(3)]
+
+        # deterministic interleaving: a hot touch between every cold insert
+        # keeps the hot entry MRU, so eviction always lands on a cold one
+        for _ in range(3):
+            for cold in colds:
+                cache.get_or_compile(cold)
+                cache.get_or_compile(hot)
+
+        assert cache.stats.evictions > 0
+        assert cache.contains(hot)
+        assert compiles_by_fingerprint[hot.fingerprint] == 1
+        # the cold fingerprints churned through capacity 2 and recompiled
+        assert sum(compiles_by_fingerprint.values()) == \
+            cache.snapshot_stats().misses

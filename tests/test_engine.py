@@ -127,6 +127,47 @@ class TestLeftoverSweeps:
         assert leftover_plan(compiled) is first
 
 
+class TestLeftoverEdgeCases:
+    """iterations < temporal_fusion and iterations == 1: every sweep is a
+    leftover sweep, executed entirely with the unfused companion plan."""
+
+    def test_single_iteration_under_fusion_runs_one_plain_sweep(self, heat2d):
+        grid = make_grid((44, 44), seed=8)
+        compiled = compile_stencil(heat2d, (44, 44), temporal_fusion=2)
+        result = run_stencil(compiled, grid, iterations=1)
+        assert result.sweeps == 1
+        assert result.leftover_sweeps == 1
+        reference = run_stencil_iterations(heat2d, grid, 1)
+        assert np.max(np.abs(result.output - reference)) < FP16_TOL
+        # one plain sweep of the unfused (radius-1) pattern
+        assert result.points_updated == pytest.approx((44 - 2) ** 2)
+
+    @pytest.mark.parametrize("fusion,iterations", [(3, 1), (3, 2), (4, 3)])
+    def test_all_iterations_below_fusion_are_plain(self, heat2d, fusion,
+                                                   iterations):
+        grid = make_grid((60, 60), seed=9)
+        compiled = compile_stencil(heat2d, (60, 60), temporal_fusion=fusion)
+        result = run_stencil(compiled, grid, iterations=iterations)
+        assert result.sweeps == iterations
+        assert result.leftover_sweeps == iterations
+        reference = run_stencil_iterations(heat2d, grid, iterations)
+        assert np.max(np.abs(result.output - reference)) < FP16_TOL
+
+    def test_leftover_plan_shared_across_fusion_factors(self, heat2d):
+        """tf=2 and tf=3 plans share one unfused companion fingerprint, so a
+        shared cache compiles the leftover plan exactly once."""
+        cache = CompileCache()
+        two = compile_stencil(heat2d, (60, 60), temporal_fusion=2)
+        three = compile_stencil(heat2d, (60, 60), temporal_fusion=3)
+        first = leftover_plan(two, cache)
+        second = leftover_plan(three, cache)
+        assert first is second
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert first.temporal_fusion == 1
+        assert first.pattern.radius == heat2d.radius
+
+
 class TestCombineUtilization:
     def _report(self, value: float) -> UtilizationReport:
         return UtilizationReport(

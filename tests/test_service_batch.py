@@ -154,6 +154,37 @@ class TestSolveMany:
             solve_many([])
 
 
+class TestTagPropagation:
+    def test_tags_flow_into_batch_items_and_results(self):
+        requests = mixed_requests()
+        report = solve_many(requests)
+        for request, item in zip(requests, report.items):
+            assert item.tag == request.tag
+            # the tag is stamped onto the run result itself, so it survives
+            # leaving the BatchItem wrapper
+            assert item.result.tag == request.tag
+        assert set(report.by_tag()) == set("abcdefgh")
+        assert report.by_tag()["c"].request.iterations == 3
+
+    def test_untagged_requests_stay_untagged(self, heat2d):
+        report = solve_many([SolveRequest(heat2d, make_grid((40, 44), seed=0),
+                                          2)])
+        assert report.items[0].tag is None
+        assert report.items[0].result.tag is None
+        assert report.by_tag() == {}
+
+    def test_solve_sharded_tag_propagates(self, heat2d):
+        from repro.service import solve_sharded
+        grid = make_grid((64, 64), seed=3)
+        _, tagged = solve_sharded(heat2d, grid, 2, devices=2, tag="east-rack")
+        assert tagged.tag == "east-rack"
+        _, untagged = solve_sharded(heat2d, grid, 2, devices=2)
+        assert untagged.tag is None
+        # the stamp changes attribution only, never the numbers
+        assert np.array_equal(tagged.output, untagged.output)
+        assert tagged.elapsed_seconds == untagged.elapsed_seconds
+
+
 class TestRunStencilBatch:
     def test_returns_results_in_request_order(self):
         requests = mixed_requests()

@@ -271,6 +271,41 @@ class TestCompileCache:
         assert all(r is results[0] for r in results)
 
 
+class TestRebrandHelper:
+    """`rebrand` is the public cross-module helper that serves one cached
+    plan to many differently named (but semantically equal) requests."""
+
+    def test_equal_pattern_returns_same_object(self, heat2d):
+        from repro.service import rebrand
+        request = CompileRequest.build(heat2d, (40, 44))
+        compiled = request.compile()
+        assert rebrand(compiled, request) is compiled
+
+    def test_renamed_request_swaps_identity_shares_operands(self, heat2d):
+        from repro.service import rebrand
+        compiled = CompileRequest.build(heat2d, (40, 44)).compile()
+        renamed = StencilPattern(
+            name="renamed", ndim=heat2d.ndim, offsets=heat2d.offsets,
+            weights=heat2d.weights, kind=heat2d.kind)
+        rebranded = rebrand(compiled,
+                            CompileRequest.build(renamed, (40, 44)))
+        assert rebranded is not compiled
+        assert rebranded.original_pattern.name == "renamed"
+        assert rebranded.plan.pattern.name == "renamed"
+        assert rebranded.search.pattern_name == "renamed"
+        # operands are shared, not copied — rebranding is metadata-only
+        assert rebranded.plan.a_operand is compiled.plan.a_operand
+        assert rebranded.plan.lut is compiled.plan.lut
+
+    def test_exported_and_aliased(self):
+        import repro.service.cache as cache_module
+        from repro.service import rebrand
+        assert "rebrand" in cache_module.__all__
+        assert rebrand is cache_module.rebrand
+        # the old private name keeps working for out-of-tree callers
+        assert cache_module._rebrand is rebrand
+
+
 class TestPersistence:
     def test_disk_round_trip(self, heat2d, small_grid_2d, tmp_path):
         warm_dir = tmp_path / "plans"
