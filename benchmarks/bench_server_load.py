@@ -27,9 +27,10 @@ import time
 import numpy as np
 import pytest
 
+from collections import Counter
+
 from benchmarks.conftest import save_results
-from repro import ServerConfig, StencilServer, make_grid, sparstencil_solve
-from repro.service import SolveRequest
+from repro import Problem, ServerConfig, StencilServer, StencilSession, make_grid
 from repro.stencils.catalog import table2_benchmarks
 
 #: Kernel popularity is skewed ~ Zipf: the first kernel gets half the
@@ -46,35 +47,37 @@ _ROWS: dict = {}
 
 
 def _workload():
-    """Deterministic skewed request stream over 4 distinct fingerprints."""
+    """Deterministic skewed problem stream over 4 distinct fingerprints."""
     kernels = [c for c in table2_benchmarks()
                if c.name in ("Heat-1D", "Heat-2D", "Box-2D9P", "Box-2D49P")]
     weighted = [k for kernel, weight in zip(kernels, POPULARITY)
                 for k in [kernel] * weight]
-    requests = []
+    problems = []
     for i in range(REQUESTS):
         config = weighted[(i * 7) % len(weighted)]  # shuffled, deterministic
         shape = GRID_1D if config.pattern.ndim == 1 else GRID_2D
-        requests.append(SolveRequest(
+        problems.append(Problem(
             config.pattern, make_grid(shape, seed=i), ITERATIONS,
             tag=f"{config.name}/{i}"))
-    return requests
+    return problems
 
 
-def _run_sequential(requests):
-    """The pre-serving baseline: one-at-a-time, one compile per request."""
+def _run_sequential(problems):
+    """The pre-serving baseline: one-at-a-time, one compile per request
+    (``cache=None`` disables the session cache per call)."""
     outputs = []
-    for request in requests:
-        _, result = sparstencil_solve(request.pattern, request.grid,
-                                      request.iterations)
-        outputs.append(result.output)
+    with StencilSession() as session:
+        for problem in problems:
+            outputs.append(session.solve(problem, mode="single",
+                                         cache=None).output)
     return outputs
 
 
-def _run_server_closed_loop(requests, clients=6):
+def _run_server_closed_loop(problems, clients=6):
     """Closed-loop: each client thread keeps one request in flight."""
-    outputs = [None] * len(requests)
-    cursor = iter(range(len(requests)))
+    outputs = [None] * len(problems)
+    executors = [None] * len(problems)
+    cursor = iter(range(len(problems)))
     lock = threading.Lock()
     with StencilServer(devices=DEVICES,
                        config=ServerConfig(window_seconds=0.005,
@@ -85,10 +88,9 @@ def _run_server_closed_loop(requests, clients=6):
                     i = next(cursor, None)
                 if i is None:
                     return
-                handle = server.submit(requests[i].pattern, requests[i].grid,
-                                       requests[i].iterations,
-                                       tag=requests[i].tag)
-                outputs[i] = handle.result(timeout=300).output
+                result = server.submit_problem(problems[i]).result(timeout=300)
+                outputs[i] = result.output
+                executors[i] = result.executor
 
         threads = [threading.Thread(target=client) for _ in range(clients)]
         for t in threads:
@@ -96,24 +98,24 @@ def _run_server_closed_loop(requests, clients=6):
         for t in threads:
             t.join()
         telemetry = server.metrics()
-    return outputs, telemetry
+    return outputs, telemetry, executors
 
 
-def _run_server_open_loop(requests, interval_seconds=0.001):
+def _run_server_open_loop(problems, interval_seconds=0.001):
     """Open-loop: fixed arrival schedule, completion decoupled from arrival."""
     with StencilServer(devices=DEVICES,
                        config=ServerConfig(window_seconds=0.005,
                                            max_batch_size=16,
-                                           queue_bound=2 * len(requests))
+                                           queue_bound=2 * len(problems))
                        ) as server:
         handles = []
-        for request in requests:
-            handles.append(server.submit(request.pattern, request.grid,
-                                         request.iterations, tag=request.tag))
+        for problem in problems:
+            handles.append(server.submit_problem(problem))
             time.sleep(interval_seconds)
-        outputs = [handle.result(timeout=300).output for handle in handles]
+        results = [handle.result(timeout=300) for handle in handles]
         telemetry = server.metrics()
-    return outputs, telemetry
+    return ([result.output for result in results], telemetry,
+            [result.executor for result in results])
 
 
 def test_server_load(benchmark):
@@ -129,10 +131,11 @@ def test_server_load(benchmark):
 
     def serve():
         start = time.perf_counter()
-        outputs, telemetry = _run_server_closed_loop(requests)
+        outputs, telemetry, executors = _run_server_closed_loop(requests)
         result["seconds"] = time.perf_counter() - start
         result["outputs"] = outputs
         result["telemetry"] = telemetry
+        result["executors"] = executors
 
     benchmark.pedantic(serve, rounds=1, iterations=1)
     server_seconds = result["seconds"]
@@ -142,7 +145,8 @@ def test_server_load(benchmark):
         assert np.array_equal(got, want), requests[i].tag
 
     open_start = time.perf_counter()
-    open_outputs, open_telemetry = _run_server_open_loop(requests)
+    open_outputs, open_telemetry, open_executors = _run_server_open_loop(
+        requests)
     open_seconds = time.perf_counter() - open_start
     for i, (got, want) in enumerate(zip(open_outputs, expected)):
         assert np.array_equal(got, want), requests[i].tag
@@ -180,6 +184,14 @@ def test_server_load(benchmark):
     }
     _ROWS["telemetry"] = telemetry
     _ROWS["open_loop_telemetry"] = open_telemetry
+    # session provenance: per-request routed modes, so the perf trajectory
+    # distinguishes single-device micro-batches from sharded dispatches
+    _ROWS["provenance"] = {
+        "api": "session/served",
+        "sequential_mode": "single",
+        "closed_loop_executor_counts": dict(Counter(result["executors"])),
+        "open_loop_executor_counts": dict(Counter(open_executors)),
+    }
 
 
 def test_server_load_save(benchmark, results_dir):

@@ -19,8 +19,8 @@ import time
 import pytest
 
 from benchmarks.conftest import BENCH_GRIDS, save_results
-from repro import make_grid, sparstencil_solve
-from repro.service import CompileCache, CompileRequest, SolveRequest, solve_many
+from repro import Problem, StencilSession, make_grid
+from repro.service import CompileCache, CompileRequest
 from repro.stencils.catalog import table2_benchmarks
 
 #: Kernels small enough that host compile time is the interesting quantity.
@@ -57,27 +57,33 @@ def test_cold_vs_warm_compile(benchmark, config):
     }
 
 
-def _mixed_requests():
+def _mixed_problems():
     patterns = [c.pattern for c in CACHE_KERNELS]
-    requests = []
+    problems = []
     for i in range(8):
         pattern = patterns[i % len(patterns)]
         shape = BENCH_GRIDS[pattern.ndim]
-        requests.append(SolveRequest(pattern, make_grid(shape, seed=i), 2))
-    return requests
+        problems.append(Problem(pattern, make_grid(shape, seed=i), 2,
+                                tag=f"{pattern.name}/{i}"))
+    return problems
 
 
 def test_batch_throughput(benchmark):
-    requests = _mixed_requests()
+    problems = _mixed_problems()
+    session = StencilSession()
 
+    # the pre-service baseline: one-at-a-time, no cache (cache=None disables
+    # the session cache per call), one compile per request
     sequential_start = time.perf_counter()
-    for request in requests:
-        sparstencil_solve(request.pattern, request.grid, request.iterations)
+    sequential_provenance = None
+    for problem in problems:
+        solution = session.solve(problem, mode="single", cache=None)
+        sequential_provenance = solution.provenance
     sequential_seconds = time.perf_counter() - sequential_start
 
     cache = CompileCache()
-    solve_many(requests, cache=cache)  # warm the cache once
-    report = benchmark.pedantic(solve_many, args=(requests,),
+    session.solve_batch(problems, cache=cache)  # warm the cache once
+    report = benchmark.pedantic(session.solve_batch, args=(problems,),
                                 kwargs={"cache": cache}, rounds=5, iterations=1)
     batched_seconds = min(benchmark.stats.stats.data)
 
@@ -98,6 +104,13 @@ def test_batch_throughput(benchmark):
         "requests": summary["requests"],
         "distinct_plans": summary["distinct_plans"],
     }
+    # session provenance: which engine the routed modes actually used, so
+    # the perf trajectory can distinguish "same numbers, different path"
+    _ROWS["provenance"] = {
+        "api": "session",
+        "sequential": sequential_provenance.as_dict(),
+        "batch_mode": "solve_batch/single",
+    }
 
 
 def test_service_cache_save(benchmark, results_dir):
@@ -108,5 +121,6 @@ def test_service_cache_save(benchmark, results_dir):
         "kernels": [c.name for c in CACHE_KERNELS],
         "bench_grids": {str(k): list(v) for k, v in BENCH_GRIDS.items()},
         "batch_requests": 8,
+        "api": "session",
     })
     print(f"\nsaved service-cache benchmark rows to {path}")

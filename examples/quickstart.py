@@ -1,6 +1,10 @@
-"""Quickstart: compile a 2D heat stencil for the simulated sparse Tensor Cores
-and run a few time steps — through the compilation cache, the way a serving
-deployment would.
+"""Quickstart: solve a 2D heat stencil through the session API.
+
+A :class:`repro.StencilSession` is the one front door over every execution
+mode: you describe *what* to solve as a :class:`repro.Problem`, optionally
+*how* as a :class:`repro.SolvePolicy`, and get back a uniform
+:class:`repro.Solution` with the output, the compiled plan and the
+provenance of which engine actually ran.
 
 Run with::
 
@@ -12,13 +16,12 @@ from __future__ import annotations
 import numpy as np
 
 from repro import (
-    CompileCache,
+    Problem,
     StencilPattern,
+    StencilSession,
     make_grid,
     render_cuda_source,
-    run_stencil,
     run_stencil_iterations,
-    sparstencil_solve,
 )
 
 
@@ -29,47 +32,46 @@ def main() -> None:
     print(f"Stencil: {heat}")
 
     # 2. Build a workload: a Gaussian temperature bump on a 128x128 grid.
-    grid = make_grid((128, 128), kind="gaussian")
+    problem = Problem(heat, make_grid((128, 128), kind="gaussian"),
+                      iterations=8, tag="quickstart")
 
-    # 3. Solve through the compilation cache — layout search, 2:4 conversion
-    #    and kernel generation happen here, exactly once per fingerprint.
-    cache = CompileCache()
-    compiled, result = sparstencil_solve(heat, grid, 8, cache=cache)
-    plan = compiled.plan
-    print("\nCompiled kernel plan:")
-    for key, value in plan.summary().items():
-        print(f"  {key:24s} {value}")
+    with StencilSession() as session:
+        # 3. Solve.  Layout search, 2:4 conversion and kernel generation run
+        #    here, exactly once per compile fingerprint (the session owns the
+        #    compilation cache); mode="auto" routes through the perf model.
+        solution = session.solve(problem)
+        plan = solution.compiled.plan
+        print("\nCompiled kernel plan:")
+        for key, value in plan.summary().items():
+            print(f"  {key:24s} {value}")
 
-    print(f"\nSimulated device time : {result.elapsed_seconds * 1e6:9.2f} us")
-    print(f"Throughput            : {result.gstencil_per_second:9.2f} GStencil/s")
-    print(f"Roofline side         : {'compute' if result.compute_seconds >= result.memory_seconds else 'memory'}-bound")
+        result = solution.result
+        print(f"\nRouted to             : {solution.provenance.executor} "
+              f"({solution.provenance.reason})")
+        print(f"Simulated device time : {result.elapsed_seconds * 1e6:9.2f} us")
+        print(f"Throughput            : {solution.gstencil_per_second:9.2f} GStencil/s")
+        print(f"Roofline side         : {'compute' if result.compute_seconds >= result.memory_seconds else 'memory'}-bound")
 
-    # 4. Verify against the golden numpy reference.
-    reference = run_stencil_iterations(heat, grid, 8)
-    error = float(np.max(np.abs(result.output - reference)))
-    print(f"Max |error| vs reference (fp16 device arithmetic): {error:.2e}")
-    assert error < 5e-3
+        # 4. Verify against the golden numpy reference.
+        reference = run_stencil_iterations(heat, problem.grid, 8)
+        error = float(np.max(np.abs(solution.output - reference)))
+        print(f"Max |error| vs reference (fp16 device arithmetic): {error:.2e}")
+        assert error < 5e-3
 
-    # 5. Solve again: the warm cache skips morphing, conversion and the
-    #    layout search entirely and goes straight to execution.
-    compiled_again, warm = run_warm(heat, grid, cache)
-    assert compiled_again is compiled
-    assert np.array_equal(warm.output, result.output)
-    stats = cache.stats
-    print(f"\nCache after a repeat solve: {stats.hits} hit(s), "
-          f"{stats.misses} miss(es), hit rate {stats.hit_rate:.0%}, "
-          f"{stats.saved_seconds * 1e3:.1f} ms of compile time saved")
+        # 5. Solve again: the warm session cache skips morphing, conversion
+        #    and the layout search entirely and goes straight to execution.
+        warm = session.solve(problem)
+        assert warm.compiled is solution.compiled
+        assert np.array_equal(warm.output, solution.output)
+        stats = session.cache.stats
+        print(f"\nCache after a repeat solve: {stats.hits} hit(s), "
+              f"{stats.misses} miss(es), hit rate {stats.hit_rate:.0%}, "
+              f"{stats.saved_seconds * 1e3:.1f} ms of compile time saved")
 
     # 6. Peek at the generated CUDA-like kernel source.
     source = render_cuda_source(plan)
     print("\nFirst lines of the generated kernel source:")
     print("\n".join(source.splitlines()[:12]))
-
-
-def run_warm(heat, grid, cache):
-    """A second request for the same workload: pure cache hit."""
-    compiled = cache.compile(heat, grid.shape)
-    return compiled, run_stencil(compiled, grid, iterations=8)
 
 
 if __name__ == "__main__":

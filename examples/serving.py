@@ -1,11 +1,11 @@
-"""Online serving: a request stream through the StencilServer.
+"""Online serving through the session: Problems in, typed results out.
 
-The server owns the whole online path — bounded admission queue,
-fingerprint-coalescing micro-batcher, device-pool scheduler, telemetry —
-on top of the compile cache and the execution engine.  This walkthrough
-submits a skewed stream of requests (two hot kernels, one cold, one huge),
-shows the typed backpressure errors, and prints the metrics snapshot an
-operator would scrape.
+The session's server owns the whole online path — bounded admission queue,
+fingerprint-coalescing micro-batcher, device-pool scheduler, telemetry — on
+top of the same compile cache and engines every other mode uses.  This
+walkthrough submits a skewed stream of :class:`repro.Problem`\\ s, shows the
+blocking ``mode="served"`` form, the typed backpressure errors, and the
+metrics snapshot an operator would scrape.
 
 Run with::
 
@@ -18,12 +18,12 @@ import numpy as np
 
 from repro import (
     DeadlineExceededError,
+    Problem,
     QueueFullError,
-    ServerConfig,
+    SessionConfig,
     StencilPattern,
-    StencilServer,
+    StencilSession,
     make_grid,
-    sparstencil_solve,
 )
 
 
@@ -33,33 +33,32 @@ def main() -> None:
     box = StencilPattern.box(2, 1, name="box-2d9p")
     wave = StencilPattern.star(1, 2, name="wave-1d")
 
-    # 1. A server over 4 simulated A100s.  The context manager drains and
-    #    shuts down on exit; submit() never blocks — it admits or rejects.
-    with StencilServer(devices=4,
-                       config=ServerConfig(window_seconds=0.01)) as server:
+    # 1. A session over 4 simulated A100s; its server materialises on first
+    #    use with the session's serving tunables.  The context manager shuts
+    #    the server down on exit.
+    with StencilSession(SessionConfig(devices=4,
+                                      window_seconds=0.01)) as session:
+        server = session.server()
+
         # 2. A skewed stream: heat-2d is hot (6 requests, one compile),
         #    box/wave are cooler, and one 2048^2 grid is big enough that the
         #    scheduler routes it to the sharded executor.
-        handles = [
-            server.submit(heat, make_grid((96, 96), seed=i), 4,
-                          tag=f"heat/{i}")
-            for i in range(6)
-        ]
-        handles += [
-            server.submit(box, make_grid((96, 96), seed=10 + i), 4,
-                          tag=f"box/{i}")
-            for i in range(3)
-        ]
-        handles.append(server.submit(wave, make_grid((4096,), seed=20), 4,
-                                     tag="wave/0"))
-        handles.append(server.submit(heat, make_grid((2048, 2048), seed=30),
-                                     2, tag="heat/big"))
+        problems = [Problem(heat, make_grid((96, 96), seed=i), 4,
+                            tag=f"heat/{i}") for i in range(6)]
+        problems += [Problem(box, make_grid((96, 96), seed=10 + i), 4,
+                             tag=f"box/{i}") for i in range(3)]
+        problems.append(Problem(wave, make_grid((4096,), seed=20), 4,
+                                tag="wave/0"))
+        problems.append(Problem(heat, make_grid((2048, 2048), seed=30), 2,
+                                tag="heat/big"))
+        handles = [server.submit_problem(problem) for problem in problems]
 
-        # 3. Results are bit-identical to direct sequential solves.
+        # 3. Results are bit-identical to direct solves of the same Problem.
         big = next(h for h in handles if h.tag == "heat/big")
         result = big.result()
-        _, reference = sparstencil_solve(heat, make_grid((2048, 2048),
-                                                         seed=30), 2)
+        reference = session.solve(
+            Problem(heat, make_grid((2048, 2048), seed=30), 2),
+            mode="single")
         print(f"heat/big routed to : {result.executor} "
               f"({result.devices} devices)")
         print(f"bit-identical      : "
@@ -72,8 +71,18 @@ def main() -> None:
                   f"wait={outcome.queue_wait_seconds * 1e3:6.1f} ms "
                   f"total={outcome.service_seconds * 1e3:6.1f} ms")
 
-        # 4. The operator's view: one plain-dict metrics snapshot.
-        metrics = server.metrics()
+        # 4. The blocking form: mode="served" submits and waits, and the
+        #    Solution's provenance records what the server did.
+        solution = session.solve(Problem(heat, make_grid((96, 96), seed=99),
+                                         4, tag="heat/blocking"),
+                                 mode="served")
+        print(f"\nmode='served'      : executor={solution.provenance.executor} "
+              f"delegate={solution.provenance.delegate} "
+              f"batch={solution.provenance.batch_size}")
+
+        # 5. The operator's view: one plain-dict metrics snapshot (the
+        #    session wraps cache + pool + server metrics).
+        metrics = session.metrics()["server"]
         print("\nTelemetry:")
         print(f"  completed          : {metrics['completed']}"
               f" / submitted {metrics['submitted']}")
@@ -88,29 +97,31 @@ def main() -> None:
         print(f"  peak devices busy  : {metrics['devices']['peak_in_use']}"
               f" / {metrics['devices']['device_count']}")
 
-    # 5. Backpressure is typed, never silent: with the single device leased
+    # 6. Backpressure is typed, never silent: with the single device leased
     #    away (a busy pool), a burst overruns the tiny queue and the
     #    overflow is rejected with QueueFullError; a hopeless deadline is
     #    refused at admission.
-    with StencilServer(devices=1,
-                       config=ServerConfig(queue_bound=2,
-                                           max_batch_size=1)) as server:
-        lease = server.scheduler.ledger.acquire(1)  # pool fully busy
+    with StencilSession(SessionConfig(devices=1, queue_bound=2,
+                                      max_batch_size=1)) as session:
+        server = session.server()
+        lease = session.scheduler.ledger.acquire(1)  # pool fully busy
         accepted, rejected = 0, 0
         for i in range(8):
             try:
-                server.submit(heat, make_grid((96, 96), seed=i), 2)
+                server.submit_problem(
+                    Problem(heat, make_grid((96, 96), seed=i), 2))
                 accepted += 1
             except QueueFullError:
                 rejected += 1
         print(f"\nBackpressure: accepted {accepted}, "
               f"rejected {rejected} (queue_bound=2, pool busy)")
         try:
-            server.submit(heat, make_grid((96, 96), seed=0), 2,
-                          deadline_seconds=-1.0)
+            server.submit_problem(
+                Problem(heat, make_grid((96, 96), seed=0), 2),
+                deadline_seconds=-1.0)
         except DeadlineExceededError as exc:
             print(f"Dead-on-arrival deadline refused: {exc}")
-        server.scheduler.ledger.release(lease)
+        session.scheduler.ledger.release(lease)
         server.drain()  # every *accepted* request is still served
 
 

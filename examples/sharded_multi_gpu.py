@@ -1,10 +1,10 @@
-"""Sharded execution: one large grid across several simulated A100s.
+"""Sharded execution through the session: one large grid, several A100s.
 
-The grid's interior is decomposed into per-shard subgrids with radius-wide
-halos; each shard compiles (through the shared compilation cache) and sweeps
-on its own simulated device, exchanging halos with its neighbours between
-sweeps.  The output is bit-identical to the single-device run — sharding is
-purely an execution-engine concern.
+The same :class:`repro.Problem` runs on one device, explicitly sharded, and
+under ``mode="auto"`` — where the session's perf/partition model decides,
+records its reasoning in :attr:`repro.Solution.provenance`, and (for a grid
+this size) routes to the sharded engine.  The sharded output is bit-identical
+to the single-device run: sharding is purely an execution-engine concern.
 
 Run with::
 
@@ -15,61 +15,65 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import (
-    CompileCache,
-    StencilPattern,
-    compile_stencil,
-    make_grid,
-    multi_a100,
-    run_stencil,
-    solve_sharded,
-)
+from repro import Problem, SolvePolicy, StencilPattern, StencilSession, make_grid, multi_a100
 from repro.analysis import per_shard_utilization, sharded_scaling
 
 
 def main() -> None:
     # 1. A 2D heat stencil on a grid sized for multi-device territory
     #    (per-sweep device time must clear the NVLink halo latency — on
-    #    small grids sharding correctly models a *slowdown*).
+    #    small grids sharding correctly models a *slowdown*, and auto mode
+    #    would keep the problem on one device).
     heat = StencilPattern.star(2, 1, weights=[0.6, 0.1, 0.1, 0.1, 0.1],
                                name="heat-2d")
-    grid = make_grid((2048, 2048), kind="gaussian")
-    iterations = 2
+    problem = Problem(heat, make_grid((2048, 2048), kind="gaussian"),
+                      iterations=2, tag="heat/large")
 
-    # 2. Single-device reference run.
-    compiled = compile_stencil(heat, grid.shape)
-    single = run_stencil(compiled, grid, iterations)
-    print(f"single device : {single.elapsed_seconds * 1e6:8.1f} us modelled")
+    with StencilSession(devices=multi_a100(4)) as session:
+        # 2. Single-device reference run.
+        single = session.solve(problem, mode="single")
+        print(f"single device : "
+              f"{single.elapsed_seconds * 1e6:8.1f} us modelled")
 
-    # 3. The same workload sharded over 4 simulated A100s on NVLink.
-    cache = CompileCache()
-    _, sharded = solve_sharded(heat, grid, iterations,
-                               devices=multi_a100(4), cache=cache)
-    identical = np.array_equal(single.output, sharded.output)
-    print(f"4 devices     : {sharded.elapsed_seconds * 1e6:8.1f} us modelled "
-          f"({single.elapsed_seconds / sharded.elapsed_seconds:.2f}x)")
-    print(f"shard grid    : {sharded.shard_grid}")
-    print(f"bit-identical : {identical}")
-    print(f"halo traffic  : {100 * sharded.halo_traffic_fraction:.3f}% "
-          f"({sharded.halo_exchange_bytes / 1024:.1f} KiB exchanged)")
-    print(f"load balance  : {sharded.load_balance:.3f}")
+        # 3. The same problem, explicitly sharded over the 4-device pool.
+        sharded = session.solve(problem, SolvePolicy(mode="sharded"))
+        result = sharded.result
+        identical = np.array_equal(single.output, sharded.output)
+        print(f"4 devices     : {result.elapsed_seconds * 1e6:8.1f} us modelled "
+              f"({single.elapsed_seconds / result.elapsed_seconds:.2f}x)")
+        print(f"shard grid    : {result.shard_grid}")
+        print(f"bit-identical : {identical}")
+        print(f"halo traffic  : {100 * result.halo_traffic_fraction:.3f}% "
+              f"({result.halo_exchange_bytes / 1024:.1f} KiB exchanged)")
+        print(f"load balance  : {result.load_balance:.3f}")
 
-    print("\nPer-shard utilization:")
-    for row in per_shard_utilization(sharded):
-        print(f"  shard {int(row['shard'])}: "
-              f"{row['elapsed_seconds'] * 1e6:7.1f} us busy, "
-              f"SM {row['SM Utilization']:5.1f}%, "
-              f"DRAM {row['DRAM Throughput']:5.1f}%")
+        # 4. mode="auto": the session's scheduler makes the same call and
+        #    says why.
+        auto = session.solve(problem)  # SolvePolicy() defaults to auto
+        print(f"\nauto routed to: {auto.provenance.executor} on "
+              f"{auto.provenance.devices} device(s) "
+              f"({auto.provenance.reason})")
+        assert np.array_equal(auto.output, single.output)
 
-    # 4. How the same workload scales with device count.
-    report = sharded_scaling(heat, grid, iterations,
-                             device_counts=(1, 2, 4, 8), cache=cache,
-                             compiled=compiled)
-    print("\nScaling sweep:")
-    for point in report.points:
-        print(f"  {point.devices:2d} device(s): speedup {point.speedup:5.2f}x, "
-              f"efficiency {point.efficiency:5.2f}, "
-              f"halo {100 * point.halo_traffic_fraction:5.2f}%")
+        print("\nPer-shard utilization:")
+        for row in per_shard_utilization(result):
+            print(f"  shard {int(row['shard'])}: "
+                  f"{row['elapsed_seconds'] * 1e6:7.1f} us busy, "
+                  f"SM {row['SM Utilization']:5.1f}%, "
+                  f"DRAM {row['DRAM Throughput']:5.1f}%")
+
+        # 5. How the same workload scales with device count (reusing the
+        #    session cache and the already-compiled plan).
+        report = sharded_scaling(heat, problem.grid, problem.iterations,
+                                 device_counts=(1, 2, 4, 8),
+                                 cache=session.cache,
+                                 compiled=single.compiled)
+        print("\nScaling sweep:")
+        for point in report.points:
+            print(f"  {point.devices:2d} device(s): "
+                  f"speedup {point.speedup:5.2f}x, "
+                  f"efficiency {point.efficiency:5.2f}, "
+                  f"halo {100 * point.halo_traffic_fraction:5.2f}%")
 
 
 if __name__ == "__main__":

@@ -15,31 +15,39 @@ Scientific Stencil Computations via Structured Sparsity Transformation*
 * :mod:`repro.analysis` — metrics, sparsity/utilisation/overhead analysis and
   the per-figure experiment support;
 * :mod:`repro.service` — the serving layer: an LRU compilation cache keyed by
-  canonical compile fingerprints, plus the batched ``solve_many`` API that
+  canonical compile fingerprints, plus the batched solve engine that
   compiles each distinct plan once and sweeps every request;
 * :mod:`repro.server` — the online layer: a bounded request queue with
   backpressure and deadlines, a fingerprint-coalescing micro-batcher, a
-  device-pool scheduler and the synchronous :class:`StencilServer` facade.
+  device-pool scheduler and the synchronous :class:`StencilServer` facade;
+* :mod:`repro.session` — the unified front door: a :class:`StencilSession`
+  that takes a typed :class:`Problem` plus a :class:`SolvePolicy`
+  (``auto | single | sharded | served | baseline:<name>``) and returns a
+  uniform :class:`Solution` with provenance of which engine actually ran.
 
 Quickstart
 ----------
->>> from repro import StencilPattern, make_grid, compile_stencil, run_stencil
+>>> from repro import Problem, StencilPattern, StencilSession, make_grid
 >>> heat = StencilPattern.star(2, 1, weights=[0.6, 0.1, 0.1, 0.1, 0.1])
 >>> grid = make_grid((64, 64), kind="gaussian")
->>> compiled = compile_stencil(heat, grid.shape)
->>> result = run_stencil(compiled, grid, iterations=4)
->>> result.output.shape
+>>> session = StencilSession()
+>>> solution = session.solve(Problem(heat, grid, iterations=4))
+>>> solution.output.shape
 (64, 64)
+>>> solution.provenance.executor
+'single'
 
-Repeated solves should go through the compilation cache — a warm hit skips
+Repeated solves hit the session's compilation cache — a warm hit skips
 layout morphing, sparsity conversion and the layout search entirely:
 
->>> from repro import CompileCache, sparstencil_solve
->>> cache = CompileCache()
->>> _, first = sparstencil_solve(heat, grid, 4, cache=cache)   # compiles
->>> _, again = sparstencil_solve(heat, grid, 4, cache=cache)   # cache hit
->>> cache.stats.hits, cache.stats.misses
+>>> again = session.solve(Problem(heat, grid, iterations=4))   # cache hit
+>>> session.cache.stats.hits, session.cache.stats.misses
 (1, 1)
+
+The pre-session entry points (``run_stencil``, ``sparstencil_solve``,
+``solve_many``, ``solve_sharded``, ``StencilServer.submit``) remain as
+deprecation-warning shims delegating to the default session; the README's
+"Session API" section has the migration table.
 """
 
 from repro.stencils import (
@@ -103,8 +111,18 @@ from repro.engine import (
 )
 from repro.baselines import get_baseline, available_baselines, all_methods
 from repro.analysis import cache_amortization, compare_methods, sharded_scaling
+from repro.session import (
+    Problem,
+    SolvePolicy,
+    Provenance,
+    Solution,
+    ExecutorRegistry,
+    SessionConfig,
+    StencilSession,
+    default_session,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "StencilPattern",
@@ -160,5 +178,13 @@ __all__ = [
     "cache_amortization",
     "compare_methods",
     "sharded_scaling",
+    "Problem",
+    "SolvePolicy",
+    "Provenance",
+    "Solution",
+    "ExecutorRegistry",
+    "SessionConfig",
+    "StencilSession",
+    "default_session",
     "__version__",
 ]

@@ -71,12 +71,19 @@ def geometric_mean(values: Iterable[float]) -> float:
 
 @dataclass
 class MethodComparison:
-    """Results of running several methods on the same workload."""
+    """Results of running several methods on the same workload.
+
+    ``results`` keeps the per-method :class:`BaselineResult` (the historical
+    shape every figure script consumes); ``solutions`` additionally keeps the
+    session-layer :class:`repro.session.Solution` wrappers, whose provenance
+    records which engine each method actually ran on.
+    """
 
     pattern_name: str
     grid_shape: tuple
     iterations: int
     results: Dict[str, BaselineResult] = field(default_factory=dict)
+    solutions: Dict[str, "object"] = field(default_factory=dict)
 
     def gstencil(self) -> Dict[str, float]:
         return {name: r.gstencil_per_second for name, r in self.results.items()}
@@ -107,19 +114,33 @@ def compare_methods(
     pattern: StencilPattern,
     grid: Grid,
     iterations: int,
-    methods: Sequence[Baseline],
+    methods: Sequence,
     *,
     dtype: DataType = DataType.FP16,
     spec: GPUSpec = A100_SPEC,
     temporal_fusion: Optional[Dict[str, int]] = None,
+    session=None,
 ) -> MethodComparison:
-    """Run every method on the same workload and collect the results.
+    """Run every method on the identical workload and collect the results.
+
+    Each entry of ``methods`` is a :class:`Baseline` instance or a registry
+    key (``"cudnn"``); every method runs through the session layer
+    (:meth:`repro.StencilSession.solve_baseline`) on the *same*
+    :class:`repro.session.Problem`, so cross-method comparison uses exactly
+    the routing and provenance machinery a production caller would.
+    ``session`` defaults to the process-wide default session.
 
     ``temporal_fusion`` maps method names to fusion factors (the Figure-6
     protocol applies 3x fusion to SparStencil and ConvStencil on small
     kernels); methods not listed run unfused.
     """
+    from repro.baselines.registry import get_baseline
+    from repro.session import Problem
+
     require_positive_int(iterations, "iterations")
+    if session is None:
+        from repro.session import default_session
+        session = default_session()
     fusion_map = dict(temporal_fusion or {})
     comparison = MethodComparison(
         pattern_name=pattern.name,
@@ -127,10 +148,13 @@ def compare_methods(
         iterations=iterations,
     )
     for method in methods:
-        fusion = int(fusion_map.get(method.name, 1))
-        result = method.run(
+        baseline = get_baseline(method) if isinstance(method, str) else method
+        fusion = int(fusion_map.get(baseline.name, 1))
+        problem = Problem(
             pattern, grid, iterations,
-            dtype=dtype, spec=spec, temporal_fusion=fusion,
-        )
-        comparison.results[method.name] = result
+            options={"dtype": dtype, "spec": spec, "temporal_fusion": fusion},
+            tag=baseline.name)
+        solution = session.solve_baseline(problem, baseline)
+        comparison.results[baseline.name] = solution.result
+        comparison.solutions[baseline.name] = solution
     return comparison

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.pipeline import CompiledStencil, run_stencil
+from repro.core.pipeline import CompiledStencil, execute_compiled
 from repro.stencils.grid import Grid
 from repro.stencils.pattern import StencilPattern
 from repro.tcu.spec import MultiDeviceSpec
@@ -105,7 +105,7 @@ def sharded_scaling(
             f"sharded scaling requires iterations divisible by the temporal "
             f"fusion factor {compiled.temporal_fusion} (got {iterations})")
 
-    baseline = run_stencil(compiled, grid, iterations)
+    baseline = execute_compiled(compiled, grid, iterations)
     single_seconds = baseline.elapsed_seconds
 
     points = []

@@ -15,7 +15,7 @@ on dense TCUs", the middle bar of the Figure-7 breakdown.
 from __future__ import annotations
 
 from repro.baselines.base import Baseline, BaselineResult
-from repro.core.pipeline import compile_stencil, run_stencil
+from repro.core.pipeline import compile_stencil, execute_compiled
 from repro.stencils.grid import Grid
 from repro.stencils.pattern import StencilPattern
 from repro.tcu.spec import A100_SPEC, DENSE_FRAGMENTS, DataType, FragmentShape, GPUSpec
@@ -60,7 +60,7 @@ class ConvStencilBaseline(Baseline):
             search=False, r1=r1, r2=r2,
             temporal_fusion=temporal_fusion,
         )
-        result = run_stencil(compiled, grid, iterations)
+        result = execute_compiled(compiled, grid, iterations)
         return self._package(
             pattern, grid, iterations, result.output,
             elapsed=result.elapsed_seconds,

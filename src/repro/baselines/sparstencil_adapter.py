@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.baselines.base import Baseline, BaselineResult
-from repro.core.pipeline import compile_stencil, run_stencil
+from repro.core.pipeline import compile_stencil, execute_compiled
 from repro.stencils.grid import Grid
 from repro.stencils.pattern import StencilPattern
 from repro.tcu.spec import A100_SPEC, DataType, FragmentShape, GPUSpec
@@ -57,7 +57,7 @@ class SparStencilMethod(Baseline):
             temporal_fusion=temporal_fusion,
             conversion_method=self.conversion_method,
         )
-        result = run_stencil(compiled, grid, iterations)
+        result = execute_compiled(compiled, grid, iterations)
         extra = {
             "r1": float(compiled.config.r1),
             "r2": float(compiled.config.r2),

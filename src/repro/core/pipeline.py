@@ -3,10 +3,15 @@
 :func:`compile_stencil` runs the three stages of the paper — Adaptive Layout
 Morphing, Structured Sparsity Conversion and Automatic Kernel Generation
 (with layout exploration) — and returns a :class:`CompiledStencil`.
-:func:`run_stencil` then executes the compiled kernel for a number of time
-iterations on the simulated device, producing both the numerical result
+:func:`execute_compiled` then executes the compiled kernel for a number of
+time iterations on the simulated device, producing both the numerical result
 (validated against the golden reference in the test suite) and the modelled
 performance metrics the benchmark harness reports.
+
+User-facing solves go through the session layer
+(:class:`repro.StencilSession`); the historical :func:`run_stencil` /
+:func:`sparstencil_solve` entry points remain as deprecation-warning shims
+that delegate to the default session.
 """
 
 from __future__ import annotations
@@ -44,6 +49,7 @@ __all__ = [
     "compile_resolved",
     "compile_stencil",
     "compile_cached",
+    "execute_compiled",
     "run_stencil",
     "sparstencil_solve",
 ]
@@ -370,7 +376,7 @@ def compile_cached(
     return compile_stencil(pattern, grid_shape, **compile_kwargs)
 
 
-def run_stencil(
+def execute_compiled(
     compiled: CompiledStencil,
     grid: Grid,
     iterations: int,
@@ -391,10 +397,37 @@ def run_stencil(
     sweeps after the fused ones.  ``cache`` (an optional
     :class:`repro.service.CompileCache`) keeps the unfused leftover plan from
     being recompiled on every call.
+
+    This is the engine-layer entry the session facade and the other internal
+    callers share; user code goes through :meth:`repro.StencilSession.run`
+    (or the deprecated :func:`run_stencil` shim).
     """
     from repro.engine.single import SingleDeviceExecutor
 
     return SingleDeviceExecutor(cache=cache).execute(compiled, grid, iterations)
+
+
+def run_stencil(
+    compiled: CompiledStencil,
+    grid: Grid,
+    iterations: int,
+    *,
+    cache=None,
+) -> StencilRunResult:
+    """Deprecated shim: run a compiled stencil through the default session.
+
+    .. deprecated:: 1.1
+       Use :meth:`repro.StencilSession.run` (its :class:`Solution` carries
+       the same :class:`StencilRunResult` plus provenance).  This shim
+       delegates to :func:`repro.session.default_session` and returns the
+       bit-identical run result.
+    """
+    from repro.session import default_session
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy("run_stencil()", "StencilSession.run()")
+    return default_session().run(compiled, grid, iterations,
+                                 cache=cache).result
 
 
 def sparstencil_solve(
@@ -404,20 +437,23 @@ def sparstencil_solve(
     cache=None,
     **compile_kwargs,
 ) -> Tuple[CompiledStencil, StencilRunResult]:
-    """Convenience wrapper: compile for ``grid`` and run ``iterations`` steps.
+    """Deprecated shim: compile-and-run through the default session.
 
-    Parameters
-    ----------
-    cache:
-        Optional :class:`repro.service.CompileCache`.  When given, the compile
-        step becomes a cache lookup: a warm hit reuses the stored
-        :class:`CompiledStencil` and skips morphing, conversion and the layout
-        search entirely.
+    .. deprecated:: 1.1
+       Use :meth:`repro.StencilSession.solve` with a
+       :class:`repro.session.Problem` (``mode="single"`` reproduces this
+       call exactly; ``mode="auto"`` additionally routes large grids to the
+       sharded engine).  Returns the bit-identical
+       ``(CompiledStencil, StencilRunResult)`` pair.
     """
-    compiled = compile_cached(pattern, tuple(grid.shape), cache=cache,
-                              **compile_kwargs)
-    result = run_stencil(compiled, grid, iterations, cache=cache)
-    return compiled, result
+    from repro.session import Problem, SolvePolicy, default_session
+    from repro.util.deprecation import warn_legacy
+
+    warn_legacy("sparstencil_solve()", "StencilSession.solve()")
+    solution = default_session().solve(
+        Problem(pattern, grid, iterations, options=compile_kwargs),
+        SolvePolicy(mode="single"), cache=cache)
+    return solution.compiled, solution.result
 
 
 class SparStencilCompiler:
@@ -463,12 +499,14 @@ class SparStencilCompiler:
 
     def run(self, compiled: CompiledStencil, grid: Grid,
             iterations: int) -> StencilRunResult:
-        return run_stencil(compiled, grid, iterations, cache=self.cache)
+        return execute_compiled(compiled, grid, iterations, cache=self.cache)
 
     def solve(self, pattern: StencilPattern, grid: Grid, iterations: int,
               **kwargs) -> Tuple[CompiledStencil, StencilRunResult]:
         kwargs.setdefault("spec", self.spec)
         kwargs.setdefault("dtype", self.dtype)
         cache = self._coerce_cache(kwargs.pop("cache", self.cache))
-        return sparstencil_solve(pattern, grid, iterations, cache=cache,
-                                 **kwargs)
+        compiled = compile_cached(pattern, tuple(grid.shape), cache=cache,
+                                  **kwargs)
+        return compiled, execute_compiled(compiled, grid, iterations,
+                                          cache=cache)

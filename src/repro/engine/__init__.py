@@ -7,7 +7,7 @@ after that:
 * :mod:`repro.engine.base` — the ``plan -> gather B' -> MMA -> assemble``
   step API and the :class:`SweepExecutor` protocol;
 * :mod:`repro.engine.single` — :class:`SingleDeviceExecutor`, the original
-  one-grid-one-device sweep loop (what ``run_stencil`` wraps), now with
+  one-grid-one-device sweep loop (what ``execute_compiled`` wraps), now with
   cross-sweep utilization aggregation and leftover-sweep support for
   iteration counts not divisible by the temporal-fusion factor;
 * :mod:`repro.engine.sharded` — :class:`ShardedExecutor`, domain-decomposed

@@ -1,9 +1,9 @@
 """Online serving subsystem: queue, coalesce, schedule, execute, observe.
 
 PRs 1–2 built the offline halves of a serving deployment — a
-fingerprint-keyed :class:`~repro.service.cache.CompileCache` with batched
-``solve_many``, and an execution-engine layer with single-device and sharded
-executors.  This package is the *online* layer that accepts a stream of
+fingerprint-keyed :class:`~repro.service.cache.CompileCache` with the
+batched solve engine, and an execution-engine layer with single-device and
+sharded executors.  This package is the *online* layer that accepts a stream of
 requests and drives those halves as fast as the (simulated) hardware allows:
 
 * :mod:`repro.server.queue` — bounded request queue with synchronous

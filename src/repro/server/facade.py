@@ -2,11 +2,18 @@
 
 One object owns the whole online path::
 
-    submit() ──> RequestQueue ──> Coalescer ──> DevicePoolScheduler ──> engine
-      (admission)   (bounded)    (fingerprint     (single / sharded,     (solve_many /
-                                  micro-batches)   occupancy ledger)      ShardedExecutor)
+    submit_problem() ──> RequestQueue ──> Coalescer ──> DevicePoolScheduler ──> session
+      (admission)          (bounded)     (fingerprint     (single / sharded,     (solve_batch /
+                                          micro-batches)   occupancy ledger)      sharded engine)
 
-Callers stay synchronous: :meth:`StencilServer.submit` returns a
+The server is a thin adapter over a :class:`repro.StencilSession`: admission,
+coalescing and scheduling live here, but every micro-batch ultimately
+executes through the session's engine plumbing (and the session's compile
+cache), so served and direct solves share one code path.  A standalone
+``StencilServer(devices=4)`` builds a private session;
+:meth:`repro.StencilSession.server` hands the server an existing one.
+
+Callers stay synchronous: :meth:`StencilServer.submit_problem` returns a
 :class:`SubmitHandle` immediately (or raises a typed admission error), and
 ``handle.result()`` blocks for that request alone.  Internally an asyncio
 event loop on a daemon thread runs the dispatcher, and micro-batches execute
@@ -14,10 +21,9 @@ on a thread pool sized to the device pool — the same "asyncio front, thread
 workers back" split a real serving process would use, since the simulated
 sweeps are numpy-bound and release the GIL.
 
-Results are bit-identical to sequential :func:`repro.sparstencil_solve`
-calls: coalescing only changes *when* plans compile (once per fingerprint,
-through the shared :class:`~repro.service.cache.CompileCache`), never what
-executes.
+Results are bit-identical to sequential single-device solves: coalescing
+only changes *when* plans compile (once per fingerprint, through the shared
+:class:`~repro.service.cache.CompileCache`), never what executes.
 """
 
 from __future__ import annotations
@@ -29,8 +35,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Union
 
-from repro.core.pipeline import StencilRunResult, run_stencil
-from repro.engine.sharded import ShardedExecutor
+from repro.core.pipeline import StencilRunResult
 from repro.server.coalesce import Coalescer, MicroBatch
 from repro.server.queue import (
     DeadlineExceededError,
@@ -39,14 +44,14 @@ from repro.server.queue import (
     ServerClosedError,
     ServerError,
 )
-from repro.server.scheduler import DevicePoolScheduler
 from repro.server.telemetry import ServerTelemetry
-from repro.service.batch import SolveRequest, solve_many
 from repro.service.cache import CompileCache, rebrand
+from repro.session.problem import Problem
 from repro.stencils.grid import Grid
 from repro.stencils.pattern import StencilPattern
 from repro.tcu.spec import MultiDeviceSpec
-from repro.util.validation import require_positive_int
+from repro.util.deprecation import warn_legacy
+from repro.util.validation import require, require_positive_int
 
 __all__ = ["ServerConfig", "ServerResult", "SubmitHandle", "StencilServer"]
 
@@ -140,7 +145,8 @@ class StencilServer:
     Usage::
 
         with StencilServer(devices=4) as server:
-            handles = [server.submit(pattern, grid, iterations=8, tag=str(i))
+            handles = [server.submit_problem(Problem(pattern, grid, 8,
+                                                     tag=str(i)))
                        for i, grid in enumerate(grids)]
             outputs = [h.result().output for h in handles]
             print(server.metrics()["coalescing"]["ratio"])
@@ -152,21 +158,41 @@ class StencilServer:
         device count (N simulated A100s on NVLink).
     cache:
         Optional shared :class:`~repro.service.cache.CompileCache` (e.g. one
-        with disk persistence); the server creates a private one otherwise.
+        with disk persistence); the server's session creates a private one
+        otherwise.
     config:
         A :class:`ServerConfig`; defaults are reasonable for tests/examples.
+    session:
+        The :class:`repro.StencilSession` whose cache, pool and engines the
+        server adapts.  When omitted (the standalone construction path) a
+        private session is built from ``devices`` / ``cache`` / ``config``;
+        :meth:`repro.StencilSession.server` always passes its own.
+        ``devices`` and ``cache`` are session properties and may not be
+        given alongside one.
     """
 
-    def __init__(self, devices: Union[MultiDeviceSpec, int] = 1, *,
+    def __init__(self, devices: Union[MultiDeviceSpec, int, None] = None, *,
                  cache: Optional[CompileCache] = None,
-                 config: Optional[ServerConfig] = None) -> None:
+                 config: Optional[ServerConfig] = None,
+                 session: Optional[Any] = None) -> None:
         self.config = config if config is not None else ServerConfig()
-        self.cache = cache if cache is not None \
-            else CompileCache(capacity=self.config.cache_capacity)
-        self.scheduler = DevicePoolScheduler(
-            devices,
-            min_speedup=self.config.min_speedup,
-            max_halo_fraction=self.config.max_halo_fraction)
+        if session is None:
+            from repro.session.session import SessionConfig, StencilSession
+
+            session = StencilSession(SessionConfig(
+                devices=devices if devices is not None else 1,
+                cache=cache,
+                cache_capacity=self.config.cache_capacity,
+                min_speedup=self.config.min_speedup,
+                max_halo_fraction=self.config.max_halo_fraction,
+                max_workers=self.config.max_workers))
+        else:
+            require(devices is None and cache is None,
+                    "devices/cache are session properties; pass them through "
+                    "the session instead")
+        self.session = session
+        self.cache = session.cache
+        self.scheduler = session.scheduler
         self.telemetry = ServerTelemetry(self.config.latency_window)
         self.queue = RequestQueue(self.config.queue_bound)
         self.coalescer = Coalescer(self.config.window_seconds,
@@ -203,24 +229,43 @@ class StencilServer:
                tag: Optional[str] = None,
                deadline_seconds: Optional[float] = None,
                **options: Any) -> SubmitHandle:
-        """Admit one solve request; returns immediately.
+        """Deprecated shim: build a :class:`~repro.session.Problem` and admit
+        it through :meth:`submit_problem`.
 
-        ``options`` takes the same keyword arguments as
-        :func:`repro.compile_stencil`.  Raises
-        :class:`~repro.server.queue.QueueFullError` (backpressure),
+        .. deprecated:: 1.1
+           Use :meth:`submit_problem` (or
+           ``StencilSession.solve(mode="served")`` for a blocking call).
+        """
+        warn_legacy("StencilServer.submit()",
+                    "StencilServer.submit_problem(Problem(...))")
+        problem = Problem(pattern=pattern, grid=grid, iterations=iterations,
+                          options=dict(options), tag=tag)
+        return self.submit_problem(problem, deadline_seconds=deadline_seconds)
+
+    def submit_request(self, request: Problem, *,
+                       deadline_seconds: Optional[float] = None
+                       ) -> SubmitHandle:
+        """Deprecated alias of :meth:`submit_problem`.
+
+        .. deprecated:: 1.1
+           The session layer renamed the request vocabulary: servers accept
+           :class:`~repro.session.Problem` via :meth:`submit_problem`.
+        """
+        warn_legacy("StencilServer.submit_request()",
+                    "StencilServer.submit_problem()")
+        return self.submit_problem(request, deadline_seconds=deadline_seconds)
+
+    def submit_problem(self, problem: Problem, *,
+                       deadline_seconds: Optional[float] = None
+                       ) -> SubmitHandle:
+        """Admit one :class:`~repro.session.Problem`; returns immediately.
+
+        Raises :class:`~repro.server.queue.QueueFullError` (backpressure),
         :class:`~repro.server.queue.DeadlineExceededError` (dead on arrival)
         or :class:`~repro.server.queue.ServerClosedError` — typed, never a
         silent drop.
         """
-        request = SolveRequest(pattern=pattern, grid=grid,
-                               iterations=iterations,
-                               options=dict(options), tag=tag)
-        return self.submit_request(request, deadline_seconds=deadline_seconds)
-
-    def submit_request(self, request: SolveRequest, *,
-                       deadline_seconds: Optional[float] = None
-                       ) -> SubmitHandle:
-        """:meth:`submit` for a prebuilt :class:`~repro.service.SolveRequest`."""
+        request = problem
         require_positive_int(request.iterations, "iterations")
         if deadline_seconds is None:
             deadline_seconds = self.config.default_deadline_seconds
@@ -350,9 +395,9 @@ class StencilServer:
         if not live:
             return
         try:
-            # one compile per fingerprint: every path below (solve_many, the
-            # sharded executor's per-shard plans, leftover plans) shares it
-            # through the server cache
+            # one compile per fingerprint: every path below (the session's
+            # batch engine, the sharded executor's per-shard plans, leftover
+            # plans) shares it through the session cache
             compiled = self.cache.get_or_compile(live[0].compile_request)
             decision, lease = self.scheduler.route(
                 compiled, live[0].request.iterations)
@@ -361,28 +406,27 @@ class StencilServer:
             modelled = 0.0
             try:
                 if decision.sharded:
-                    executor = ShardedExecutor(
-                        self.scheduler.spec_for(decision, compiled),
-                        cache=self.cache)
+                    spec = self.scheduler.spec_for(decision, compiled)
                     for item in live:
                         request = item.request
                         plan = rebrand(compiled, item.compile_request)
                         if request.iterations % compiled.temporal_fusion == 0:
-                            run = executor.execute(plan, request.grid,
-                                                   request.iterations)
+                            run = self.session.execute_sharded_plan(
+                                plan, request.grid, request.iterations,
+                                devices=spec, cache=self.cache)
                             kind, used = "sharded", decision.devices
                         else:
                             # non-divisible stragglers on a sharded batch run
                             # single-device (leftover sweeps need it anyway)
-                            run = run_stencil(plan, request.grid,
-                                              request.iterations,
-                                              cache=self.cache)
+                            run = self.session.execute_plan(
+                                plan, request.grid, request.iterations,
+                                cache=self.cache)
                             kind, used = "single", 1
                         modelled += run.elapsed_seconds
                         self._resolve(item, run, kind, used,
                                       len(live), dispatch_start)
                 else:
-                    report = solve_many(
+                    report = self.session.execute_batch(
                         [item.request for item in live],
                         cache=self.cache,
                         compile_requests=[item.compile_request

@@ -19,8 +19,8 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 from typing import Deque, List, Optional
 
-from repro.service.batch import SolveRequest
 from repro.service.fingerprint import CompileRequest
+from repro.session.problem import Problem
 from repro.util.validation import require_positive_int
 
 __all__ = [
@@ -65,7 +65,7 @@ class QueuedRequest:
     and the dispatcher never re-derives it.
     """
 
-    request: SolveRequest
+    request: Problem
     compile_request: CompileRequest
     future: Future
     enqueued_at: float = field(default_factory=time.perf_counter)

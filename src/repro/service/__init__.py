@@ -8,9 +8,14 @@ independent requests, which is what a deployment serving many users needs:
   ``(pattern, grid shape, dtype, device spec, layout options)``;
 * :mod:`repro.service.cache` — a thread-safe LRU :class:`CompileCache` with
   hit/miss statistics and optional on-disk plan persistence;
-* :mod:`repro.service.batch` — :func:`solve_many` / :func:`run_stencil_batch`,
-  which group heterogeneous requests by fingerprint, compile each distinct
-  plan once (in parallel) and report aggregate throughput.
+* :mod:`repro.service.batch` — :func:`execute_batch`, the batched solve
+  engine behind :meth:`repro.StencilSession.solve_batch` (and the deprecated
+  ``solve_many`` / ``run_stencil_batch`` / ``solve_sharded`` shims), which
+  groups heterogeneous requests by fingerprint, compiles each distinct plan
+  once (in parallel) and reports aggregate throughput.
+
+The canonical request type is :class:`repro.session.Problem`;
+``SolveRequest`` survives as a deprecated alias of it.
 """
 
 from repro.service.fingerprint import (
@@ -22,7 +27,9 @@ from repro.service.cache import CacheEntry, CacheStats, CompileCache, rebrand
 from repro.service.batch import (
     BatchItem,
     BatchReport,
+    Problem,
     SolveRequest,
+    execute_batch,
     run_stencil_batch,
     solve_many,
     solve_sharded,
@@ -38,7 +45,9 @@ __all__ = [
     "rebrand",
     "BatchItem",
     "BatchReport",
+    "Problem",
     "SolveRequest",
+    "execute_batch",
     "run_stencil_batch",
     "solve_many",
     "solve_sharded",

@@ -1,56 +1,65 @@
-"""Batched solve service: group, compile once, sweep many.
+"""Batched solve engine: group, compile once, sweep many.
 
-``solve_many`` takes a heterogeneous list of solve requests, groups them by
-compile fingerprint, compiles each *distinct* plan exactly once (layout
-search and the rest of the compile pipeline run in parallel across plans on
-a thread pool) and then executes every request against its shared plan.  The
-report carries per-request results plus the aggregate throughput and cache
-numbers a serving deployment would export as metrics.
+:func:`execute_batch` takes a heterogeneous list of :class:`Problem`\\ s,
+groups them by compile fingerprint, compiles each *distinct* plan exactly
+once (layout search and the rest of the compile pipeline run in parallel
+across plans on a thread pool) and then executes every request against its
+shared plan.  The report carries per-request results plus the aggregate
+throughput and cache numbers a serving deployment would export as metrics.
+
+User code reaches this engine through :meth:`repro.StencilSession.solve_batch`
+(or the online server, whose micro-batches land here too).  The historical
+``solve_many`` / ``solve_sharded`` entry points remain as
+deprecation-warning shims that delegate to the default session, and
+``SolveRequest`` is a deprecated alias of :class:`repro.session.Problem`.
 """
 
 from __future__ import annotations
 
 import time
 from collections import Counter
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-from repro.core.pipeline import CompiledStencil, StencilRunResult, run_stencil
+from repro.core.pipeline import (
+    CompiledStencil,
+    StencilRunResult,
+    execute_compiled,
+)
 from repro.service.cache import CacheStats, CompileCache, rebrand
 from repro.service.fingerprint import CompileRequest
-from repro.stencils.grid import Grid
-from repro.stencils.pattern import StencilPattern
+from repro.session.problem import Problem
+from repro.util.deprecation import warn_legacy
 from repro.util.parallel import parallel_map
 from repro.util.validation import require, require_positive_int
 
-__all__ = ["SolveRequest", "BatchItem", "BatchReport", "solve_many",
-           "run_stencil_batch", "solve_sharded"]
+__all__ = ["Problem", "SolveRequest", "BatchItem", "BatchReport",
+           "execute_batch", "solve_many", "run_stencil_batch",
+           "solve_sharded"]
 
 
-@dataclass
-class SolveRequest:
-    """One unit of work for the batched solver.
+class SolveRequest(Problem):
+    """Deprecated alias of :class:`repro.session.Problem`.
 
-    ``options`` takes the same keyword arguments as
-    :func:`repro.compile_stencil` (dtype, spec, engine, temporal_fusion, ...).
+    .. deprecated:: 1.1
+       The session layer made ``Problem`` the canonical request vocabulary
+       (one name across the batch service, the server and the session
+       itself).  Constructing a ``SolveRequest`` emits a
+       ``DeprecationWarning`` and behaves exactly like a ``Problem``.
     """
 
-    pattern: StencilPattern
-    grid: Grid
-    iterations: int
-    options: Dict[str, Any] = field(default_factory=dict)
-    tag: Optional[str] = None
-
-    def compile_request(self) -> CompileRequest:
-        return CompileRequest.build(
-            self.pattern, tuple(self.grid.shape), **self.options)
+    def __post_init__(self, dtype: Optional[Any] = None) -> None:
+        # frame chain: warn_legacy -> __post_init__ -> dataclass __init__ ->
+        # caller, so the warning is attributed to the constructing module
+        warn_legacy("SolveRequest", "repro.session.Problem", stacklevel=4)
+        super().__post_init__(dtype)
 
 
 @dataclass(frozen=True)
 class BatchItem:
     """Outcome of one request inside a batch."""
 
-    request: SolveRequest
+    request: Problem
     compiled: CompiledStencil
     result: StencilRunResult
     fingerprint: str
@@ -127,20 +136,22 @@ class BatchReport:
         }
 
 
-def solve_many(
-    requests: Sequence[SolveRequest],
+def execute_batch(
+    requests: Sequence[Problem],
     *,
     cache: Optional[CompileCache] = None,
     max_workers: Optional[int] = None,
     compile_requests: Optional[Sequence[CompileRequest]] = None,
 ) -> BatchReport:
-    """Solve a batch of heterogeneous stencil requests.
+    """Solve a batch of heterogeneous stencil problems (the engine behind
+    :meth:`repro.StencilSession.solve_batch`).
 
     Requests are grouped by compile fingerprint; each distinct fingerprint is
-    compiled at most once (served from ``cache`` when already warm), with
-    distinct compilations — dominated by the layout search — spread across a
-    thread pool.  Execution then runs per request in submission order, so the
-    outputs are identical to sequential, uncached ``sparstencil_solve`` calls.
+    compiled at most once (served from ``cache`` when already warm, a private
+    per-batch cache otherwise), with distinct compilations — dominated by the
+    layout search — spread across a thread pool.  Execution then runs per
+    request in submission order, so the outputs are identical to sequential,
+    uncached single solves.
 
     ``compile_requests``, when given, must be the per-request
     :class:`CompileRequest` objects in the same order; callers that already
@@ -148,7 +159,7 @@ def solve_many(
     each request's canonical fingerprint on the hot path.
     """
     requests = list(requests)
-    require(len(requests) > 0, "solve_many needs at least one request")
+    require(len(requests) > 0, "a batch needs at least one request")
     for request in requests:
         require_positive_int(request.iterations, "iterations")
     if cache is None:
@@ -192,8 +203,8 @@ def solve_many(
         compiled = rebrand(plans[creq.fingerprint], creq)
         # the batch cache also serves leftover plans (non-divisible
         # iteration counts), so they compile once per fingerprint too
-        result = run_stencil(compiled, request.grid, request.iterations,
-                             cache=cache)
+        result = execute_compiled(compiled, request.grid, request.iterations,
+                                  cache=cache)
         if request.tag is not None:
             # stamp the request's tag onto the result itself, so results
             # stay attributable after they leave the BatchItem wrapper
@@ -220,19 +231,50 @@ def solve_many(
     )
 
 
+def solve_many(
+    requests: Sequence[Problem],
+    *,
+    cache: Optional[CompileCache] = None,
+    max_workers: Optional[int] = None,
+    compile_requests: Optional[Sequence[CompileRequest]] = None,
+) -> BatchReport:
+    """Deprecated shim: batched solve through the default session.
+
+    .. deprecated:: 1.1
+       Use :meth:`repro.StencilSession.solve_batch`.  Behaviour (including
+       the private per-batch cache when ``cache`` is omitted) and results
+       are bit-identical.
+    """
+    from repro.session import default_session
+
+    warn_legacy("solve_many()", "StencilSession.solve_batch()")
+    return default_session().solve_batch(
+        requests, cache=cache, max_workers=max_workers,
+        compile_requests=compile_requests)
+
+
 def run_stencil_batch(
-    requests: Sequence[SolveRequest],
+    requests: Sequence[Problem],
     *,
     cache: Optional[CompileCache] = None,
     max_workers: Optional[int] = None,
 ) -> List[StencilRunResult]:
-    """Thin wrapper over :func:`solve_many` returning just the run results."""
-    return solve_many(requests, cache=cache, max_workers=max_workers).results
+    """Deprecated shim: batched solve returning just the run results.
+
+    .. deprecated:: 1.1
+       Use ``StencilSession.solve_batch(problems).results``.
+    """
+    from repro.session import default_session
+
+    warn_legacy("run_stencil_batch()",
+                "StencilSession.solve_batch(...).results")
+    return default_session().solve_batch(
+        requests, cache=cache, max_workers=max_workers).results
 
 
 def solve_sharded(
-    pattern: StencilPattern,
-    grid: Grid,
+    pattern,
+    grid,
     iterations: int,
     *,
     devices=2,
@@ -242,39 +284,20 @@ def solve_sharded(
     tag: Optional[str] = None,
     **compile_kwargs,
 ):
-    """Compile once and execute sharded across N simulated devices.
+    """Deprecated shim: sharded solve through the default session.
 
-    The service-level entry point for grids too large for one device: the
-    reference plan compiles exactly like :func:`repro.sparstencil_solve`
-    (through ``cache`` when given), then a
-    :class:`repro.engine.ShardedExecutor` decomposes the grid into per-shard
-    subgrids with radius-wide halos and sweeps them concurrently, exchanging
-    halos between sweeps.  The output is bit-identical to the single-device
-    run; the returned :class:`repro.engine.ShardedRunResult` adds the
-    multi-device picture (per-shard utilization, halo-traffic fraction,
-    modelled weak-scaling wall time).
-
-    Parameters
-    ----------
-    devices:
-        A :class:`repro.tcu.spec.MultiDeviceSpec`, or an integer device
-        count — the cluster then uses the *compiled plan's* device, so the
-        modelled numbers stay on one device even for custom specs.
-    shard_grid:
-        Optional shards-per-axis override (defaults to one shard per device,
-        factored over the grid axes).
-    tag:
-        Optional request label, stamped onto the returned result (the same
-        attribution :class:`BatchItem` carries for batched solves).
+    .. deprecated:: 1.1
+       Use :meth:`repro.StencilSession.solve` with
+       ``SolvePolicy(mode="sharded", devices=..., shard_grid=...)`` (or
+       ``mode="auto"`` to let the perf/partition model decide).  Returns the
+       bit-identical ``(CompiledStencil, ShardedRunResult)`` pair.
     """
-    from repro.core.pipeline import compile_cached
-    from repro.engine.sharded import ShardedExecutor
+    from repro.session import Problem, SolvePolicy, default_session
 
-    compiled = compile_cached(pattern, tuple(grid.shape), cache=cache,
-                              **compile_kwargs)
-    executor = ShardedExecutor(devices, shard_grid=shard_grid, cache=cache,
-                               max_workers=max_workers)
-    result = executor.execute(compiled, grid, iterations)
-    if tag is not None:
-        result = replace(result, tag=tag)
-    return compiled, result
+    warn_legacy("solve_sharded()", 'StencilSession.solve(mode="sharded")')
+    solution = default_session().solve(
+        Problem(pattern, grid, iterations, options=compile_kwargs, tag=tag),
+        SolvePolicy(mode="sharded", devices=devices, shard_grid=shard_grid,
+                    max_workers=max_workers),
+        cache=cache)
+    return solution.compiled, solution.result

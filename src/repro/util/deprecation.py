@@ -1,0 +1,28 @@
+"""Deprecation plumbing for the legacy (pre-session) API surface.
+
+Every legacy entry point that now delegates to the session layer funnels its
+warning through :func:`warn_legacy`, so the message format (and the pointer
+to the README migration table) stays uniform.  ``stacklevel`` is chosen so
+the warning is attributed to the *caller* of the shim — the test suite's
+warning filter turns repro-internal DeprecationWarnings into errors, which
+guarantees the package never calls its own shims.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_legacy"]
+
+
+def warn_legacy(old: str, new: str, *, stacklevel: int = 3) -> None:
+    """Emit the standard legacy-API DeprecationWarning.
+
+    ``stacklevel=3`` attributes the warning to the shim's caller when called
+    directly from the shim body (warn_legacy → shim → caller); shims with a
+    deeper frame chain (dataclass ``__post_init__``) pass their own.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead "
+        f"(see the 'Session API' migration table in the README)",
+        DeprecationWarning, stacklevel=stacklevel)
