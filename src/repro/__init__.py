@@ -4,7 +4,8 @@ A Python reproduction of *SparStencil: Retargeting Sparse Tensor Cores to
 Scientific Stencil Computations via Structured Sparsity Transformation*
 (SC'25).  The package contains:
 
-* :mod:`repro.stencils` — stencil patterns, grids, golden references and the
+* :mod:`repro.stencils` — stencil patterns, grids, boundary conditions
+  (``dirichlet`` / ``periodic`` / ``reflect``), golden references and the
   benchmark catalog;
 * :mod:`repro.tcu` — a functional + cost model of an A100-class GPU with
   dense and 2:4-sparse Tensor Cores;
@@ -53,6 +54,10 @@ deprecation-warning shims delegating to the default session; the README's
 from repro.stencils import (
     StencilPattern,
     StencilKind,
+    BoundaryCondition,
+    BOUNDARY_CONDITIONS,
+    apply_boundary,
+    normalize_boundary,
     Grid,
     GridPartition,
     make_grid,
@@ -127,6 +132,10 @@ __version__ = "1.1.0"
 __all__ = [
     "StencilPattern",
     "StencilKind",
+    "BoundaryCondition",
+    "BOUNDARY_CONDITIONS",
+    "apply_boundary",
+    "normalize_boundary",
     "Grid",
     "GridPartition",
     "make_grid",

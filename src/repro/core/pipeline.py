@@ -86,6 +86,12 @@ class CompiledStencil:
         three categories of Figure 8.
     temporal_fusion:
         Number of time steps folded into one sweep.
+    boundary:
+        Boundary condition the plan was compiled for (see
+        :mod:`repro.stencils.boundary`).  The kernel operands are identical
+        across conditions, but executors select their halo handling from
+        this field, so plans are *not* interchangeable across boundaries —
+        which is why it is part of the compile fingerprint.
     """
 
     original_pattern: StencilPattern
@@ -97,6 +103,7 @@ class CompiledStencil:
     overhead_seconds: Dict[str, float]
     temporal_fusion: int = 1
     conversion_method: str = "auto"
+    boundary: str = "dirichlet"
 
     @property
     def engine(self) -> str:
@@ -178,6 +185,7 @@ class CompileOptions:
     temporal_fusion: int
     conversion_method: str
     block_hint: Optional[Tuple[int, ...]]
+    boundary: str = "dirichlet"
 
     @cached_property
     def effective_pattern(self) -> StencilPattern:
@@ -208,12 +216,16 @@ def resolve_compile_options(
     temporal_fusion: int = 1,
     conversion_method: str = "auto",
     block_hint: Optional[Tuple[int, ...]] = None,
+    boundary: str = "dirichlet",
 ) -> CompileOptions:
     """Validate and canonicalise every compile argument (no compilation)."""
+    from repro.stencils.boundary import normalize_boundary
+
     dtype = DataType(dtype)
     require_in(engine, ("auto", "sparse_mma", "dense_mma"), "engine")
     require_positive_int(temporal_fusion, "temporal_fusion")
     grid_shape = tuple(int(s) for s in grid_shape)
+    boundary = normalize_boundary(boundary)
 
     if engine == "auto":
         engine = "sparse_mma" if dtype.supports_sparse_tcu else "dense_mma"
@@ -247,6 +259,7 @@ def resolve_compile_options(
         temporal_fusion=int(temporal_fusion),
         conversion_method=conversion_method,
         block_hint=None if block_hint is None else tuple(int(b) for b in block_hint),
+        boundary=boundary,
     )
 
 
@@ -264,6 +277,7 @@ def compile_stencil(
     temporal_fusion: int = 1,
     conversion_method: str = "auto",
     block_hint: Optional[Tuple[int, ...]] = None,
+    boundary: str = "dirichlet",
 ) -> CompiledStencil:
     """Compile a stencil for the simulated sparse Tensor Cores.
 
@@ -278,12 +292,17 @@ def compile_stencil(
     temporal_fusion:
         Fold this many time steps into one sweep (3 is what ConvStencil uses
         for small kernels; Figure 6 applies the same to SparStencil).
+    boundary:
+        Halo behaviour between sweeps (``"dirichlet"`` / ``"periodic"`` /
+        ``"reflect"``, see :mod:`repro.stencils.boundary`).  Must match the
+        boundary condition of the grids the plan will execute on.
     """
     options = resolve_compile_options(
         pattern, grid_shape,
         dtype=dtype, spec=spec, engine=engine, fragment=fragment,
         search=search, r1=r1, r2=r2, temporal_fusion=temporal_fusion,
         conversion_method=conversion_method, block_hint=block_hint,
+        boundary=boundary,
     )
     return compile_resolved(options)
 
@@ -358,6 +377,7 @@ def compile_resolved(options: CompileOptions) -> CompiledStencil:
         overhead_seconds=dict(timer.stages),
         temporal_fusion=options.temporal_fusion,
         conversion_method=options.conversion_method,
+        boundary=options.boundary,
     )
 
 
@@ -390,7 +410,9 @@ def execute_compiled(
     tables gather ``B'`` from the current grid, the conversion's row
     permutation is applied, the (sparse or dense) MMA runs on the simulated
     Tensor Cores and the result is assembled back into the grid interior.
-    Halo cells are held fixed, matching the golden reference.
+    The halo ring then follows the plan's boundary condition — held fixed
+    under Dirichlet, refreshed from the interior under ``periodic`` /
+    ``reflect`` — matching the golden reference.
 
     When ``iterations`` is not a multiple of the temporal-fusion factor, the
     remaining ``iterations % temporal_fusion`` steps run as plain (unfused)

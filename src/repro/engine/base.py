@@ -9,8 +9,9 @@ generated kernel's stages:
    lookup tables and apply the conversion's row permutation;
 2. :func:`mma_step` — issue the (sparse or dense) MMA on the simulated
    Tensor Cores, producing the functional result and the modelled timing;
-3. :func:`assemble_step` — reassemble ``D`` into the grid interior (halo
-   cells stay fixed).
+3. :func:`assemble_step` — reassemble ``D`` into the grid interior (the
+   halo ring is the *executor's* responsibility, per the plan's boundary
+   condition).
 
 :func:`prepare_sweep` precomputes everything the steps share for one plan;
 executors (:class:`SweepExecutor` implementations) own the loop around the
@@ -54,9 +55,11 @@ class SweepExecutor(Protocol):
 
     Implementations must preserve the functional contract of the original
     monolithic loop: interior cells advance by one (possibly fused) time step
-    per sweep, halo cells are held fixed, and the returned
-    :class:`~repro.core.pipeline.StencilRunResult` carries the modelled
-    timing and utilization of the whole run.
+    per sweep, halo cells follow the compiled plan's boundary condition
+    (held fixed under Dirichlet, refreshed from the interior under
+    ``periodic`` / ``reflect`` — see :mod:`repro.stencils.boundary`), and
+    the returned :class:`~repro.core.pipeline.StencilRunResult` carries the
+    modelled timing and utilization of the whole run.
     """
 
     def execute(self, compiled: CompiledStencil, grid: Grid,

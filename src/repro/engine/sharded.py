@@ -36,6 +36,7 @@ from repro.engine.base import (
     summarize_launches,
     throughput_metrics,
 )
+from repro.stencils.boundary import apply_boundary
 from repro.stencils.grid import Grid
 from repro.stencils.partition import GridPartition
 from repro.tcu.counters import UtilizationReport, combine_utilization
@@ -147,7 +148,8 @@ class ShardedExecutor:
         shard_grid = self.shard_grid if self.shard_grid is not None \
             else self._device_count
         partition = GridPartition.build(
-            compiled.grid_shape, pattern.radius, shard_grid, align=config.r)
+            compiled.grid_shape, pattern.radius, shard_grid, align=config.r,
+            boundary=compiled.boundary)
         require(partition.n_shards <= self._device_count,
                 f"{partition.n_shards} shards need more than the "
                 f"{self._device_count} available devices")
@@ -181,6 +183,7 @@ class ShardedExecutor:
                 r2=config.r2,
                 temporal_fusion=compiled.temporal_fusion,
                 conversion_method=compiled.conversion_method,
+                boundary=compiled.boundary,
             )
             for shard in partition.shards
         ]
@@ -200,6 +203,10 @@ class ShardedExecutor:
         require(tuple(grid.shape) == compiled.grid_shape,
                 f"grid shape {tuple(grid.shape)} does not match the compiled "
                 f"shape {compiled.grid_shape}")
+        require(grid.boundary == compiled.boundary,
+                f"grid boundary {grid.boundary!r} does not match the "
+                f"compiled boundary {compiled.boundary!r} — recompile for "
+                f"this grid")
         sweeps, leftover = fused_iterations(iterations,
                                             compiled.temporal_fusion)
         require(leftover == 0,
@@ -229,7 +236,16 @@ class ShardedExecutor:
             + context.plan.estimate.traffic.lut_bytes
             for context in contexts)
 
-        locals_ = partition.extract(grid.data)
+        # the initial halo ring is derived state under periodic/reflect —
+        # fill it exactly like the single-device executor before extracting
+        # the shard slabs; Dirichlet reads the grid as-is (extract and
+        # assemble both copy, so no mutation escapes either way)
+        if partition.boundary == "dirichlet":
+            base = grid.data
+        else:
+            base = apply_boundary(grid.data.copy(), partition.radius,
+                                  partition.boundary)
+        locals_ = partition.extract(base)
         shard_launches: List[List[LaunchResult]] = [[] for _ in contexts]
         wall = compute_crit = memory_crit = 0.0
         halo_bytes = 0.0
@@ -263,7 +279,12 @@ class ShardedExecutor:
             if pool is not None:
                 pool.shutdown()
 
-        output = partition.assemble(locals_, grid.data)
+        output = partition.assemble(locals_, base)
+        # under periodic/reflect the single-device executor refreshes the
+        # halo ring after the final sweep too; the fill is a pure function
+        # of the interior, so applying it to the assembled output lands on
+        # the bit-identical ring (no-op under Dirichlet)
+        apply_boundary(output, partition.radius, partition.boundary)
 
         shard_totals = [summarize_launches(launches)
                         for launches in shard_launches]

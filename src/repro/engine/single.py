@@ -30,6 +30,7 @@ from repro.engine.base import (
     summarize_launches,
     throughput_metrics,
 )
+from repro.stencils.boundary import apply_boundary
 from repro.stencils.grid import Grid
 from repro.tcu.executor import LaunchResult
 from repro.tcu.spec import GPUSpec
@@ -63,6 +64,7 @@ def leftover_plan(compiled: CompiledStencil, cache=None) -> CompiledStencil:
         search=True,
         temporal_fusion=1,
         conversion_method=compiled.conversion_method,
+        boundary=compiled.boundary,
     )
     if cache is not None:
         # the cache's own per-fingerprint locks dedupe concurrent compiles
@@ -102,21 +104,36 @@ class SingleDeviceExecutor:
         require(tuple(grid.shape) == compiled.grid_shape,
                 f"grid shape {tuple(grid.shape)} does not match the compiled "
                 f"shape {compiled.grid_shape}")
+        boundary = compiled.boundary
+        require(grid.boundary == boundary,
+                f"grid boundary {grid.boundary!r} does not match the "
+                f"compiled boundary {boundary!r} — recompile for this grid")
         fused_sweeps, leftover = fused_iterations(
             iterations, compiled.temporal_fusion)
 
         current = grid.data.copy()
         launches: List[LaunchResult] = []
 
+        # The halo ring follows the boundary condition around every sweep
+        # (a no-op under Dirichlet — under periodic / reflect the halo is
+        # derived state, not data).  Each phase fills at its own plan's
+        # radius on entry and after each sweep: the entry fill makes a
+        # mixed fused+leftover run identical to running the fused sweeps
+        # and the leftover sweeps as two separate calls (the fill is a
+        # pure, idempotent function of the interior).
         if fused_sweeps:
             context = prepare_sweep(compiled, self.spec)
+            apply_boundary(current, context.radius, boundary)
             for _ in range(fused_sweeps):
                 launches.append(run_sweep(context, current))
+                apply_boundary(current, context.radius, boundary)
         if leftover:
             context = prepare_sweep(leftover_plan(compiled, self.cache),
                                     self.spec)
+            apply_boundary(current, context.radius, boundary)
             for _ in range(leftover):
                 launches.append(run_sweep(context, current))
+                apply_boundary(current, context.radius, boundary)
 
         totals = summarize_launches(launches)
         points = original_points(compiled, fused_sweeps, leftover)

@@ -87,8 +87,10 @@ class Coalescer:
         require_positive_int(max_batch_size, "max_batch_size")
         self.window_seconds = window_seconds
         self.max_batch_size = max_batch_size
-        #: collection cycles completed / requests collected — the telemetry
-        #: layer derives the coalescing ratio from these
+        #: *dispatching* collection cycles (>= 1 request gathered) / requests
+        #: collected — the telemetry layer derives the coalescing ratio from
+        #: these.  Windows that gather nothing (EOF on a closed queue) never
+        #: count, so an idle server cannot drag the ratio toward 0.
         self.cycles = 0
         self.collected = 0
 
@@ -104,7 +106,7 @@ class Coalescer:
         first = await queue.get()
         if first is None:
             return None
-        gathered = [first]
+        gathered: List[QueuedRequest] = [first]
         try:
             window_end = time.perf_counter() + self.window_seconds
             while len(gathered) < self.max_batch_size:
@@ -126,8 +128,15 @@ class Coalescer:
                 gathered.append(item)
         except Exception:
             pass  # dispatch what was gathered rather than lose it
-        self.cycles += 1
-        self.collected += len(gathered)
+        if gathered:
+            # The ratio's contract — requests per *non-empty* dispatch
+            # window — is encoded here rather than implied: today the EOF
+            # early-return above means `gathered` is never empty at this
+            # point, but an in-window change (e.g. dropping expired items
+            # before dispatch) must not start counting empty windows and
+            # dilute an idle server's ratio toward 0.
+            self.cycles += 1
+            self.collected += len(gathered)
         try:
             return coalesce(gathered, self.max_batch_size)
         except Exception:
@@ -136,5 +145,6 @@ class Coalescer:
 
     @property
     def coalescing_ratio(self) -> float:
-        """Requests collected per dispatch cycle (1.0 = no coalescing won)."""
+        """Requests collected per *non-empty* dispatch cycle (1.0 = no
+        coalescing won; 0.0 only before the first dispatch)."""
         return self.collected / self.cycles if self.cycles else 0.0

@@ -81,9 +81,12 @@ class QueuedRequest:
         return self.request.tag
 
     def expired(self, now: Optional[float] = None) -> bool:
+        """Whether the deadline has passed.  A deadline of exactly ``now``
+        counts as expired (``>=``), consistent with admission control: a
+        zero-slack request can neither be admitted nor served."""
         if self.deadline is None:
             return False
-        return (time.perf_counter() if now is None else now) > self.deadline
+        return (time.perf_counter() if now is None else now) >= self.deadline
 
     def queue_wait_seconds(self, now: Optional[float] = None) -> float:
         return (time.perf_counter() if now is None else now) - self.enqueued_at

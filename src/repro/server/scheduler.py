@@ -111,9 +111,12 @@ class DevicePoolScheduler:
         into that many shards.
         """
         try:
+            # boundary-aware: periodic wrap adds real interconnect messages
+            # at the global edges, and the decision must bill what the
+            # sharded executor will bill
             partition = GridPartition.build(
                 compiled.grid_shape, compiled.pattern.radius, devices,
-                align=compiled.plan.config.r)
+                align=compiled.plan.config.r, boundary=compiled.boundary)
         except Exception:
             return None
         if partition.n_shards > devices or partition.n_shards < 2:

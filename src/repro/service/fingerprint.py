@@ -84,9 +84,15 @@ def pattern_fingerprint(pattern: StencilPattern) -> str:
 
 
 def compile_fingerprint(options: CompileOptions) -> str:
-    """Digest of every compile-relevant field of resolved options."""
+    """Digest of every compile-relevant field of resolved options.
+
+    The boundary condition is fingerprinted even though it does not change
+    the compiled operands: executors select their halo handling from
+    ``CompiledStencil.boundary``, so a plan compiled for one boundary must
+    never be served for a problem with another.
+    """
     payload = (
-        "sparstencil-compile-v1",
+        "sparstencil-compile-v2",
         _canon_pattern(options.pattern),
         options.grid_shape,
         options.dtype.value,
@@ -99,6 +105,7 @@ def compile_fingerprint(options: CompileOptions) -> str:
         options.temporal_fusion,
         options.conversion_method,
         options.block_hint,
+        options.boundary,
     )
     return _digest(payload)
 

@@ -87,11 +87,34 @@ class Problem:
             self.options.setdefault("dtype", dtype)
 
     def compile_request(self) -> "Any":
-        """The canonical, fingerprinted compile request of this problem."""
-        from repro.service.fingerprint import CompileRequest
+        """The canonical, fingerprinted compile request of this problem.
 
+        The grid's boundary condition is folded into the compile options
+        (and thereby the fingerprint); an explicit ``options["boundary"]``
+        must agree with the grid — a plan compiled for one boundary can
+        never serve a grid with another.
+        """
+        from repro.service.fingerprint import CompileRequest
+        from repro.stencils.boundary import normalize_boundary
+        from repro.util.validation import require
+
+        options = dict(self.options)
+        grid_boundary = normalize_boundary(
+            getattr(self.grid, "boundary", None))
+        boundary = normalize_boundary(
+            options.setdefault("boundary", grid_boundary))
+        require(boundary == grid_boundary,
+                f"options boundary {boundary!r} conflicts with the grid's "
+                f"boundary {grid_boundary!r}")
         return CompileRequest.build(
-            self.pattern, tuple(self.grid.shape), **self.options)
+            self.pattern, tuple(self.grid.shape), **options)
+
+    @property
+    def boundary(self) -> str:
+        """The problem's boundary condition (carried on its grid)."""
+        from repro.stencils.boundary import normalize_boundary
+
+        return normalize_boundary(getattr(self.grid, "boundary", None))
 
     @property
     def grid_shape(self) -> Tuple[int, ...]:
@@ -161,6 +184,8 @@ class Provenance:
     executor a *served* request was ultimately routed to by the server's
     scheduler.  ``engine`` is the device engine of the compiled plan
     (``"sparse_mma"`` / ``"dense_mma"``) or the baseline's display name.
+    ``boundary`` records the boundary condition the run was executed (and
+    its plan compiled) under.
     """
 
     mode_requested: str
@@ -170,6 +195,7 @@ class Provenance:
     reason: str
     batch_size: int = 1
     delegate: Optional[str] = None
+    boundary: str = "dirichlet"
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -180,6 +206,7 @@ class Provenance:
             "reason": self.reason,
             "batch_size": self.batch_size,
             "delegate": self.delegate,
+            "boundary": self.boundary,
         }
 
 

@@ -105,7 +105,8 @@ class SingleDeviceSessionExecutor(SessionExecutor):
                 executor=self.name,
                 engine=compiled.engine,
                 devices=1,
-                reason=reason or "explicit single-device route"),
+                reason=reason or "explicit single-device route",
+                boundary=compiled.boundary),
             tag=problem.tag)
 
 
@@ -139,7 +140,8 @@ class ShardedSessionExecutor(SessionExecutor):
                 executor=self.name,
                 engine=compiled.engine,
                 devices=result.device_count,
-                reason=reason or "explicit sharded route"),
+                reason=reason or "explicit sharded route",
+                boundary=compiled.boundary),
             tag=problem.tag)
 
 
@@ -183,7 +185,9 @@ class ServedSessionExecutor(SessionExecutor):
                 devices=served.devices,
                 reason=reason or "served through the online scheduler",
                 batch_size=served.batch_size,
-                delegate=served.executor),
+                delegate=served.executor,
+                boundary=compiled.boundary if compiled is not None
+                else problem.boundary),
             tag=problem.tag)
 
 
@@ -208,21 +212,33 @@ class BaselineSessionExecutor(SessionExecutor):
               compile_request=None, mode_requested=None, reason=""):
         from repro.tcu.spec import A100_SPEC, DataType
 
+        if problem.boundary != "dirichlet":
+            raise ValidationError(
+                f"baseline comparators implement the fixed-halo Dirichlet "
+                f"boundary only; got a {problem.boundary!r} grid")
         options = dict(problem.options)
         dtype = DataType(options.pop("dtype", DataType.FP16))
         spec = options.pop("spec", A100_SPEC)
         temporal_fusion = int(options.pop("temporal_fusion", 1))
+        option_boundary = options.pop("boundary", None)
+        if option_boundary is not None:
+            from repro.stencils.boundary import normalize_boundary
+
+            if normalize_boundary(option_boundary) != problem.boundary:
+                raise ValidationError(
+                    f"options boundary {option_boundary!r} conflicts with "
+                    f"the grid's boundary {problem.boundary!r}")
         if options:
             raise ValidationError(
-                f"baseline modes accept only dtype/spec/temporal_fusion "
-                f"options; got {sorted(options)}")
+                f"baseline modes accept only dtype/spec/temporal_fusion/"
+                f"boundary options; got {sorted(options)}")
         result = self.baseline.run(
             problem.pattern, problem.grid, problem.iterations,
             dtype=dtype, spec=spec, temporal_fusion=temporal_fusion)
         if compile_request is None:
             try:
                 compile_request = problem.compile_request()
-            except Exception:
+            except ValidationError:
                 compile_request = None  # not a SparStencil-compilable problem
         return Solution(
             result=result,
@@ -234,7 +250,8 @@ class BaselineSessionExecutor(SessionExecutor):
                 executor=self.name,
                 engine=self.baseline.name,
                 devices=1,
-                reason=reason or f"comparator {self.baseline.name} requested"),
+                reason=reason or f"comparator {self.baseline.name} requested",
+                boundary=problem.boundary),
             tag=problem.tag)
 
 

@@ -217,7 +217,8 @@ class StencilSession:
                 executor="single",
                 engine=compiled.engine,
                 devices=1,
-                reason="precompiled plan executed directly"),
+                reason="precompiled plan executed directly",
+                boundary=compiled.boundary),
             tag=tag)
         self._emit({"event": "run", **solution.summary()})
         return solution

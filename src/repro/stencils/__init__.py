@@ -3,6 +3,12 @@ benchmark catalog (Table 2 kernels and the 79-kernel / 9-domain suite).
 """
 
 from repro.stencils.pattern import StencilPattern, StencilKind
+from repro.stencils.boundary import (
+    BoundaryCondition,
+    BOUNDARY_CONDITIONS,
+    apply_boundary,
+    normalize_boundary,
+)
 from repro.stencils.grid import Grid, make_grid
 from repro.stencils.partition import GridPartition, Shard, plan_shard_grid, split_extent
 from repro.stencils.reference import (
@@ -22,6 +28,10 @@ from repro.stencils.catalog import (
 __all__ = [
     "StencilPattern",
     "StencilKind",
+    "BoundaryCondition",
+    "BOUNDARY_CONDITIONS",
+    "apply_boundary",
+    "normalize_boundary",
     "Grid",
     "make_grid",
     "GridPartition",

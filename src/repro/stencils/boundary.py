@@ -1,0 +1,134 @@
+"""Boundary conditions: the halo-refresh vocabulary shared by every engine.
+
+A Jacobi-style sweep updates the grid *interior*; what happens to the
+radius-wide halo ring between sweeps is the boundary condition:
+
+* ``dirichlet`` — the halo is held fixed at its initial values (the paper's
+  benchmark setup, and the historical behaviour of every execution path);
+* ``periodic`` — the interior tiles the space: each halo cell is refreshed
+  from the interior cell one period away, so a sweep sees a wrap-around
+  domain (the ``sa2d_mpi`` wrap exchange, applied globally);
+* ``reflect`` — each halo cell mirrors the interior cell the same distance
+  inside the boundary (edge-inclusive, ``np.pad(mode="symmetric")``), the
+  standard ghost-cell approximation of a zero-flux Neumann wall.
+
+:func:`apply_boundary` is the single implementation every layer shares: the
+golden numpy reference, the single-device executor (after each sweep) and
+the sharded executor (on the assembled output; *between* sweeps the
+:class:`repro.stencils.partition.GridPartition` realises the same semantics
+distributively through its halo exchange).  The fill is applied axis by
+axis in increasing order, each strip spanning the full extent of the other
+axes (halos included) — exactly the stacked-1D geometry of the partition's
+dimension-ordered exchange, which is what keeps sharded output bit-identical
+to single-device output for every boundary condition.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.util.validation import require, require_in, require_positive_int
+
+__all__ = [
+    "BoundaryCondition",
+    "BOUNDARY_CONDITIONS",
+    "DIRICHLET",
+    "PERIODIC",
+    "REFLECT",
+    "normalize_boundary",
+    "apply_boundary",
+    "axis_slice",
+]
+
+
+class BoundaryCondition(str, Enum):
+    """The boundary-condition vocabulary (members compare equal to their
+    lowercase string values, so plain strings work everywhere)."""
+
+    DIRICHLET = "dirichlet"
+    PERIODIC = "periodic"
+    REFLECT = "reflect"
+
+
+DIRICHLET = BoundaryCondition.DIRICHLET.value
+PERIODIC = BoundaryCondition.PERIODIC.value
+REFLECT = BoundaryCondition.REFLECT.value
+
+#: Canonical names, in documentation order.
+BOUNDARY_CONDITIONS: Tuple[str, ...] = (DIRICHLET, PERIODIC, REFLECT)
+
+
+def normalize_boundary(value: Union[str, BoundaryCondition, None]) -> str:
+    """Canonical lowercase name of a boundary condition.
+
+    Accepts a :class:`BoundaryCondition` member, any casing of its name, or
+    ``None`` (= the default, ``"dirichlet"``).  Raises
+    :class:`~repro.util.validation.ValidationError` for anything else.
+    """
+    if value is None:
+        return DIRICHLET
+    if isinstance(value, BoundaryCondition):
+        return value.value
+    require(isinstance(value, str),
+            f"boundary condition must be a string or BoundaryCondition, "
+            f"got {type(value).__name__}")
+    name = value.strip().lower()
+    require_in(name, BOUNDARY_CONDITIONS, "boundary condition")
+    return name
+
+
+def apply_boundary(data: np.ndarray, radius: int,
+                   boundary: Union[str, BoundaryCondition, None]) -> np.ndarray:
+    """Refresh the ``radius``-wide halo ring of ``data`` in place.
+
+    ``dirichlet`` is a no-op (the halo stays whatever it is).  For
+    ``periodic`` and ``reflect`` the fill runs axis by axis in increasing
+    order, each strip spanning the full extent of every other axis — corner
+    cells therefore receive their diagonal values through two stacked
+    copies, matching the partition layer's dimension-ordered halo exchange
+    bit for bit.  Reads touch only interior cells along the filled axis, so
+    the result is a pure function of the interior values.
+
+    Returns ``data`` (the same array) for call-chaining convenience.
+    """
+    boundary = normalize_boundary(boundary)
+    if boundary == DIRICHLET:
+        return data
+    require_positive_int(radius, "radius")
+    for size in data.shape:
+        interior = int(size) - 2 * radius
+        require(interior >= radius,
+                f"grid extent {size} leaves a {interior}-cell interior, "
+                f"shorter than the stencil radius {radius} — {boundary} "
+                f"halos would need cells beyond the opposite boundary")
+    for axis in range(data.ndim):
+        n = data.shape[axis] - 2 * radius
+        low = axis_slice(data.ndim, axis, 0, radius)
+        high = axis_slice(data.ndim, axis, n + radius, n + 2 * radius)
+        if boundary == PERIODIC:
+            # halo cell j steps outside <- interior cell one period away
+            data[low] = data[axis_slice(data.ndim, axis, n, n + radius)]
+            data[high] = data[axis_slice(data.ndim, axis, radius, 2 * radius)]
+        else:  # reflect: ghost cell i steps outside <- interior i steps inside
+            data[low] = np.flip(
+                data[axis_slice(data.ndim, axis, radius, 2 * radius)],
+                axis=axis)
+            data[high] = np.flip(
+                data[axis_slice(data.ndim, axis, n, n + radius)], axis=axis)
+    return data
+
+
+def axis_slice(ndim: int, axis: int, start: int, stop: int) -> Tuple[slice, ...]:
+    """Full-extent slices except ``[start, stop)`` along ``axis``.
+
+    Shared by the global fill above and the partition layer's halo exchange
+    (:meth:`repro.stencils.partition.GridPartition.exchange_halos`) — the
+    bit-identity contract between the two depends on both slicing the same
+    strips.
+    """
+    slices = [slice(None)] * ndim
+    slices[axis] = slice(start, stop)
+    return tuple(slices)

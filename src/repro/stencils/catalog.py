@@ -73,6 +73,11 @@ class BenchmarkConfig:
         Grid extents actually executed by the simulator (scaled down).
     sim_iterations:
         Iterations actually executed by the simulator.
+    boundary:
+        Boundary condition the benchmark is timed under.  The Table-2
+        configurations all use the paper's fixed-halo ``"dirichlet"``
+        setup; :meth:`with_boundary` derives the ``"periodic"`` /
+        ``"reflect"`` variants the boundary-condition goldens freeze.
     """
 
     name: str
@@ -81,6 +86,15 @@ class BenchmarkConfig:
     block: Tuple[int, ...]
     sim_grid: Tuple[int, ...]
     sim_iterations: int = 2
+    boundary: str = "dirichlet"
+
+    def with_boundary(self, boundary: str) -> "BenchmarkConfig":
+        """The same benchmark timed under a different boundary condition."""
+        from dataclasses import replace
+
+        from repro.stencils.boundary import normalize_boundary
+
+        return replace(self, boundary=normalize_boundary(boundary))
 
     @property
     def paper_grid(self) -> Tuple[int, ...]:

@@ -12,6 +12,7 @@ from typing import Sequence, Tuple
 
 import numpy as np
 
+from repro.stencils.boundary import normalize_boundary
 from repro.util.rng import default_rng
 from repro.util.validation import require, require_in, require_positive_int
 
@@ -38,14 +39,22 @@ class Grid:
         Element type used by the simulated device (fp16/fp32/fp64).  The host
         copy is kept in float64 for accuracy; ``dtype`` records the precision
         the simulated kernel would use and is consumed by the cost model.
+    boundary:
+        How halo cells behave between sweeps (see
+        :mod:`repro.stencils.boundary`): ``"dirichlet"`` (default — held
+        fixed), ``"periodic"`` (wrap-around) or ``"reflect"`` (mirrored,
+        approximating zero-flux Neumann).  Every execution path consumes
+        this, and it enters the canonical compile fingerprint.
     """
 
     data: np.ndarray
     dtype: np.dtype = np.dtype(np.float32)
+    boundary: str = "dirichlet"
 
     def __post_init__(self) -> None:
         self.data = np.asarray(self.data, dtype=np.float64)
         self.dtype = np.dtype(self.dtype)
+        self.boundary = normalize_boundary(self.boundary)
         require_in(self.data.ndim, (1, 2, 3), "grid ndim")
 
     @property
@@ -70,7 +79,8 @@ class Grid:
         return int(np.prod(interior_shape(self.shape, radius)))
 
     def copy(self) -> "Grid":
-        return Grid(data=self.data.copy(), dtype=self.dtype)
+        return Grid(data=self.data.copy(), dtype=self.dtype,
+                    boundary=self.boundary)
 
     def bytes_per_element(self) -> int:
         return int(self.dtype.itemsize)
@@ -82,6 +92,7 @@ def make_grid(
     kind: str = "random",
     dtype=np.float32,
     seed: int | None = None,
+    boundary: str = "dirichlet",
 ) -> Grid:
     """Create a grid workload.
 
@@ -99,6 +110,9 @@ def make_grid(
         Element type the simulated device kernel would use.
     seed:
         RNG seed for the random workload.
+    boundary:
+        Boundary condition carried on the grid (``"dirichlet"`` /
+        ``"periodic"`` / ``"reflect"``).
     """
     shape = tuple(require_positive_int(s, "grid extent") for s in shape)
     require_in(len(shape), (1, 2, 3), "grid ndim")
@@ -118,4 +132,4 @@ def make_grid(
         mesh = np.meshgrid(*axes, indexing="ij")
         radius_sq = sum(m ** 2 for m in mesh)
         data = np.exp(-4.0 * radius_sq)
-    return Grid(data=data, dtype=dtype)
+    return Grid(data=data, dtype=dtype, boundary=boundary)

@@ -16,15 +16,33 @@ Two invariants make sharded execution bit-identical to a single-device sweep:
   are overwritten with the neighbouring shards' freshly computed interiors
   (dimension-ordered, so corner cells propagate through two copies exactly
   like stacked 1D exchanges).
+
+The partition carries the grid's boundary condition
+(:mod:`repro.stencils.boundary`) and realises it distributively at the
+global edges: under ``dirichlet`` the global halo stays fixed; under
+``periodic`` the exchange wraps around — the shard at the low edge of an
+axis receives from the shard at the high edge (possibly itself when the
+axis has a single shard); under ``reflect`` each edge shard mirrors its own
+first/last interior cells into the out-facing halo.  All three run inside
+the same dimension-ordered stages, so the stacked-corner property (and with
+it bit-identity to the single-device :func:`~repro.stencils.boundary.
+apply_boundary` fill) holds for every condition.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.stencils.boundary import (
+    DIRICHLET,
+    PERIODIC,
+    REFLECT,
+    axis_slice as _axis_slice,
+    normalize_boundary,
+)
 from repro.util.validation import require, require_positive_int
 
 __all__ = ["Shard", "GridPartition", "split_extent", "plan_shard_grid"]
@@ -141,11 +159,13 @@ class GridPartition:
     radius: int
     shard_grid: Tuple[int, ...]
     shards: Tuple[Shard, ...]  #: row-major over ``shard_grid``
+    boundary: str = DIRICHLET
 
     @staticmethod
     def build(grid_shape: Sequence[int], radius: int,
               shard_grid: Sequence[int] | int,
-              align: Sequence[int] | None = None) -> "GridPartition":
+              align: Sequence[int] | None = None,
+              boundary: str = DIRICHLET) -> "GridPartition":
         """Partition ``grid_shape`` for a stencil of ``radius``.
 
         Parameters
@@ -156,6 +176,9 @@ class GridPartition:
         align:
             Optional per-axis chunk alignment (the layout tile extents ``r``);
             required for bit-identical sharded execution.
+        boundary:
+            Boundary condition the exchange realises at the global edges
+            (``"dirichlet"`` / ``"periodic"`` / ``"reflect"``).
         """
         grid_shape = tuple(int(s) for s in grid_shape)
         require_positive_int(radius, "radius")
@@ -188,7 +211,8 @@ class GridPartition:
             shards.append(Shard(index=tuple(index), out_start=out_start,
                                 out_stop=out_stop, radius=radius))
         return GridPartition(grid_shape=grid_shape, radius=radius,
-                             shard_grid=shard_grid, shards=tuple(shards))
+                             shard_grid=shard_grid, shards=tuple(shards),
+                             boundary=normalize_boundary(boundary))
 
     # ------------------------------------------------------------------ #
     # topology
@@ -206,7 +230,12 @@ class GridPartition:
         return self.shards[flat]
 
     def neighbors(self, shard: Shard) -> Dict[Tuple[int, int], Shard]:
-        """Adjacent shards keyed by ``(axis, direction)`` with direction ±1."""
+        """Adjacent shards keyed by ``(axis, direction)`` with direction ±1.
+
+        Pure grid adjacency — periodic wrap partners are *not* included
+        here; :meth:`halo_source` resolves the shard that actually supplies
+        a given halo under the partition's boundary condition.
+        """
         found = {}
         for axis in range(self.ndim):
             for direction in (-1, +1):
@@ -216,6 +245,27 @@ class GridPartition:
                     index[axis] = pos
                     found[(axis, direction)] = self.shard_at(index)
         return found
+
+    def halo_source(self, shard: Shard, axis: int,
+                    direction: int) -> Optional[Shard]:
+        """The shard supplying ``shard``'s ``(axis, direction)`` halo.
+
+        An in-range neighbour always supplies.  Across the global edge the
+        answer depends on the boundary condition: ``periodic`` wraps to the
+        shard at the opposite end of the axis (the shard itself when the
+        axis has a single shard); ``dirichlet`` and ``reflect`` have no
+        supplying shard there (the halo is fixed, or mirrored locally by
+        :meth:`exchange_halos`).
+        """
+        pos = shard.index[axis] + direction
+        count = self.shard_grid[axis]
+        if not (0 <= pos < count):
+            if self.boundary != PERIODIC:
+                return None
+            pos %= count
+        index = list(shard.index)
+        index[axis] = pos
+        return self.shard_at(index)
 
     # ------------------------------------------------------------------ #
     # data movement
@@ -236,8 +286,11 @@ class GridPartition:
                  base: np.ndarray) -> np.ndarray:
         """Write every shard's interior back into a copy of ``base``.
 
-        ``base`` supplies the fixed global boundary ring (held constant by
-        the sweep loop, exactly like the single-device executor).
+        ``base`` supplies the global boundary ring — under Dirichlet that is
+        the final answer (the ring is held constant, exactly like the
+        single-device executor); under ``periodic`` / ``reflect`` the
+        executor refreshes the assembled ring from the interior with
+        :func:`repro.stencils.boundary.apply_boundary` afterwards.
         """
         require(len(locals_) == self.n_shards,
                 f"{len(locals_)} local arrays for {self.n_shards} shards")
@@ -247,7 +300,7 @@ class GridPartition:
         return out
 
     def exchange_halos(self, locals_: Sequence[np.ndarray]) -> int:
-        """Refresh every shard's halo cells from its neighbours' interiors.
+        """Refresh every shard's halo cells under the boundary condition.
 
         Axes are exchanged in increasing order and every strip spans the full
         local extent of all *other* axes (halos included), so corner cells
@@ -256,8 +309,17 @@ class GridPartition:
         interior cells along that axis and writes touch only halo slabs, so
         the stage order inside an axis does not matter.
 
+        Global edges follow :attr:`boundary`: ``dirichlet`` holds the
+        out-facing halo fixed, ``periodic`` exchanges across the edge with
+        the wrap-around shard (the same copy geometry as an interior
+        exchange), and ``reflect`` mirrors the shard's own first/last
+        ``radius`` interior cells into the halo.  The stages mirror
+        :func:`repro.stencils.boundary.apply_boundary` exactly, which keeps
+        sharded sweeps bit-identical to single-device ones.
+
         Returns the number of grid *elements* copied between distinct shards
-        (the executor converts this to bytes/time with the device data type).
+        (the executor converts this to bytes/time with the device data type);
+        local mirror fills and single-shard wrap copies are free.
         """
         require(len(locals_) == self.n_shards,
                 f"{len(locals_)} local arrays for {self.n_shards} shards")
@@ -267,26 +329,35 @@ class GridPartition:
             for shard, local in zip(self.shards, locals_):
                 out_len = shard.out_shape[axis]
                 for direction in (-1, +1):
-                    pos = shard.index[axis] + direction
-                    if not (0 <= pos < self.shard_grid[axis]):
-                        continue  # global boundary: halo stays fixed
-                    index = list(shard.index)
-                    index[axis] = pos
-                    neighbor = self.shard_at(index)
+                    neighbor = self.halo_source(shard, axis, direction)
+                    if direction < 0:
+                        dst = _axis_slice(self.ndim, axis, 0, radius)
+                    else:
+                        dst = _axis_slice(self.ndim, axis, out_len + radius,
+                                          out_len + 2 * radius)
+                    if neighbor is None:
+                        if self.boundary == REFLECT:
+                            # mirror own interior into the out-facing halo
+                            if direction < 0:
+                                src = _axis_slice(self.ndim, axis,
+                                                  radius, 2 * radius)
+                            else:
+                                src = _axis_slice(self.ndim, axis,
+                                                  out_len, out_len + radius)
+                            local[dst] = np.flip(local[src], axis=axis)
+                        continue  # dirichlet: halo stays fixed
                     source = locals_[int(np.ravel_multi_index(
-                        tuple(index), self.shard_grid))]
+                        tuple(neighbor.index), self.shard_grid))]
                     n_len = neighbor.out_shape[axis]
                     if direction < 0:
                         # neighbour's last `radius` interior cells -> low halo
                         src = _axis_slice(self.ndim, axis, n_len, n_len + radius)
-                        dst = _axis_slice(self.ndim, axis, 0, radius)
                     else:
                         # neighbour's first `radius` interior cells -> high halo
                         src = _axis_slice(self.ndim, axis, radius, 2 * radius)
-                        dst = _axis_slice(self.ndim, axis, out_len + radius,
-                                          out_len + 2 * radius)
                     local[dst] = source[src]
-                    elements += int(local[dst].size)
+                    if neighbor.index != shard.index:
+                        elements += int(local[dst].size)
         return elements
 
     def received_elements_per_shard(self) -> Tuple[int, ...]:
@@ -304,8 +375,8 @@ class GridPartition:
                 strip = list(shard.subgrid_shape)
                 strip[axis] = self.radius
                 for direction in (-1, +1):
-                    pos = shard.index[axis] + direction
-                    if 0 <= pos < self.shard_grid[axis]:
+                    source = self.halo_source(shard, axis, direction)
+                    if source is not None and source.index != shard.index:
                         received += int(np.prod(strip))
             totals.append(received)
         return tuple(totals)
@@ -315,12 +386,14 @@ class GridPartition:
         return sum(self.received_elements_per_shard())
 
     def messages_per_shard(self) -> Tuple[int, ...]:
-        """Halo messages each shard receives per exchange (its neighbour count)."""
-        return tuple(len(self.neighbors(shard)) for shard in self.shards)
+        """Halo messages each shard receives per exchange: one per
+        ``(axis, direction)`` whose supplying shard is a *different* shard
+        (periodic wrap partners included; self-wraps and reflect mirrors are
+        local copies, not messages)."""
+        return tuple(
+            sum(1 for axis in range(self.ndim) for direction in (-1, +1)
+                if (source := self.halo_source(shard, axis, direction))
+                is not None and source.index != shard.index)
+            for shard in self.shards)
 
 
-def _axis_slice(ndim: int, axis: int, start: int, stop: int) -> Tuple[slice, ...]:
-    """Full-extent slices except ``[start, stop)`` along ``axis``."""
-    slices = [slice(None)] * ndim
-    slices[axis] = slice(start, stop)
-    return tuple(slices)

@@ -8,71 +8,70 @@ Two layers of protection per fixture (see ``tests/golden/generate_golden.py``):
   compile/execute path must not silently move the numerics at all.
 
 The cached and batched service paths are held to the same goldens, so the new
-serving layer can never return different numbers than a direct solve.
+serving layer can never return different numbers than a direct solve.  The
+``periodic`` / ``reflect`` fixtures hold the boundary-condition subsystem to
+the identical drift guarantees.
 """
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import numpy as np
 import pytest
+
+from golden.generate_golden import CASES, fixture_path
 
 from repro import compile_stencil, get_benchmark, make_grid, run_stencil
 from repro.service import CompileCache, SolveRequest, solve_many
 
-GOLDEN_DIR = Path(__file__).parent / "golden"
+CASE_IDS = [f"{c[0]}-{c[4]}" for c in CASES]
 
-#: Must mirror CASES in tests/golden/generate_golden.py.
-CASES = [
-    ("Heat-1D", (2048,), 4, 2026),
-    ("Heat-2D", (96, 96), 4, 2026),
-    ("Box-2D49P", (96, 96), 2, 2026),
-]
-
-#: fp16 device-arithmetic tolerance (same bound the e2e tests use).
-REFERENCE_TOL = 5e-3
 #: Drift bound for the frozen pipeline output: effectively exact, with a
 #: whisker of slack for BLAS/numpy reduction-order differences across builds.
 DRIFT_TOL = 1e-9
 
 
-def load_fixture(name: str):
-    path = GOLDEN_DIR / f"{name.lower()}.npz"
+def load_fixture(name: str, boundary: str):
+    path = fixture_path(name, boundary)
     assert path.exists(), (
         f"golden fixture {path} missing — regenerate with "
         f"`PYTHONPATH=src python tests/golden/generate_golden.py`")
     return np.load(path)
 
-def workload(name: str, grid_shape, seed: int):
+def workload(name: str, grid_shape, seed: int, boundary: str):
     config = get_benchmark(name)
-    return config.pattern, make_grid(grid_shape, kind="random", seed=seed)
+    return config.pattern, make_grid(grid_shape, kind="random", seed=seed,
+                                     boundary=boundary)
 
 
-@pytest.mark.parametrize("name,grid_shape,iterations,seed", CASES,
-                         ids=[c[0] for c in CASES])
+@pytest.mark.parametrize("name,grid_shape,iterations,seed,boundary,ref_tol",
+                         CASES, ids=CASE_IDS)
 class TestGoldenRegression:
-    def test_fixture_matches_workload(self, name, grid_shape, iterations, seed):
-        fixture = load_fixture(name)
+    def test_fixture_matches_workload(self, name, grid_shape, iterations,
+                                      seed, boundary, ref_tol):
+        fixture = load_fixture(name, boundary)
         assert tuple(fixture["grid_shape"]) == tuple(grid_shape)
         assert int(fixture["iterations"]) == iterations
         assert int(fixture["seed"]) == seed
+        assert str(fixture["boundary"]) == boundary
 
-    def test_run_stencil_matches_golden(self, name, grid_shape, iterations, seed):
-        fixture = load_fixture(name)
-        pattern, grid = workload(name, grid_shape, seed)
-        compiled = compile_stencil(pattern, grid_shape)
+    def test_run_stencil_matches_golden(self, name, grid_shape, iterations,
+                                        seed, boundary, ref_tol):
+        fixture = load_fixture(name, boundary)
+        pattern, grid = workload(name, grid_shape, seed, boundary)
+        compiled = compile_stencil(pattern, grid_shape, boundary=boundary)
         result = run_stencil(compiled, grid, iterations)
-        assert np.max(np.abs(result.output - fixture["reference"])) < REFERENCE_TOL
+        assert np.max(np.abs(result.output - fixture["reference"])) < ref_tol
         np.testing.assert_allclose(result.output, fixture["pipeline"],
                                    rtol=0.0, atol=DRIFT_TOL)
 
-    def test_cached_solve_matches_golden(self, name, grid_shape, iterations, seed):
-        fixture = load_fixture(name)
-        pattern, grid = workload(name, grid_shape, seed)
+    def test_cached_solve_matches_golden(self, name, grid_shape, iterations,
+                                         seed, boundary, ref_tol):
+        fixture = load_fixture(name, boundary)
+        pattern, grid = workload(name, grid_shape, seed, boundary)
         cache = CompileCache()
-        cache.compile(pattern, grid_shape)           # cold compile
-        compiled = cache.compile(pattern, grid_shape)  # warm hit
+        cache.compile(pattern, grid_shape, boundary=boundary)  # cold compile
+        compiled = cache.compile(pattern, grid_shape,
+                                 boundary=boundary)  # warm hit
         assert cache.stats.hits == 1
         result = run_stencil(compiled, grid, iterations)
         np.testing.assert_allclose(result.output, fixture["pipeline"],
@@ -81,13 +80,18 @@ class TestGoldenRegression:
 
 @pytest.mark.slow
 def test_batched_service_matches_goldens():
-    """One batch over all golden workloads reproduces every fixture."""
+    """One batch over all golden workloads reproduces every fixture.
+
+    The batch mixes boundary conditions, so it also proves the coalescing
+    path can never serve a plan across boundaries (fingerprints differ).
+    """
     requests = []
     fixtures = []
-    for name, grid_shape, iterations, seed in CASES:
-        pattern, grid = workload(name, grid_shape, seed)
-        requests.append(SolveRequest(pattern, grid, iterations, tag=name))
-        fixtures.append(load_fixture(name))
+    for name, grid_shape, iterations, seed, boundary, _tol in CASES:
+        pattern, grid = workload(name, grid_shape, seed, boundary)
+        requests.append(SolveRequest(pattern, grid, iterations,
+                                     tag=f"{name}-{boundary}"))
+        fixtures.append(load_fixture(name, boundary))
     report = solve_many(requests)
     for item, fixture in zip(report.items, fixtures):
         np.testing.assert_allclose(item.result.output, fixture["pipeline"],

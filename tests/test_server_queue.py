@@ -67,6 +67,19 @@ class TestAdmission:
             queue.offer(dead)
         assert queue.depth == 0
 
+    def test_deadline_of_exactly_now_is_expired(self, heat2d):
+        """Regression: a deadline equal to `now` must count as expired
+        (``>=``), so a zero-second deadline can never be admitted or
+        served — the boundary matches admission control."""
+        item = queued(heat2d, deadline=time.perf_counter())
+        assert item.expired(now=item.deadline)
+        # and strictly-before stays unexpired
+        assert not item.expired(now=item.deadline - 1e-6)
+        queue = RequestQueue(bound=8)
+        with pytest.raises(DeadlineExceededError):
+            # by the time offer() re-checks, now >= the recorded deadline
+            queue.offer(queued(heat2d, deadline=time.perf_counter()))
+
     def test_expired_beats_full_in_admission_order(self, heat2d):
         queue = RequestQueue(bound=1)
         queue.offer(queued(heat2d, seed=0))
@@ -184,6 +197,31 @@ class TestCoalesce:
             return await Coalescer().collect(queue)
 
         assert asyncio.run(scenario()) is None
+
+    def test_idle_cycles_do_not_dilute_coalescing_ratio(self, heat2d):
+        """Regression: only dispatch windows that gathered at least one
+        request count as cycles — an idle server's EOF/empty windows must
+        not drag the reported batching effectiveness toward 0."""
+        coalescer = Coalescer(window_seconds=0.01, max_batch_size=16)
+
+        async def scenario():
+            # one real dispatch of 3 requests...
+            queue = RequestQueue(bound=16)
+            queue.bind_loop(asyncio.get_running_loop())
+            for i in range(3):
+                queue.offer(queued(heat2d, seed=i))
+            await coalescer.collect(queue)
+            # ...then a burst of idle windows (closed-and-empty queues)
+            for _ in range(5):
+                idle = RequestQueue(bound=16)
+                idle.bind_loop(asyncio.get_running_loop())
+                idle.close()
+                assert await coalescer.collect(idle) is None
+
+        asyncio.run(scenario())
+        assert coalescer.cycles == 1
+        assert coalescer.collected == 3
+        assert coalescer.coalescing_ratio == 3.0  # not dragged toward 0
 
     def test_collect_caps_at_max_batch_size(self, heat2d):
         queue = RequestQueue(bound=16)

@@ -18,10 +18,10 @@ Covers the PR-4 acceptance criteria:
 from __future__ import annotations
 
 import warnings
-from pathlib import Path
 
 import numpy as np
 import pytest
+from golden.generate_golden import CASES as ALL_GOLDEN_CASES, fixture_path
 
 import repro
 from repro import (
@@ -38,19 +38,15 @@ from repro.session.registry import SessionExecutor, default_registry
 from repro.session.problem import Provenance
 from repro.util.validation import ValidationError
 
-GOLDEN_DIR = Path(__file__).parent / "golden"
-
-#: Mirrors CASES in tests/test_golden_regression.py / generate_golden.py.
-GOLDEN_CASES = [
-    ("Heat-1D", (2048,), 4, 2026),
-    ("Heat-2D", (96, 96), 4, 2026),
-    ("Box-2D49P", (96, 96), 2, 2026),
-]
+#: The Dirichlet slice of the canonical golden case list (owned by
+#: tests/golden/generate_golden.py); the boundary-condition golden variants
+#: are exercised by tests/test_boundary.py and the regression suite.
+GOLDEN_CASES = [c[:4] for c in ALL_GOLDEN_CASES if c[4] == "dirichlet"]
 DRIFT_TOL = 1e-9
 
 
 def golden_fixture(name):
-    return np.load(GOLDEN_DIR / f"{name.lower()}.npz")
+    return np.load(fixture_path(name))
 
 
 def golden_workload(name, grid_shape, seed):
@@ -351,6 +347,33 @@ class TestTelemetryAndRegistry:
         assert solution.result.method == "cuDNN"
         assert solution.compiled is None
         assert solution.output.shape == tuple(small_grid_2d.shape)
+
+    def test_baseline_programming_errors_propagate(self, session, heat2d,
+                                                   small_grid_2d,
+                                                   monkeypatch):
+        """Regression: the baseline executor may only swallow
+        ``ValidationError`` (problem not expressible as a SparStencil
+        compile → empty fingerprint); a programming error raised inside
+        ``compile_request()`` must propagate instead of silently producing
+        a fingerprint-less Solution."""
+        def typo(self):
+            raise AttributeError("'CompileRequest' object has no attribute "
+                                 "'fingerprnt'")
+
+        monkeypatch.setattr(Problem, "compile_request", typo)
+        with pytest.raises(AttributeError):
+            session.solve(Problem(heat2d, small_grid_2d, 2),
+                          mode="baseline:cudnn")
+
+    def test_baseline_uncompilable_problem_keeps_empty_fingerprint(
+            self, session, heat2d, small_grid_2d, monkeypatch):
+        def not_compilable(self):
+            raise ValidationError("not expressible as a SparStencil compile")
+
+        monkeypatch.setattr(Problem, "compile_request", not_compilable)
+        solution = session.solve(Problem(heat2d, small_grid_2d, 2),
+                                 mode="baseline:cudnn")
+        assert solution.fingerprint == ""
 
     def test_compare_methods_carries_provenance(self, heat2d, small_grid_2d):
         comparison = repro.compare_methods(

@@ -3,10 +3,9 @@ fixtures, shard-plan fingerprint sharing, and the scaling analysis."""
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import numpy as np
 import pytest
+from golden.generate_golden import CASES as GOLDEN_CASES, fixture_path
 
 from repro import compile_stencil, get_benchmark, make_grid, run_stencil
 from repro.analysis import per_shard_utilization, sharded_scaling
@@ -15,38 +14,36 @@ from repro.service import CompileCache, solve_sharded
 from repro.tcu.spec import MultiDeviceSpec, multi_a100
 from repro.util.validation import ValidationError
 
-GOLDEN_DIR = Path(__file__).parent / "golden"
-
-#: Must mirror CASES in tests/golden/generate_golden.py.
-CASES = [
-    ("Heat-1D", (2048,), 4, 2026),
-    ("Heat-2D", (96, 96), 4, 2026),
-    ("Box-2D49P", (96, 96), 2, 2026),
-]
+#: The canonical golden case list, owned by tests/golden/generate_golden.py
+#: (name, grid, iterations, seed, boundary — the tolerance column is the
+#: regression suite's concern).
+CASES = [c[:5] for c in GOLDEN_CASES]
 
 
-def workload(name, grid_shape, seed):
+def workload(name, grid_shape, seed, boundary="dirichlet"):
     config = get_benchmark(name)
-    return config.pattern, make_grid(grid_shape, kind="random", seed=seed)
+    return config.pattern, make_grid(grid_shape, kind="random", seed=seed,
+                                     boundary=boundary)
 
 
-@pytest.mark.parametrize("name,grid_shape,iterations,seed", CASES,
-                         ids=[c[0] for c in CASES])
+@pytest.mark.parametrize("name,grid_shape,iterations,seed,boundary", CASES,
+                         ids=[f"{c[0]}-{c[4]}" for c in CASES])
 @pytest.mark.parametrize("devices", [1, 2, 4])
 class TestShardedEquivalence:
     def test_bit_identical_to_single_device(self, name, grid_shape,
-                                            iterations, seed, devices):
-        pattern, grid = workload(name, grid_shape, seed)
-        compiled = compile_stencil(pattern, grid_shape)
+                                            iterations, seed, boundary,
+                                            devices):
+        pattern, grid = workload(name, grid_shape, seed, boundary)
+        compiled = compile_stencil(pattern, grid_shape, boundary=boundary)
         single = run_stencil(compiled, grid, iterations)
         sharded = ShardedExecutor(devices).execute(compiled, grid, iterations)
         assert np.array_equal(single.output, sharded.output)
 
     def test_matches_golden_fixture(self, name, grid_shape, iterations, seed,
-                                    devices):
-        fixture = np.load(GOLDEN_DIR / f"{name.lower()}.npz")
-        pattern, grid = workload(name, grid_shape, seed)
-        compiled = compile_stencil(pattern, grid_shape)
+                                    boundary, devices):
+        fixture = np.load(fixture_path(name, boundary))
+        pattern, grid = workload(name, grid_shape, seed, boundary)
+        compiled = compile_stencil(pattern, grid_shape, boundary=boundary)
         sharded = ShardedExecutor(devices).execute(compiled, grid, iterations)
         np.testing.assert_allclose(sharded.output, fixture["pipeline"],
                                    rtol=0.0, atol=1e-9)
