@@ -89,6 +89,12 @@ from repro.core import (
     compile_stencil,
     run_stencil,
     SparStencilCompiler,
+    StencilBackend,
+    register_backend,
+    get_backend,
+    resolve_backend,
+    registered_backends,
+    available_backends,
 )
 from repro.core.pipeline import sparstencil_solve
 from repro.service import (
@@ -164,6 +170,12 @@ __all__ = [
     "sparstencil_solve",
     "SparStencilCompiler",
     "search_layout_many",
+    "StencilBackend",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "registered_backends",
+    "available_backends",
     "CompileCache",
     "CompileRequest",
     "SolveRequest",

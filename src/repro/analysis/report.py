@@ -182,6 +182,27 @@ def _section_server_load(data: dict) -> List[str]:
     return lines + [""]
 
 
+def _section_backend_comparison(data: dict) -> List[str]:
+    lines = ["## Execution backends — host wall-clock per backend", ""]
+    rows = []
+    for name, entry in sorted(data.items()):
+        if not isinstance(entry, dict) \
+                or "tcu_sim_wall_seconds" not in entry:
+            continue
+        grid = "x".join(str(s) for s in entry.get("grid_shape", []))
+        fast_key = next((k for k in entry
+                         if k.endswith("_wall_seconds")
+                         and k != "tcu_sim_wall_seconds"), None)
+        rows.append([name, grid,
+                     _ms(entry.get("tcu_sim_wall_seconds")),
+                     _ms(entry.get(fast_key) if fast_key else None),
+                     f"{entry.get('wall_clock_speedup', 0.0):.1f}x",
+                     f"{entry.get('max_abs_drift', 0.0):.1e}"])
+    lines += _table(["kernel", "grid", "tcu-sim", "fast backend",
+                     "speedup", "max |drift|"], rows)
+    return lines + [""]
+
+
 _SECTIONS = {
     "fig6_sota_comparison": _section_fig6,
     "fig7_breakdown": _section_fig7,
@@ -191,6 +212,7 @@ _SECTIONS = {
     "service_cache": _section_service_cache,
     "sharded_scaling": _section_sharded_scaling,
     "server_load": _section_server_load,
+    "backend_comparison": _section_backend_comparison,
 }
 
 

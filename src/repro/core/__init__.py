@@ -41,7 +41,22 @@ from repro.core.layout_search import (
 )
 from repro.core.metadata import SparseMetadata, build_metadata
 from repro.core.lookup_table import LookupTable, build_lookup_table, gather_b_matrix
-from repro.core.codegen import KernelPlan, generate_kernel, render_cuda_source
+from repro.core.codegen import (
+    BACKEND_ENV_VAR,
+    DEFAULT_BACKEND,
+    KernelPlan,
+    NumbaBackend,
+    NumpyBackend,
+    StencilBackend,
+    TcuSimBackend,
+    available_backends,
+    generate_kernel,
+    get_backend,
+    register_backend,
+    registered_backends,
+    render_cuda_source,
+    resolve_backend,
+)
 from repro.core.pipeline import (
     SparStencilCompiler,
     CompileOptions,
@@ -95,6 +110,17 @@ __all__ = [
     "KernelPlan",
     "generate_kernel",
     "render_cuda_source",
+    "StencilBackend",
+    "TcuSimBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV_VAR",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "registered_backends",
+    "available_backends",
     "SparStencilCompiler",
     "CompileOptions",
     "CompiledStencil",

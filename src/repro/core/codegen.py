@@ -1,4 +1,4 @@
-"""Automatic Kernel Generation (§3.3): kernel plans and CUDA-like source.
+"""Automatic Kernel Generation (§3.3): kernel plans, backends, CUDA-like source.
 
 A :class:`KernelPlan` bundles everything the simulated device needs to run a
 compiled stencil sweep — the converted kernel operand and its sparse
@@ -8,14 +8,52 @@ mirroring the three-stage double-buffered pipeline the paper's generator
 emits (async LUT-driven loads → sparse MMA with metadata → write-back).
 
 The rendered source is illustrative output of the code generator (there is no
-CUDA toolchain in this environment); the *plan* is what actually executes on
-the simulator via :mod:`repro.core.pipeline`.
+CUDA toolchain in this environment); the *plan* is what actually executes via
+:mod:`repro.core.pipeline` on one of the registered **backends**.
+
+Backends (the ctree-style frontend/backend split)
+-------------------------------------------------
+One kernel frontend — morphing, conversion, LUTs, the perf model — feeds
+pluggable host execution backends, mirroring how the stencil_code lineage
+hangs C/OpenMP/OpenCL transformers off a single kernel frontend:
+
+* ``"tcu-sim"`` (the default) — the simulated sparse/dense Tensor-Core
+  pipeline: per sweep, gather ``B'`` through the LUTs, run the fragment MMA
+  on the functional device model, assemble the interior.  Slow on the host
+  (it faithfully simulates the device data path) but it *is* the paper's
+  pipeline, and every golden fixture freezes its numerics.
+* ``"numpy"`` — a vectorised fast path: the effective (fused) kernel is
+  applied directly as one shifted-view accumulation per tap, in float64.
+  Elementwise and shape-independent, so sharded runs stay bit-identical to
+  single-device; per-sweep device timing/utilisation are billed from the
+  plan's roofline estimate, so modelled metrics stay comparable across
+  backends.
+* ``"numba"`` — a JIT-compiled flat-gather loop, registered only when the
+  optional :mod:`numba` dependency imports.
+
+Every backend executes the *same* :class:`KernelPlan` (the compile pipeline
+is backend-independent); what changes is how a sweep is carried out on the
+host.  The backend name joins the compile fingerprint
+(:mod:`repro.service.fingerprint`), so caches can never serve a plan across
+backends, and it is recorded in :class:`repro.session.Provenance`.
+
+Tolerance contract: ``tcu-sim`` carries the simulated device's precision
+(fp16/bf16/tf32 operand rounding with fp32 accumulation); ``numpy`` /
+``numba`` compute in float64.  Outputs of any two backends therefore agree
+within the *device* tolerance of the dtype (the ``ref_tol`` the golden suite
+already uses against the float64 reference — e.g. ~2e-2 absolute for fp16
+Table-2 workloads), and are bit-identical only where the math permits
+(backends never reorder each other's summation).
 """
 
 from __future__ import annotations
 
+import abc
+import importlib.util
+import os
+import threading
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
@@ -26,10 +64,27 @@ from repro.core.morphing import MorphConfig, morph_kernel_matrix
 from repro.core.perf_model import PerfEstimate, estimate_layout
 from repro.core.staircase import block_structure_from_morph
 from repro.stencils.pattern import StencilPattern
+from repro.tcu.counters import derive_utilization
+from repro.tcu.executor import LaunchResult
 from repro.tcu.spec import A100_SPEC, DataType, FragmentShape, GPUSpec, SPARSE_FRAGMENTS
-from repro.util.validation import require, require_in
+from repro.util.validation import ValidationError, require, require_in
 
-__all__ = ["KernelPlan", "generate_kernel", "render_cuda_source"]
+__all__ = [
+    "KernelPlan",
+    "generate_kernel",
+    "render_cuda_source",
+    "StencilBackend",
+    "TcuSimBackend",
+    "NumpyBackend",
+    "NumbaBackend",
+    "DEFAULT_BACKEND",
+    "BACKEND_ENV_VAR",
+    "register_backend",
+    "get_backend",
+    "resolve_backend",
+    "registered_backends",
+    "available_backends",
+]
 
 #: Per-thread register budgets of the generated kernels.  The sparse kernel
 #: is register-lean (the compressed operand and metadata halve the A-fragment
@@ -291,3 +346,295 @@ def render_cuda_source(plan: KernelPlan) -> str:
         safe_name=safe_name,
         mma_instruction=mma,
     )
+
+
+# --------------------------------------------------------------------------- #
+# Backend registry
+# --------------------------------------------------------------------------- #
+#: The backend compile options resolve to when neither the caller nor the
+#: environment picks one.
+DEFAULT_BACKEND = "tcu-sim"
+
+#: Environment override for the default backend (the CI backend matrix runs
+#: the test suite once per registered backend through this variable).
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class StencilBackend(abc.ABC):
+    """One way to execute a compiled plan's sweeps on the host.
+
+    The compile pipeline is backend-independent: every backend receives the
+    same fully lowered :class:`KernelPlan` (via the engine layer's
+    ``SweepContext``) and must preserve the functional sweep contract —
+    ``current[interior]`` advances by one application of the plan's
+    (possibly fused) pattern, the halo ring is left untouched (boundary
+    handling belongs to the executor) — while returning a
+    :class:`~repro.tcu.executor.LaunchResult` carrying the sweep's modelled
+    device timing and utilisation.
+    """
+
+    #: Registry key; also what ``CompileOptions.backend`` stores and the
+    #: compile fingerprint hashes.
+    name: str = "backend"
+    description: str = ""
+
+    def is_available(self) -> bool:
+        """Whether this backend can run in the current environment.
+
+        Backends gated on optional dependencies (``numba``) report ``False``
+        instead of failing at import time; resolving an unavailable backend
+        raises a :class:`~repro.util.validation.ValidationError`.
+        """
+        return True
+
+    @abc.abstractmethod
+    def make_sweep(self, context: "Any") -> Callable[[np.ndarray], LaunchResult]:
+        """Build the per-sweep callable for one prepared plan.
+
+        ``context`` is a :class:`repro.engine.base.SweepContext` (duck-typed
+        here to keep the core → engine dependency one-way).  The returned
+        callable mutates the grid array in place and returns the sweep's
+        :class:`LaunchResult`.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+def _modelled_launch(context: "Any") -> LaunchResult:
+    """A :class:`LaunchResult` billing the plan's roofline estimate.
+
+    Host-side backends (``numpy`` / ``numba``) skip the functional device
+    simulation, so they have no measured fragment path to derive timing
+    from; they bill the same per-sweep model
+    (:class:`~repro.core.perf_model.PerfEstimate`) the layout search and the
+    device-pool scheduler already trust, keeping modelled metrics — and the
+    scheduler's single-vs-sharded estimates — comparable across backends.
+    ``output`` is ``None``: the sweep assembles the interior in place.
+    """
+    plan = context.plan
+    estimate: PerfEstimate = plan.estimate
+    elapsed = max(estimate.t_total, 1e-30)
+    utilization = derive_utilization(
+        compute_seconds=estimate.t_compute,
+        memory_seconds=estimate.t_memory,
+        elapsed_seconds=elapsed,
+        traffic=estimate.traffic,
+        spec=context.spec,
+        threads_per_block=plan.threads_per_block,
+        blocks=plan.blocks,
+        registers_per_thread=plan.registers_per_thread,
+    )
+    return LaunchResult(
+        name=context.launch_name,
+        output=None,
+        elapsed_seconds=elapsed,
+        compute_seconds=estimate.t_compute,
+        memory_seconds=estimate.t_memory,
+        fragment_ops=estimate.n_mma,
+        utilization=utilization,
+    )
+
+
+class TcuSimBackend(StencilBackend):
+    """The simulated-Tensor-Core pipeline (the paper's execution path)."""
+
+    name = "tcu-sim"
+    description = ("gather B' through the LUTs, sparse/dense fragment MMA on "
+                   "the functional device model, assemble the interior")
+
+    def make_sweep(self, context):
+        # Imported lazily: repro.engine.base imports this module (via
+        # core.pipeline), so a module-level import would be circular.
+        from repro.engine.base import assemble_step, gather_step, mma_step
+
+        def sweep(current: np.ndarray) -> LaunchResult:
+            b_operand = gather_step(context, current)
+            result = mma_step(context, b_operand)
+            assemble_step(context, result, current)
+            return result
+
+        return sweep
+
+
+class NumpyBackend(StencilBackend):
+    """Vectorised float64 fast path: the raw-speed lever.
+
+    The sweep accumulates one shifted view of the grid per tap, in the
+    pattern's fixed tap order.  Every operation is elementwise, so each
+    output cell's value depends only on its stencil neighbourhood and the
+    tap order — **never on the array's shape**.  That shape-independence is
+    load-bearing: the sharded engine runs the same plan on shard-shaped
+    subgrids, and the repo-wide invariant that sharded output is
+    bit-identical to single-device holds only because the sweep computes
+    the same bits on a (50, 96) shard as on the (96, 96) grid.  A
+    ``sliding_window_view`` + ``tensordot`` contraction would be faster for
+    dense (box-like) kernels, but it lowers to a BLAS matmul whose
+    reduction order varies with operand shape, breaking that invariant at
+    the ULP level — so the tap loop is the only path.
+    """
+
+    name = "numpy"
+    description = ("direct vectorised sweep: one shifted-view accumulation "
+                   "per tap, elementwise and shape-independent")
+
+    def make_sweep(self, context):
+        compiled = context.compiled
+        pattern = compiled.pattern  # the effective (fused) pattern
+        shape = compiled.grid_shape
+        radius = pattern.radius
+        interior = context.interior
+        template = _modelled_launch(context)
+
+        taps = [
+            (float(weight),
+             tuple(slice(radius + off, size - radius + off)
+                   for off, size in zip(offsets, shape)))
+            for offsets, weight in zip(pattern.offsets, pattern.weights)
+        ]
+
+        def sweep(current: np.ndarray) -> LaunchResult:
+            first_weight, first_view = taps[0]
+            acc = first_weight * current[first_view]
+            for weight, view in taps[1:]:
+                acc += weight * current[view]
+            current[interior] = acc
+            return template
+
+        return sweep
+
+
+#: Process-wide memo of the JIT-compiled numba gather kernel (compiled once,
+#: reused by every plan).
+_NUMBA_KERNEL: Optional[Callable] = None
+_NUMBA_KERNEL_LOCK = threading.Lock()
+
+
+def _numba_kernel() -> Callable:
+    global _NUMBA_KERNEL
+    with _NUMBA_KERNEL_LOCK:
+        if _NUMBA_KERNEL is None:
+            import numba
+
+            @numba.njit(parallel=True, cache=False)
+            def kernel(flat, base_idx, tap_offsets, weights, out):  # pragma: no cover - needs numba
+                for i in numba.prange(base_idx.size):
+                    acc = 0.0
+                    base = base_idx[i]
+                    for j in range(tap_offsets.size):
+                        acc += weights[j] * flat[base + tap_offsets[j]]
+                    out[i] = acc
+
+            _NUMBA_KERNEL = kernel
+    return _NUMBA_KERNEL
+
+
+class NumbaBackend(StencilBackend):
+    """JIT flat-gather sweep, gated on the optional :mod:`numba` import.
+
+    Every tap becomes one flat offset into the raveled grid; the JIT kernel
+    gathers and accumulates per interior cell in parallel.  Registered
+    unconditionally but :meth:`is_available` only when ``numba`` imports, so
+    environments without the dependency simply cannot resolve it.
+    """
+
+    name = "numba"
+    description = "numba-JIT flat-gather sweep over precomputed tap offsets"
+
+    def is_available(self) -> bool:
+        return importlib.util.find_spec("numba") is not None
+
+    def make_sweep(self, context):  # pragma: no cover - exercised only with numba installed
+        compiled = context.compiled
+        pattern = compiled.pattern
+        shape = compiled.grid_shape
+        radius = pattern.radius
+        interior = context.interior
+        template = _modelled_launch(context)
+
+        strides = np.asarray(
+            [int(np.prod(shape[axis + 1:], dtype=np.int64))
+             for axis in range(len(shape))], dtype=np.int64)
+        tap_offsets = np.asarray(
+            [int(np.dot(offsets, strides)) for offsets in pattern.offsets],
+            dtype=np.int64)
+        weights = np.asarray(pattern.weights, dtype=np.float64)
+        interior_shape = tuple(size - 2 * radius for size in shape)
+        mesh = np.meshgrid(*[np.arange(radius, size - radius)
+                             for size in shape], indexing="ij")
+        base_idx = np.ravel_multi_index(
+            tuple(m.reshape(-1) for m in mesh), shape).astype(np.int64)
+        kernel = _numba_kernel()
+
+        def sweep(current: np.ndarray) -> LaunchResult:
+            flat = np.ascontiguousarray(current).reshape(-1)
+            out = np.empty(base_idx.size, dtype=np.float64)
+            kernel(flat, base_idx, tap_offsets, weights, out)
+            current[interior] = out.reshape(interior_shape)
+            return template
+
+        return sweep
+
+
+_BACKENDS: Dict[str, StencilBackend] = {}
+_BACKENDS_LOCK = threading.Lock()
+
+
+def register_backend(backend: StencilBackend, *, replace: bool = False) -> None:
+    """Add a backend to the registry under ``backend.name``."""
+    require(isinstance(backend, StencilBackend),
+            f"backend must be a StencilBackend, got {type(backend).__name__}")
+    require(isinstance(backend.name, str) and backend.name != "",
+            "backend.name must be a non-empty string")
+    with _BACKENDS_LOCK:
+        if not replace and backend.name in _BACKENDS:
+            raise ValidationError(
+                f"backend {backend.name!r} already registered "
+                f"(pass replace=True to override)")
+        _BACKENDS[backend.name] = backend
+
+
+def registered_backends() -> Tuple[str, ...]:
+    """Every registered backend name, available or not."""
+    with _BACKENDS_LOCK:
+        return tuple(_BACKENDS)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Registered backends whose dependencies import in this environment."""
+    with _BACKENDS_LOCK:
+        backends = list(_BACKENDS.values())
+    return tuple(b.name for b in backends if b.is_available())
+
+
+def get_backend(name: str) -> StencilBackend:
+    """Look up one registered, available backend by name."""
+    with _BACKENDS_LOCK:
+        backend = _BACKENDS.get(name)
+    if backend is None:
+        raise ValidationError(
+            f"unknown backend {name!r}; registered: "
+            f"{sorted(registered_backends())}")
+    if not backend.is_available():
+        raise ValidationError(
+            f"backend {name!r} is registered but unavailable in this "
+            f"environment (missing optional dependency?); available: "
+            f"{sorted(available_backends())}")
+    return backend
+
+
+def resolve_backend(name: Optional[str] = None) -> str:
+    """Canonicalise a backend request to a registered, available name.
+
+    ``None`` falls back to the ``REPRO_BACKEND`` environment override, then
+    to :data:`DEFAULT_BACKEND` — which is how the CI backend matrix pivots a
+    whole test run onto one backend without touching call sites.
+    """
+    if name is None:
+        name = os.environ.get(BACKEND_ENV_VAR) or DEFAULT_BACKEND
+    return get_backend(name).name
+
+
+register_backend(TcuSimBackend())
+register_backend(NumpyBackend())
+register_backend(NumbaBackend())

@@ -22,7 +22,7 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.core.codegen import KernelPlan, generate_kernel
+from repro.core.codegen import KernelPlan, generate_kernel, resolve_backend
 from repro.core.fusion import fuse_pattern
 from repro.core.layout_search import LayoutSearchResult, search_layout
 from repro.core.morphing import MorphConfig
@@ -92,6 +92,13 @@ class CompiledStencil:
         across conditions, but executors select their halo handling from
         this field, so plans are *not* interchangeable across boundaries —
         which is why it is part of the compile fingerprint.
+    backend:
+        Registered execution backend the plan's sweeps run on (see
+        :mod:`repro.core.codegen`).  Plans compile identically across
+        backends, but their numerics differ (``tcu-sim`` carries device
+        precision; host backends compute in float64), so — like ``boundary``
+        — the backend is part of the compile fingerprint and a cached plan
+        is never served across backends.
     """
 
     original_pattern: StencilPattern
@@ -104,6 +111,7 @@ class CompiledStencil:
     temporal_fusion: int = 1
     conversion_method: str = "auto"
     boundary: str = "dirichlet"
+    backend: str = "tcu-sim"
 
     @property
     def engine(self) -> str:
@@ -186,6 +194,7 @@ class CompileOptions:
     conversion_method: str
     block_hint: Optional[Tuple[int, ...]]
     boundary: str = "dirichlet"
+    backend: str = "tcu-sim"
 
     @cached_property
     def effective_pattern(self) -> StencilPattern:
@@ -217,8 +226,14 @@ def resolve_compile_options(
     conversion_method: str = "auto",
     block_hint: Optional[Tuple[int, ...]] = None,
     boundary: str = "dirichlet",
+    backend: Optional[str] = None,
 ) -> CompileOptions:
-    """Validate and canonicalise every compile argument (no compilation)."""
+    """Validate and canonicalise every compile argument (no compilation).
+
+    ``backend=None`` resolves through :func:`repro.core.codegen.resolve_backend`
+    (the ``REPRO_BACKEND`` environment override, then ``"tcu-sim"``), so the
+    canonical options always carry a concrete registered backend name.
+    """
     from repro.stencils.boundary import normalize_boundary
 
     dtype = DataType(dtype)
@@ -226,6 +241,7 @@ def resolve_compile_options(
     require_positive_int(temporal_fusion, "temporal_fusion")
     grid_shape = tuple(int(s) for s in grid_shape)
     boundary = normalize_boundary(boundary)
+    backend = resolve_backend(backend)
 
     if engine == "auto":
         engine = "sparse_mma" if dtype.supports_sparse_tcu else "dense_mma"
@@ -260,6 +276,7 @@ def resolve_compile_options(
         conversion_method=conversion_method,
         block_hint=None if block_hint is None else tuple(int(b) for b in block_hint),
         boundary=boundary,
+        backend=backend,
     )
 
 
@@ -278,6 +295,7 @@ def compile_stencil(
     conversion_method: str = "auto",
     block_hint: Optional[Tuple[int, ...]] = None,
     boundary: str = "dirichlet",
+    backend: Optional[str] = None,
 ) -> CompiledStencil:
     """Compile a stencil for the simulated sparse Tensor Cores.
 
@@ -296,13 +314,18 @@ def compile_stencil(
         Halo behaviour between sweeps (``"dirichlet"`` / ``"periodic"`` /
         ``"reflect"``, see :mod:`repro.stencils.boundary`).  Must match the
         boundary condition of the grids the plan will execute on.
+    backend:
+        Execution backend for the plan's sweeps (a registered name from
+        :mod:`repro.core.codegen`, e.g. ``"tcu-sim"`` or ``"numpy"``).
+        ``None`` resolves via the ``REPRO_BACKEND`` environment variable,
+        then the default ``"tcu-sim"``.
     """
     options = resolve_compile_options(
         pattern, grid_shape,
         dtype=dtype, spec=spec, engine=engine, fragment=fragment,
         search=search, r1=r1, r2=r2, temporal_fusion=temporal_fusion,
         conversion_method=conversion_method, block_hint=block_hint,
-        boundary=boundary,
+        boundary=boundary, backend=backend,
     )
     return compile_resolved(options)
 
@@ -378,6 +401,7 @@ def compile_resolved(options: CompileOptions) -> CompiledStencil:
         temporal_fusion=options.temporal_fusion,
         conversion_method=options.conversion_method,
         boundary=options.boundary,
+        backend=options.backend,
     )
 
 

@@ -20,11 +20,12 @@ steps — how many sweeps, on how many devices, with what halo movement.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional, Protocol, Sequence, Tuple, runtime_checkable
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 import numpy as np
 
+from repro.core.codegen import get_backend
 from repro.core.lookup_table import gather_b_matrix
 from repro.core.morphing import assemble_output
 from repro.core.pipeline import CompiledStencil, StencilRunResult
@@ -69,12 +70,20 @@ class SweepExecutor(Protocol):
 
 @dataclass(frozen=True)
 class SweepContext:
-    """Precomputed per-plan state shared by every sweep of a run."""
+    """Precomputed per-plan state shared by every sweep of a run.
+
+    ``sweep`` is the backend-specific sweep callable, bound once by
+    :func:`prepare_sweep` from the plan's registered backend
+    (:func:`repro.core.codegen.get_backend`); :func:`run_sweep` dispatches
+    through it.
+    """
 
     compiled: CompiledStencil
     spec: GPUSpec
     interior: Tuple[slice, ...]
     launch_name: str
+    sweep: Callable[[np.ndarray], LaunchResult] = field(
+        default=None, compare=False, repr=False)
 
     @property
     def plan(self):
@@ -91,16 +100,22 @@ def prepare_sweep(compiled: CompiledStencil,
 
     ``spec`` overrides the device the sweeps are costed on (the sharded
     executor runs each shard's plan against one device of its cluster);
-    it defaults to the spec the stencil was compiled for.
+    it defaults to the spec the stencil was compiled for.  The plan's
+    backend is resolved here — once per run, not per sweep — and its sweep
+    closure attached to the context.
     """
     radius = compiled.pattern.radius
     interior = tuple(slice(radius, s - radius) for s in compiled.grid_shape)
-    return SweepContext(
+    context = SweepContext(
         compiled=compiled,
         spec=spec if spec is not None else compiled.spec,
         interior=interior,
         launch_name=f"sparstencil/{compiled.pattern.name}",
     )
+    backend = get_backend(compiled.backend)
+    # frozen dataclass: the sweep closure needs the context it is attached to
+    object.__setattr__(context, "sweep", backend.make_sweep(context))
+    return context
 
 
 def gather_step(context: SweepContext, current: np.ndarray) -> np.ndarray:
@@ -140,11 +155,16 @@ def assemble_step(context: SweepContext, result: LaunchResult,
 
 
 def run_sweep(context: SweepContext, current: np.ndarray) -> LaunchResult:
-    """One full ``gather B' -> MMA -> assemble`` sweep, updating ``current``."""
-    b_operand = gather_step(context, current)
-    result = mma_step(context, b_operand)
-    assemble_step(context, result, current)
-    return result
+    """One full sweep, updating ``current`` in place.
+
+    Dispatches to the backend closure bound at :func:`prepare_sweep` time.
+    Under the default ``"tcu-sim"`` backend this is exactly the
+    ``gather B' -> MMA -> assemble`` sequence of :func:`gather_step` /
+    :func:`mma_step` / :func:`assemble_step`; other backends substitute
+    their own host implementation while preserving the interior-update
+    contract.
+    """
+    return context.sweep(current)
 
 
 @dataclass(frozen=True)

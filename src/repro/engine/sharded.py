@@ -184,6 +184,7 @@ class ShardedExecutor:
                 temporal_fusion=compiled.temporal_fusion,
                 conversion_method=compiled.conversion_method,
                 boundary=compiled.boundary,
+                backend=compiled.backend,
             )
             for shard in partition.shards
         ]

@@ -65,6 +65,7 @@ def leftover_plan(compiled: CompiledStencil, cache=None) -> CompiledStencil:
         temporal_fusion=1,
         conversion_method=compiled.conversion_method,
         boundary=compiled.boundary,
+        backend=compiled.backend,
     )
     if cache is not None:
         # the cache's own per-fingerprint locks dedupe concurrent compiles

@@ -44,6 +44,7 @@ from repro.server.queue import (
     ServerClosedError,
     ServerError,
 )
+from repro.server.scheduler import RouteCancelledError
 from repro.server.telemetry import ServerTelemetry
 from repro.service.cache import CompileCache, rebrand
 from repro.session.problem import Problem
@@ -210,6 +211,10 @@ class StencilServer:
         self._pending_cond = threading.Condition()
         self._shutdown_lock = threading.Lock()
         self._closed = False
+        #: set on a no-drain shutdown: workers parked in the scheduler
+        #: waiting for a device abort their wait instead of deadlocking the
+        #: shutdown against a lease that may only be released afterwards
+        self._abort_device_wait = threading.Event()
 
         self._loop = asyncio.new_event_loop()
         self.queue.bind_loop(self._loop)
@@ -307,8 +312,12 @@ class StencilServer:
 
         ``drain=True`` (default) serves everything already accepted first;
         ``drain=False`` fails still-queued requests with
-        :class:`~repro.server.queue.ServerClosedError` (in-flight
-        micro-batches always finish — work on devices is never abandoned).
+        :class:`~repro.server.queue.ServerClosedError`.  Micro-batches
+        already *running on devices* always finish — work on devices is
+        never abandoned — but batches still *waiting* for a device abort
+        the wait and fail with the same typed error (the devices they wait
+        for may be leased by the very caller shutting the server down, so
+        blocking on them would deadlock).
         """
         with self._shutdown_lock:
             if self._closed:
@@ -318,6 +327,11 @@ class StencilServer:
         if drain:
             self.drain(timeout)
         else:
+            # release workers parked on a device wait *before* failing the
+            # queue: a worker blocked in route() holds a dispatch slot the
+            # dispatcher needs to exit, and the device it waits for may be
+            # leased by the very caller of this shutdown
+            self._abort_device_wait.set()
             for item in self.queue.drain_pending():
                 self._resolve_error(
                     item,
@@ -399,8 +413,18 @@ class StencilServer:
             # batch engine, the sharded executor's per-shard plans, leftover
             # plans) shares it through the session cache
             compiled = self.cache.get_or_compile(live[0].compile_request)
-            decision, lease = self.scheduler.route(
-                compiled, live[0].request.iterations)
+            try:
+                decision, lease = self.scheduler.route(
+                    compiled, live[0].request.iterations,
+                    cancel=self._abort_device_wait)
+            except RouteCancelledError:
+                for item in live:
+                    self._resolve_error(
+                        item,
+                        ServerClosedError("server shut down while the "
+                                          "batch waited for a device"),
+                        "ServerClosedError")
+                return
             self.telemetry.batch_dispatched(
                 len(live), decision.executor, decision.devices)
             modelled = 0.0

@@ -25,6 +25,7 @@ lease protocol guarantees in-use devices never exceed the pool size.
 from __future__ import annotations
 
 import contextlib
+import threading
 from dataclasses import dataclass
 from typing import Iterator, Optional, Tuple, Union
 
@@ -37,7 +38,13 @@ from repro.tcu.occupancy import DeviceLease, OccupancyLedger
 from repro.tcu.spec import MultiDeviceSpec
 from repro.util.validation import require, require_positive_int
 
-__all__ = ["RoutingDecision", "DevicePoolScheduler"]
+__all__ = ["RouteCancelledError", "RoutingDecision", "DevicePoolScheduler"]
+
+
+class RouteCancelledError(RuntimeError):
+    """Raised by :meth:`DevicePoolScheduler.route` when its ``cancel`` event
+    is set while waiting for a free device.  The caller owns the batch whose
+    routing was abandoned and decides how to fail it."""
 
 
 @dataclass(frozen=True)
@@ -78,12 +85,18 @@ class DevicePoolScheduler:
     max_halo_fraction:
         Upper bound on the modelled halo share of total byte movement; past
         it the decomposition is communication-dominated and stays single.
+    route_retries:
+        How many failed optimistic multi-device leases :meth:`route`
+        tolerates before degrading to the always-satisfiable single-device
+        route.  Bounds the decide/try_acquire loop: contention flapping the
+        free count must not spin the router hot.
     """
 
     def __init__(self, pool: Union[MultiDeviceSpec, int] = 1, *,
                  min_speedup: float = 1.25,
                  max_halo_fraction: float = 0.25,
-                 ledger: Optional[OccupancyLedger] = None) -> None:
+                 ledger: Optional[OccupancyLedger] = None,
+                 route_retries: int = 8) -> None:
         if isinstance(pool, (int, np.integer)):
             require_positive_int(int(pool), "pool device count")
             pool = MultiDeviceSpec(device_count=int(pool))
@@ -93,9 +106,11 @@ class DevicePoolScheduler:
         require(min_speedup >= 1.0, "min_speedup must be >= 1.0")
         require(0.0 <= max_halo_fraction <= 1.0,
                 "max_halo_fraction must be in [0, 1]")
+        require_positive_int(route_retries, "route_retries")
         self.pool = pool
         self.min_speedup = min_speedup
         self.max_halo_fraction = max_halo_fraction
+        self.route_retries = route_retries
         self.ledger = ledger if ledger is not None \
             else OccupancyLedger(pool.device_count)
 
@@ -185,7 +200,27 @@ class DevicePoolScheduler:
     # ------------------------------------------------------------------ #
     # lease integration
     # ------------------------------------------------------------------ #
-    def route(self, compiled: CompiledStencil, iterations: int
+    def _lease_single(self, cancel: Optional[threading.Event],
+                      poll_seconds: float) -> DeviceLease:
+        """Block for one device; abort when ``cancel`` is set.
+
+        A free device always wins over a set cancel event (the acquire is
+        attempted before every cancellation check), so work keeps flowing
+        whenever the pool can actually serve it.
+        """
+        while True:
+            try:
+                return self.ledger.acquire(
+                    1, timeout=poll_seconds if cancel is not None else None)
+            except TimeoutError:
+                if cancel is not None and cancel.is_set():
+                    raise RouteCancelledError(
+                        "routing cancelled while waiting for a free device"
+                    ) from None
+
+    def route(self, compiled: CompiledStencil, iterations: int, *,
+              cancel: Optional[threading.Event] = None,
+              poll_seconds: float = 0.05
               ) -> Tuple[RoutingDecision, DeviceLease]:
         """Decide against the live free count and lease atomically.
 
@@ -194,15 +229,37 @@ class DevicePoolScheduler:
         decision is recomputed against the new free count, degrading toward
         the always-satisfiable single-device route rather than blocking on
         devices that may never free up together.
+
+        The retry loop is bounded by ``route_retries``: under heavy
+        contention the free count can flap (another worker releases and a
+        third grabs between every decide and try_acquire), and an unbounded
+        loop would spin hot without ever making progress.  After the budget
+        is spent the router stops chasing a multi-device lease and takes
+        the single-device route.
+
+        ``cancel`` (a :class:`threading.Event`) makes the device wait
+        abortable: with every pool device leased elsewhere, the final
+        single-device acquire would otherwise block forever — a server
+        shutting down mid-wait sets the event and :meth:`route` raises
+        :class:`RouteCancelledError` within ``poll_seconds`` instead of
+        deadlocking the shutdown against a lease that will never be
+        released.
         """
-        while True:
+        for _ in range(self.route_retries):
             decision = self.decide(compiled, iterations,
                                    free_devices=self.ledger.free)
             if decision.devices == 1:
-                return decision, self.ledger.acquire(1)
+                return decision, self._lease_single(cancel, poll_seconds)
             lease = self.ledger.try_acquire(decision.devices)
             if lease is not None:
                 return decision, lease
+        decision = RoutingDecision(
+            executor="single", devices=1,
+            reason=f"pool contention: {self.route_retries} optimistic "
+                   f"multi-device leases failed; degrading to single",
+            sweep_seconds=compiled.plan.estimate.t_total,
+            modelled_speedup=1.0, halo_fraction=0.0)
+        return decision, self._lease_single(cancel, poll_seconds)
 
     @contextlib.contextmanager
     def leased(self, decision: RoutingDecision

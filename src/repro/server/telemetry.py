@@ -47,20 +47,37 @@ class RollingLatency:
 
     @property
     def count(self) -> int:
+        """Lifetime sample count (including samples the window dropped)."""
         return self._count
 
     @property
     def mean(self) -> float:
+        """Mean over the current *window*, consistent with the percentiles."""
+        samples = self._samples
+        return sum(samples) / len(samples) if samples else 0.0
+
+    @property
+    def lifetime_mean(self) -> float:
+        """Mean over every sample ever recorded (windowless)."""
         return self._total / self._count if self._count else 0.0
 
     def as_dict(self) -> Dict[str, float]:
+        """Window-consistent export: ``mean``/``max``/percentiles all
+        describe the same rolling window, so a long-lived server's mean is
+        not dominated by ancient samples the window already dropped.
+        ``count`` stays lifetime (it is the only field that *should* keep
+        growing) and the lifetime mean is exported separately.
+        """
+        samples = self._samples
         return {
             "count": self._count,
+            "window_size": len(samples),
             "mean_seconds": self.mean,
+            "lifetime_mean_seconds": self.lifetime_mean,
             "p50_seconds": self.percentile(50.0),
             "p95_seconds": self.percentile(95.0),
             "p99_seconds": self.percentile(99.0),
-            "max_seconds": max(self._samples) if self._samples else 0.0,
+            "max_seconds": max(samples) if samples else 0.0,
         }
 
 
@@ -161,8 +178,16 @@ class ServerTelemetry:
         :class:`repro.service.CompileCache` and a
         :class:`repro.tcu.occupancy.OccupancyLedger`) contribute their own
         sections when provided.
+
+        Every derived quantity (``throughput_per_second``,
+        ``coalescing.ratio``) is computed from the counters copied under
+        *one* lock acquisition — re-reading the live properties afterward
+        would let a concurrent completion tear the export (e.g. a
+        throughput computed over more completions than the ``completed``
+        field reports).
         """
         with self._lock:
+            uptime = time.perf_counter() - self._started_at
             counters = dict(self._counters)
             rejections = dict(self._rejections)
             failures = dict(self._failures)
@@ -172,18 +197,21 @@ class ServerTelemetry:
                 "execute": self.execute.as_dict(),
                 "total": self.total.as_dict(),
             }
+        completed = counters.get("completed", 0)
+        requests = counters.get("requests_dispatched", 0)
+        batches = counters.get("batches_dispatched", 0)
         snapshot: Dict[str, Any] = {
-            "uptime_seconds": self.uptime_seconds,
+            "uptime_seconds": uptime,
             "submitted": counters.get("submitted", 0),
-            "completed": counters.get("completed", 0),
+            "completed": completed,
             "failed": counters.get("failed", 0),
             "rejected": {"total": counters.get("rejected", 0), **rejections},
             "failures": {"total": counters.get("failed", 0), **failures},
-            "throughput_per_second": self.throughput_per_second,
+            "throughput_per_second": completed / uptime if uptime > 0 else 0.0,
             "coalescing": {
-                "requests_dispatched": counters.get("requests_dispatched", 0),
-                "batches_dispatched": counters.get("batches_dispatched", 0),
-                "ratio": self.coalescing_ratio,
+                "requests_dispatched": requests,
+                "batches_dispatched": batches,
+                "ratio": requests / batches if batches else 0.0,
             },
             "routing": routing,
             "latency": latency,

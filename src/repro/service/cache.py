@@ -28,6 +28,13 @@ from repro.util.validation import require_positive_int
 __all__ = ["CacheStats", "CacheEntry", "CompileCache", "rebrand"]
 
 
+#: Schema version of the persisted-plan payload.  Bumped to 2 when the
+#: execution backend joined the payload: version-1 files carry no backend
+#: field, so they cannot prove which backend compiled them and are treated
+#: as plain misses.
+_PERSIST_PAYLOAD_VERSION = 2
+
+
 _PIPELINE_VERSION: Optional[str] = None
 
 
@@ -205,7 +212,8 @@ class CompileCache:
             if cached is not None:
                 record("hit")
                 return _rebrand(cached, request)
-            persisted = self._load_persisted(fingerprint)
+            persisted = self._load_persisted(fingerprint,
+                                             request.options.backend)
             if persisted is not None:
                 compiled, compile_seconds = persisted
                 with self._lock:
@@ -247,10 +255,17 @@ class CompileCache:
 
         Persisted plans are kept by default (a later lookup resurrects them
         as disk hits); pass ``remove_persisted=True`` to delete them too.
+
+        The per-fingerprint compile-lock table deliberately survives a
+        clear: a :meth:`get_or_compile` may be holding (or about to acquire)
+        one of those locks mid-compile, and replacing the table would let a
+        racing miss on the same fingerprint take a *fresh* lock and compile
+        the same plan twice (double-counting stats).  The table is bounded
+        by normal eviction pruning; at worst a clear strands ~``capacity``
+        idle locks until their fingerprints are evicted again.
         """
         with self._lock:
             self._entries.clear()
-            self._compile_locks.clear()
             self.stats = CacheStats()
         if remove_persisted and self.persist_dir is not None:
             for path in self.persist_dir.glob("*.plan.pkl"):
@@ -314,7 +329,10 @@ class CompileCache:
         # same fingerprint concurrently, and a shared tmp inode would
         # interleave their writes into a corrupt published file
         tmp = path.with_suffix(f".{os.getpid()}.{threading.get_ident()}.tmp")
-        payload = {"version": _pipeline_version(), "compiled": compiled,
+        payload = {"payload_version": _PERSIST_PAYLOAD_VERSION,
+                   "version": _pipeline_version(),
+                   "backend": compiled.backend,
+                   "compiled": compiled,
                    "compile_seconds": compile_seconds}
         try:
             with tmp.open("wb") as handle:
@@ -329,7 +347,7 @@ class CompileCache:
             except OSError:
                 pass
 
-    def _load_persisted(self, fingerprint: str
+    def _load_persisted(self, fingerprint: str, backend: str
                         ) -> Optional[Tuple[CompiledStencil, float]]:
         if self.persist_dir is None:
             return None
@@ -346,11 +364,19 @@ class CompileCache:
             return None
         if not isinstance(payload, dict):
             return None
+        if payload.get("payload_version") != _PERSIST_PAYLOAD_VERSION:
+            # pre-backend schema (or a future one): no backend provenance
+            return None
         if payload.get("version") != _pipeline_version():
             # compiled by a different build of the pipeline: its plan may
             # legitimately differ from what this build would produce
             return None
         compiled = payload.get("compiled")
         if not isinstance(compiled, CompiledStencil):
+            return None
+        # Belt-and-braces: the fingerprint already encodes the backend, so a
+        # well-formed file can only mismatch through manual tampering — but a
+        # cross-backend serve is a silent-wrong-numerics bug, so verify.
+        if payload.get("backend") != backend or compiled.backend != backend:
             return None
         return compiled, float(payload.get("compile_seconds", 0.0))

@@ -89,10 +89,13 @@ def compile_fingerprint(options: CompileOptions) -> str:
     The boundary condition is fingerprinted even though it does not change
     the compiled operands: executors select their halo handling from
     ``CompiledStencil.boundary``, so a plan compiled for one boundary must
-    never be served for a problem with another.
+    never be served for a problem with another.  The execution backend is
+    fingerprinted for the same reason (and the payload version bumped to v3
+    when it joined): backends differ numerically, so a cache must never
+    serve a plan across backends — in memory or from disk.
     """
     payload = (
-        "sparstencil-compile-v2",
+        "sparstencil-compile-v3",
         _canon_pattern(options.pattern),
         options.grid_shape,
         options.dtype.value,
@@ -106,6 +109,7 @@ def compile_fingerprint(options: CompileOptions) -> str:
         options.conversion_method,
         options.block_hint,
         options.boundary,
+        options.backend,
     )
     return _digest(payload)
 

@@ -153,6 +153,13 @@ class SolvePolicy:
         Served-mode batching hints, applied when the session first
         materialises its server (a live server's coalescer is not
         reconfigured per request).
+    backend:
+        Execution backend override (a registered name from
+        :mod:`repro.core.codegen`, e.g. ``"tcu-sim"`` or ``"numpy"``).
+        ``None`` defers to the problem's ``options["backend"]``, then the
+        ``REPRO_BACKEND`` environment default.  An explicit policy backend
+        that conflicts with the problem's own option is an error — two
+        layers silently disagreeing about numerics must not pick a winner.
     """
 
     mode: str = "auto"
@@ -162,6 +169,7 @@ class SolvePolicy:
     max_workers: Optional[int] = None
     window_seconds: Optional[float] = None
     max_batch_size: Optional[int] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         split_mode(self.mode)  # validates the shape of the mode string
@@ -185,7 +193,9 @@ class Provenance:
     scheduler.  ``engine`` is the device engine of the compiled plan
     (``"sparse_mma"`` / ``"dense_mma"``) or the baseline's display name.
     ``boundary`` records the boundary condition the run was executed (and
-    its plan compiled) under.
+    its plan compiled) under.  ``backend`` records the execution backend
+    the plan's sweeps ran on (:mod:`repro.core.codegen`; empty for
+    baseline comparators, which never touch the SparStencil pipeline).
     """
 
     mode_requested: str
@@ -196,6 +206,7 @@ class Provenance:
     batch_size: int = 1
     delegate: Optional[str] = None
     boundary: str = "dirichlet"
+    backend: str = "tcu-sim"
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -207,6 +218,7 @@ class Provenance:
             "batch_size": self.batch_size,
             "delegate": self.delegate,
             "boundary": self.boundary,
+            "backend": self.backend,
         }
 
 

@@ -106,7 +106,8 @@ class SingleDeviceSessionExecutor(SessionExecutor):
                 engine=compiled.engine,
                 devices=1,
                 reason=reason or "explicit single-device route",
-                boundary=compiled.boundary),
+                boundary=compiled.boundary,
+                backend=compiled.backend),
             tag=problem.tag)
 
 
@@ -141,7 +142,8 @@ class ShardedSessionExecutor(SessionExecutor):
                 engine=compiled.engine,
                 devices=result.device_count,
                 reason=reason or "explicit sharded route",
-                boundary=compiled.boundary),
+                boundary=compiled.boundary,
+                backend=compiled.backend),
             tag=problem.tag)
 
 
@@ -187,7 +189,9 @@ class ServedSessionExecutor(SessionExecutor):
                 batch_size=served.batch_size,
                 delegate=served.executor,
                 boundary=compiled.boundary if compiled is not None
-                else problem.boundary),
+                else problem.boundary,
+                backend=compiled.backend if compiled is not None
+                else compile_request.options.backend),
             tag=problem.tag)
 
 
@@ -251,7 +255,10 @@ class BaselineSessionExecutor(SessionExecutor):
                 engine=self.baseline.name,
                 devices=1,
                 reason=reason or f"comparator {self.baseline.name} requested",
-                boundary=problem.boundary),
+                boundary=problem.boundary,
+                # comparators own their cost models end to end and never
+                # touch the SparStencil backend registry
+                backend=""),
             tag=problem.tag)
 
 

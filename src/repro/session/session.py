@@ -155,6 +155,7 @@ class StencilSession:
             policy = SolvePolicy(**policy_overrides)
         elif policy_overrides:
             policy = replace(policy, **policy_overrides)
+        problem = self._apply_backend_policy(problem, policy)
         call_cache = self.cache if cache is _UNSET else cache
 
         mode_requested = policy.mode
@@ -218,7 +219,8 @@ class StencilSession:
                 engine=compiled.engine,
                 devices=1,
                 reason="precompiled plan executed directly",
-                boundary=compiled.boundary),
+                boundary=compiled.boundary,
+                backend=compiled.backend),
             tag=tag)
         self._emit({"event": "run", **solution.summary()})
         return solution
@@ -231,6 +233,28 @@ class StencilSession:
             self, problem, SolvePolicy(mode=executor.name), cache=self.cache)
         self._emit({"event": "solve", **solution.summary()})
         return solution
+
+    @staticmethod
+    def _apply_backend_policy(problem: Problem, policy: SolvePolicy) -> Problem:
+        """Fold ``policy.backend`` into the problem's compile options.
+
+        The backend joins the compile fingerprint, so it must reach the
+        options *before* any compile/cache lookup.  An explicit option that
+        disagrees with the policy is an error — two layers silently
+        disagreeing about numerics must not pick a winner.
+        """
+        if policy.backend is None:
+            return problem
+        existing = problem.options.get("backend")
+        require(existing is None or existing == policy.backend,
+                f"options backend {existing!r} conflicts with the policy "
+                f"backend {policy.backend!r}")
+        if existing == policy.backend:
+            return problem
+        rebound = Problem(problem.pattern, problem.grid, problem.iterations,
+                          options=dict(problem.options), tag=problem.tag)
+        rebound.options["backend"] = policy.backend
+        return rebound
 
     # ------------------------------------------------------------------ #
     # routing / resources

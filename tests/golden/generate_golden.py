@@ -58,8 +58,10 @@ def generate(name: str, grid_shape, iterations: int, seed: int,
     config = get_benchmark(name).with_boundary(boundary)
     grid = make_grid(grid_shape, kind="random", seed=seed,
                      boundary=config.boundary)
+    # goldens freeze the tcu-sim backend's numerics: pin it so a
+    # REPRO_BACKEND override can never regenerate drifting fixtures
     compiled = compile_stencil(config.pattern, grid_shape,
-                               boundary=config.boundary)
+                               boundary=config.boundary, backend="tcu-sim")
     result = SingleDeviceExecutor().execute(compiled, grid, iterations)
     reference = run_stencil_iterations(config.pattern, grid, iterations)
     path = fixture_path(name, config.boundary)

@@ -86,6 +86,61 @@ class TestSingleFingerprintHammer:
         assert stats.lookups == 6 * 4
 
 
+class TestClearDuringCompile:
+    def test_clear_keeps_compile_locks(self, heat2d, monkeypatch):
+        """Regression: ``clear()`` used to drop the per-fingerprint lock
+        table along with the entries, so a racing miss on a fingerprint
+        *currently compiling* minted a fresh lock and compiled the same
+        plan a second time.  Sequence under test: T1 compiles (blocked
+        mid-pipeline) -> main thread clears -> T2 misses on the same
+        fingerprint.  T2 must wait on the surviving lock and then hit T1's
+        freshly inserted plan — exactly one compile in total."""
+        lock = threading.Lock()
+        calls = {"count": 0}
+        compile_started = threading.Event()
+        compile_release = threading.Event()
+        original = fingerprint_module.CompileRequest.compile
+
+        def gated(self):
+            with lock:
+                calls["count"] += 1
+            compile_started.set()
+            assert compile_release.wait(timeout=10)
+            return original(self)
+
+        monkeypatch.setattr(fingerprint_module.CompileRequest, "compile",
+                            gated)
+
+        cache = CompileCache()
+        request = CompileRequest.build(heat2d, (40, 44))
+        results = {}
+
+        def first():
+            results["first"] = cache.get_or_compile(request)
+
+        def second():
+            results["second"] = cache.get_or_compile(request)
+
+        t1 = threading.Thread(target=first)
+        t1.start()
+        assert compile_started.wait(timeout=10)   # T1 is mid-compile
+        cache.clear()                             # entries gone, locks kept
+        t2 = threading.Thread(target=second)
+        t2.start()
+        t2.join(timeout=0.2)
+        assert t2.is_alive(), \
+            "racing miss should be waiting on the in-flight compile's lock"
+        assert calls["count"] == 1
+        compile_release.set()
+        t1.join(timeout=10)
+        t2.join(timeout=10)
+        assert not t1.is_alive() and not t2.is_alive()
+        assert calls["count"] == 1
+        # T2 was served T1's plan, inserted after the clear
+        assert results["second"] is results["first"]
+        assert cache.contains(request)
+
+
 class TestEvictionPressure:
     def test_stats_stay_consistent_under_eviction(self, compile_counter):
         """Capacity 2, 5 distinct fingerprints, 8 threads: entries churn

@@ -29,7 +29,9 @@ FP16_TOL = 5e-3
 
 class TestStepAPI:
     def test_run_sweep_equals_composed_steps(self, heat2d):
-        compiled = compile_stencil(heat2d, (48, 48))
+        # gather/mma/assemble ARE the tcu-sim data path, so the composed
+        # comparison pins that backend regardless of REPRO_BACKEND
+        compiled = compile_stencil(heat2d, (48, 48), backend="tcu-sim")
         grid = make_grid((48, 48), seed=1)
         context = prepare_sweep(compiled)
 

@@ -11,6 +11,12 @@ The cached and batched service paths are held to the same goldens, so the new
 serving layer can never return different numbers than a direct solve.  The
 ``periodic`` / ``reflect`` fixtures hold the boundary-condition subsystem to
 the identical drift guarantees.
+
+The fixtures freeze the *tcu-sim* backend's numerics, so every compile here
+pins ``backend="tcu-sim"`` explicitly — the goldens must keep guarding the
+simulated pipeline even when the suite runs under a ``REPRO_BACKEND``
+override (the CI backend matrix).  Pinning the default changes no
+fingerprints in a plain run.
 """
 
 from __future__ import annotations
@@ -58,7 +64,8 @@ class TestGoldenRegression:
                                         seed, boundary, ref_tol):
         fixture = load_fixture(name, boundary)
         pattern, grid = workload(name, grid_shape, seed, boundary)
-        compiled = compile_stencil(pattern, grid_shape, boundary=boundary)
+        compiled = compile_stencil(pattern, grid_shape, boundary=boundary,
+                                   backend="tcu-sim")
         result = run_stencil(compiled, grid, iterations)
         assert np.max(np.abs(result.output - fixture["reference"])) < ref_tol
         np.testing.assert_allclose(result.output, fixture["pipeline"],
@@ -69,9 +76,10 @@ class TestGoldenRegression:
         fixture = load_fixture(name, boundary)
         pattern, grid = workload(name, grid_shape, seed, boundary)
         cache = CompileCache()
-        cache.compile(pattern, grid_shape, boundary=boundary)  # cold compile
-        compiled = cache.compile(pattern, grid_shape,
-                                 boundary=boundary)  # warm hit
+        cache.compile(pattern, grid_shape, boundary=boundary,
+                      backend="tcu-sim")  # cold compile
+        compiled = cache.compile(pattern, grid_shape, boundary=boundary,
+                                 backend="tcu-sim")  # warm hit
         assert cache.stats.hits == 1
         result = run_stencil(compiled, grid, iterations)
         np.testing.assert_allclose(result.output, fixture["pipeline"],
@@ -90,6 +98,7 @@ def test_batched_service_matches_goldens():
     for name, grid_shape, iterations, seed, boundary, _tol in CASES:
         pattern, grid = workload(name, grid_shape, seed, boundary)
         requests.append(SolveRequest(pattern, grid, iterations,
+                                     options={"backend": "tcu-sim"},
                                      tag=f"{name}-{boundary}"))
         fixtures.append(load_fixture(name, boundary))
     report = solve_many(requests)

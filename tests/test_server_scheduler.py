@@ -10,6 +10,7 @@ import pytest
 
 from repro.core.pipeline import compile_stencil
 from repro.server import DevicePoolScheduler
+from repro.server.scheduler import RouteCancelledError
 from repro.tcu.occupancy import OccupancyLedger
 from repro.tcu.spec import MultiDeviceSpec
 from repro.util.validation import ValidationError
@@ -164,6 +165,89 @@ class TestRoutingDecisions:
         assert scheduler.ledger.in_use == 4
         scheduler.ledger.release(lease)
         scheduler.ledger.release(held)
+
+    def test_route_retry_loop_is_bounded(self, large_plan):
+        """Regression: under contention flapping the free count (another
+        worker releases and a third grabs between every decide and
+        try_acquire), the old unbounded loop spun forever.  A ledger whose
+        optimistic lease always fails while advertising a free pool is the
+        worst case: the router must give up after ``route_retries``
+        attempts and take the single-device route."""
+
+        class FlappingLedger(OccupancyLedger):
+            def __init__(self):
+                super().__init__(4)
+                self.failed_leases = 0
+
+            @property
+            def free(self):
+                return 4           # always looks worth sharding
+
+            def try_acquire(self, devices):
+                self.failed_leases += 1
+                return None        # ...but the lease always loses the race
+
+        ledger = FlappingLedger()
+        scheduler = DevicePoolScheduler(4, ledger=ledger, route_retries=5)
+        decision, lease = scheduler.route(large_plan, 2)
+        assert ledger.failed_leases == 5
+        assert decision.executor == "single"
+        assert decision.devices == 1
+        assert "contention" in decision.reason
+        assert lease.device_count == 1
+        ledger.release(lease)
+
+    def test_route_retries_validated(self):
+        with pytest.raises(ValidationError):
+            DevicePoolScheduler(4, route_retries=0)
+
+    def test_route_cancel_aborts_device_wait(self, small_plan):
+        """Regression for the shutdown deadlock: every device leased
+        elsewhere and never released, route() waiting on acquire(1).  A
+        set cancel event must abort the wait with the typed error instead
+        of blocking forever."""
+        scheduler = DevicePoolScheduler(2)
+        held = scheduler.ledger.acquire(2)
+        cancel = threading.Event()
+        cancel.set()
+        with pytest.raises(RouteCancelledError):
+            scheduler.route(small_plan, 2, cancel=cancel,
+                            poll_seconds=0.01)
+        scheduler.ledger.release(held)
+
+    def test_route_cancel_set_mid_wait(self, small_plan):
+        scheduler = DevicePoolScheduler(2)
+        held = scheduler.ledger.acquire(2)
+        cancel = threading.Event()
+        outcome = []
+
+        def routed():
+            try:
+                scheduler.route(small_plan, 2, cancel=cancel,
+                                poll_seconds=0.01)
+            except RouteCancelledError:
+                outcome.append("cancelled")
+
+        thread = threading.Thread(target=routed)
+        thread.start()
+        thread.join(timeout=0.1)
+        assert thread.is_alive()          # genuinely parked on the wait
+        cancel.set()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert outcome == ["cancelled"]
+        scheduler.ledger.release(held)
+
+    def test_route_with_set_cancel_still_leases_free_device(self,
+                                                            small_plan):
+        """A free device wins over a set cancel event: the acquire is
+        attempted before every cancellation check."""
+        scheduler = DevicePoolScheduler(2)
+        cancel = threading.Event()
+        cancel.set()
+        decision, lease = scheduler.route(small_plan, 2, cancel=cancel)
+        assert decision.devices == lease.device_count
+        scheduler.ledger.release(lease)
 
     def test_spec_for_keeps_plan_device(self, large_plan):
         scheduler = DevicePoolScheduler(8)
