@@ -1,13 +1,21 @@
-"""Sharded multi-device scaling — modelled weak-scaling sweep.
+"""Sharded multi-device scaling — modelled weak scaling plus the
+communication-avoiding deep-halo study.
 
-One grid is decomposed over 1/2/4/8 simulated A100s by the sharded execution
-engine (:class:`repro.engine.ShardedExecutor`); every point reports the
-modelled speedup over the single-device run, the parallel efficiency, the
-halo-traffic fraction (the communication tax of the decomposition) and the
-shard load balance.  Outputs are bit-identical across all points, so the
-sweep isolates the execution model: per-device kernel time shrinking with
-the shard size versus the NVLink latency/bandwidth cost of the per-sweep
-halo exchange.
+Three experiments share one results envelope:
+
+* **Weak scaling** — one grid decomposed over 1/2/4/8 simulated A100s;
+  every point reports modelled speedup, parallel efficiency, the exposed
+  halo-traffic fraction, load balance and the communication-avoiding
+  schedule envelope (halo depth, exchange count, halo bytes, redundant
+  compute).
+* **Deep-halo crossover** — at 4 devices on a latency-heavy link, sweep
+  ``halo_depth`` x shard-grid shape and check the measured-optimal depth
+  against the analytic prediction of
+  :func:`repro.analysis.deep_halo_tradeoff` (same finite schedule, same
+  per-window roofline pricing — the two must agree exactly).
+* **Overlap** — the acceptance comparison: deep halos plus compute/comm
+  overlap versus the classic exchange-every-sweep serialised baseline must
+  cut the exposed halo-traffic fraction by at least 2x, bit-identically.
 
 Regenerate with::
 
@@ -20,9 +28,13 @@ import numpy as np
 import pytest
 
 from benchmarks.conftest import save_results
-from repro.analysis import sharded_scaling
+from repro import StencilSession, compile_stencil
+from repro.analysis import deep_halo_tradeoff, sharded_scaling
+from repro.engine import ShardedExecutor
+from repro.service import CompileCache
 from repro.stencils.catalog import get_benchmark
 from repro.stencils.grid import make_grid
+from repro.tcu.spec import MultiDeviceSpec
 
 #: Large enough that per-sweep device time clears the interconnect latency —
 #: the regime where sharding pays (tiny tier-1 grids are latency-bound).
@@ -33,7 +45,35 @@ WORKLOADS = [
 ]
 DEVICE_COUNTS = (1, 2, 4, 8)
 
+#: Deep-halo study configuration: a 514^2 Heat-2D slab on 4 devices behind a
+#: latency-heavy link (200 ns/message at NVLink bandwidth) — the regime where
+#: exchange latency, not bandwidth, is the scaling tax deep halos avoid.
+CROSSOVER_SHAPE = (514, 514)
+CROSSOVER_ITERS = 10
+CROSSOVER_DEPTHS = 5
+CROSSOVER_GRIDS = ((4, 1), (2, 2))
+LINK_LATENCY_SECONDS = 2e-7
+LINK_BANDWIDTH_GBS = 600.0
+
 _ROWS: dict = {}
+
+
+@pytest.fixture(scope="module")
+def crossover_workload():
+    """One compiled 514^2 Heat-2D plan plus a cache shared by the analytic
+    model and every measured run — window plans compile exactly once."""
+    config = get_benchmark("Heat-2D")
+    grid = make_grid(CROSSOVER_SHAPE, kind="random", seed=2026)
+    cache = CompileCache(capacity=256)
+    compiled = compile_stencil(config.pattern, CROSSOVER_SHAPE,
+                               backend="numpy", search=False, r1=8, r2=8)
+    return compiled, grid, cache
+
+
+def _crossover_spec(compiled) -> MultiDeviceSpec:
+    return MultiDeviceSpec(device=compiled.spec, device_count=4,
+                           interconnect_bandwidth_gbs=LINK_BANDWIDTH_GBS,
+                           link_latency_seconds=LINK_LATENCY_SECONDS)
 
 
 @pytest.mark.parametrize("name,grid_shape,iterations", WORKLOADS,
@@ -47,7 +87,7 @@ def test_sharded_scaling(benchmark, name, grid_shape, iterations):
                                 device_counts=DEVICE_COUNTS),
         rounds=1, iterations=1)
 
-    _ROWS[name] = {
+    _ROWS.setdefault("weak_scaling", {})[name] = {
         "grid_shape": list(grid_shape),
         "iterations": iterations,
         "single_device_seconds": report.single_device_seconds,
@@ -68,29 +108,167 @@ def test_sharded_scaling(benchmark, name, grid_shape, iterations):
     best = report.best
     assert best.speedup >= 1.0, "sharding should pay at this grid size"
     for point in report.points[1:]:
-        assert point.halo_traffic_fraction > 0.0
+        assert point.halo_exchange_bytes > 0.0
+        assert point.halo_exchange_count == iterations - 1  # depth-1 sweep
 
 
-def test_save_results():
-    """Persist the scaling rows once every workload has run."""
+@pytest.mark.parametrize("shard_grid", CROSSOVER_GRIDS,
+                         ids=[f"{a}x{b}" for a, b in CROSSOVER_GRIDS])
+def test_deep_halo_crossover(benchmark, crossover_workload, shard_grid):
+    """Measured-optimal halo depth must land where the tradeoff model says.
+
+    The model prices the identical finite schedule the executor bills
+    (per-window rooflines, first round unexchanged, partial last round), so
+    beyond matching the argmin, every per-depth cost must agree to float
+    precision.
+    """
+    compiled, grid, cache = crossover_workload
+    spec = _crossover_spec(compiled)
+    trade = deep_halo_tradeoff(compiled, spec, shard_grid=shard_grid,
+                               max_depth=CROSSOVER_DEPTHS, overlap=False,
+                               cache=cache, iterations=CROSSOVER_ITERS)
+
+    def sweep_depths():
+        results = {}
+        for point in trade.points:
+            results[point.halo_depth] = ShardedExecutor(
+                spec, shard_grid=shard_grid, cache=cache,
+                halo_depth=point.halo_depth,
+                overlap=False).execute(compiled, grid, CROSSOVER_ITERS)
+        return results
+
+    by_depth = benchmark.pedantic(sweep_depths, rounds=1, iterations=1)
+
+    rows = []
+    measured = {}
+    for point in trade.points:
+        result = by_depth[point.halo_depth]
+        per_sweep = result.elapsed_seconds / CROSSOVER_ITERS
+        measured[point.halo_depth] = per_sweep
+        row = point.as_dict()
+        row.update({
+            "measured_per_sweep_seconds": per_sweep,
+            "halo_exchange_count": result.halo_exchange_count,
+            "halo_exchange_bytes": result.halo_exchange_bytes,
+        })
+        rows.append(row)
+        assert point.per_sweep_seconds == pytest.approx(per_sweep, rel=1e-9)
+
+    measured_depth = min(measured, key=measured.get)
+    print(f"\nDeep-halo crossover — Heat-2D {CROSSOVER_SHAPE}, "
+          f"shards {shard_grid}, link {LINK_LATENCY_SECONDS * 1e9:.0f} ns / "
+          f"{LINK_BANDWIDTH_GBS:.0f} GB/s")
+    for row in rows:
+        print(f"  depth {row['halo_depth']}: "
+              f"model {row['per_sweep_seconds'] * 1e9:7.1f} ns/sweep  "
+              f"measured {row['measured_per_sweep_seconds'] * 1e9:7.1f}  "
+              f"exchanges {row['halo_exchange_count']}  "
+              f"redundant {100 * row['redundant_fraction']:5.2f}%")
+    print(f"  predicted optimum: depth {trade.predicted_depth}, "
+          f"measured optimum: depth {measured_depth}")
+
+    assert trade.predicted_depth == measured_depth, (
+        f"analytic crossover (depth {trade.predicted_depth}) disagrees with "
+        f"the measured optimum (depth {measured_depth})")
+    assert measured_depth > 1, "deep halos should pay on this link"
+
+    _ROWS.setdefault("deep_halo_crossover", {})[f"{shard_grid}"] = {
+        "shard_grid": list(shard_grid),
+        "predicted_depth": trade.predicted_depth,
+        "measured_depth": measured_depth,
+        "points": rows,
+    }
+
+
+def test_overlap_halves_exposed_halo_fraction(benchmark, crossover_workload):
+    """Acceptance: deep halos + overlap cut the exposed halo-traffic
+    fraction at 4 devices by >= 2x against the exchange-every-sweep
+    serialised baseline, without changing a single bit of output."""
+    compiled, grid, cache = crossover_workload
+    spec = _crossover_spec(compiled)
+
+    baseline, avoiding = benchmark.pedantic(
+        lambda: (ShardedExecutor(spec, shard_grid=(2, 2), cache=cache,
+                                 halo_depth=1, overlap=False).execute(
+                     compiled, grid, CROSSOVER_ITERS),
+                 ShardedExecutor(spec, shard_grid=(2, 2), cache=cache,
+                                 halo_depth=3, overlap=True).execute(
+                     compiled, grid, CROSSOVER_ITERS)),
+        rounds=1, iterations=1)
+
+    print(f"\nCommunication avoidance — Heat-2D {CROSSOVER_SHAPE}, "
+          f"4 devices (2x2):")
+    for label, result in (("depth 1, serialised", baseline),
+                          ("depth 3, overlap", avoiding)):
+        print(f"  {label:22s} halo fraction "
+              f"{100 * result.halo_traffic_fraction:6.2f}%  "
+              f"exchanges {result.halo_exchange_count:2d}  "
+              f"exposed {result.halo_exposed_seconds * 1e9:8.1f} ns  "
+              f"elapsed {result.elapsed_seconds * 1e6:8.2f} us")
+
+    assert np.array_equal(baseline.output, avoiding.output)
+    assert baseline.halo_traffic_fraction > 0.0
+    assert avoiding.halo_traffic_fraction <= \
+        baseline.halo_traffic_fraction / 2.0, (
+            "communication avoidance must cut the exposed halo fraction 2x")
+    assert avoiding.elapsed_seconds < baseline.elapsed_seconds
+    assert avoiding.halo_exchange_count < baseline.halo_exchange_count
+
+    _ROWS["overlap"] = {
+        "grid_shape": list(CROSSOVER_SHAPE),
+        "iterations": CROSSOVER_ITERS,
+        "baseline": {
+            "halo_depth": 1, "overlap": False,
+            "halo_traffic_fraction": baseline.halo_traffic_fraction,
+            "halo_exchange_count": baseline.halo_exchange_count,
+            "halo_exchange_bytes": baseline.halo_exchange_bytes,
+            "elapsed_seconds": baseline.elapsed_seconds,
+        },
+        "communication_avoiding": {
+            "halo_depth": avoiding.halo_depth, "overlap": True,
+            "halo_traffic_fraction": avoiding.halo_traffic_fraction,
+            "halo_exchange_count": avoiding.halo_exchange_count,
+            "halo_exchange_bytes": avoiding.halo_exchange_bytes,
+            "elapsed_seconds": avoiding.elapsed_seconds,
+        },
+    }
+
+
+def test_save_results(benchmark):
+    """Persist the scaling rows once every experiment has run."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
     if _ROWS:
         path = save_results("sharded_scaling", _ROWS, config={
             "workloads": [{"name": name, "grid_shape": list(shape),
                            "iterations": iters}
                           for name, shape, iters in WORKLOADS],
             "device_counts": list(DEVICE_COUNTS),
+            "crossover": {
+                "grid_shape": list(CROSSOVER_SHAPE),
+                "iterations": CROSSOVER_ITERS,
+                "max_depth": CROSSOVER_DEPTHS,
+                "shard_grids": [list(g) for g in CROSSOVER_GRIDS],
+                "link_latency_seconds": LINK_LATENCY_SECONDS,
+                "link_bandwidth_gbs": LINK_BANDWIDTH_GBS,
+            },
         })
         print(f"\nsaved {path}")
 
 
-def test_sharded_outputs_stay_bit_identical():
-    """Spot check at benchmark scale: 4-way sharding reproduces 1-way bits."""
+def test_sharded_outputs_stay_bit_identical(benchmark):
+    """Spot check at benchmark scale: 4-way sharding reproduces 1-way bits,
+    deep halos and overlap included."""
     config = get_benchmark("Heat-2D")
     grid = make_grid((1024, 1024), kind="random", seed=7)
-    from repro import compile_stencil, run_stencil
-    from repro.engine import ShardedExecutor
 
     compiled = compile_stencil(config.pattern, (1024, 1024))
-    single = run_stencil(compiled, grid, 1)
-    sharded = ShardedExecutor(4).execute(compiled, grid, 1)
-    assert np.array_equal(single.output, sharded.output)
+    single = StencilSession().run(compiled, grid, 4)
+    cache = CompileCache(capacity=64)
+
+    def shard_both_depths():
+        return [ShardedExecutor(4, cache=cache, halo_depth=depth).execute(
+                    compiled, grid, 4) for depth in (1, 3)]
+
+    for sharded in benchmark.pedantic(shard_both_depths,
+                                      rounds=1, iterations=1):
+        assert np.array_equal(single.output, sharded.output)

@@ -25,8 +25,11 @@ from repro.analysis.overhead import (
 )
 from repro.analysis.breakdown import BreakdownStage, performance_breakdown
 from repro.analysis.scaling import (
+    DeepHaloPoint,
+    DeepHaloTradeoff,
     ScalingReport,
     ShardScalingPoint,
+    deep_halo_tradeoff,
     per_shard_utilization,
     sharded_scaling,
 )
@@ -49,8 +52,11 @@ __all__ = [
     "cache_amortization",
     "BreakdownStage",
     "performance_breakdown",
+    "DeepHaloPoint",
+    "DeepHaloTradeoff",
     "ScalingReport",
     "ShardScalingPoint",
+    "deep_halo_tradeoff",
     "per_shard_utilization",
     "sharded_scaling",
     "render_markdown_report",

@@ -11,8 +11,11 @@ after that:
   cross-sweep utilization aggregation and leftover-sweep support for
   iteration counts not divisible by the temporal-fusion factor;
 * :mod:`repro.engine.sharded` — :class:`ShardedExecutor`, domain-decomposed
-  execution across N simulated devices with per-sweep halo exchange,
-  bit-identical to the single-device run.
+  execution across N simulated devices with communication-avoiding deep
+  halos (exchange once per ``halo_depth`` sweeps), modelled compute/comm
+  overlap, and the shared round-cost model (:func:`model_round` /
+  :func:`model_schedule`) the scheduler and analysis layers price with —
+  bit-identical to the single-device run at every depth.
 """
 
 from repro.engine.base import (
@@ -25,7 +28,14 @@ from repro.engine.base import (
     run_sweep,
 )
 from repro.engine.single import SingleDeviceExecutor, leftover_plan
-from repro.engine.sharded import ShardedExecutor, ShardedRunResult
+from repro.engine.sharded import (
+    HaloRoundModel,
+    ShardedExecutor,
+    ShardedRunResult,
+    model_round,
+    model_schedule,
+    window_plan_seconds,
+)
 
 __all__ = [
     "SweepContext",
@@ -37,6 +47,10 @@ __all__ = [
     "run_sweep",
     "SingleDeviceExecutor",
     "leftover_plan",
+    "HaloRoundModel",
     "ShardedExecutor",
     "ShardedRunResult",
+    "model_round",
+    "model_schedule",
+    "window_plan_seconds",
 ]

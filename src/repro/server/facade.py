@@ -74,9 +74,11 @@ class ServerConfig:
     default_deadline_seconds:
         Deadline applied to submissions that do not set their own
         (``None`` = no deadline).
-    min_speedup / max_halo_fraction:
-        The scheduler's sharding thresholds (see
-        :class:`~repro.server.scheduler.DevicePoolScheduler`).
+    min_speedup / max_halo_fraction / halo_depth / overlap:
+        The scheduler's sharding thresholds and communication-avoiding
+        knobs (see :class:`~repro.server.scheduler.DevicePoolScheduler`);
+        ``halo_depth=None`` searches for the cheapest modelled depth per
+        routing decision.
     cache_capacity:
         Capacity of the server-owned compile cache when none is injected.
     """
@@ -88,6 +90,8 @@ class ServerConfig:
     default_deadline_seconds: Optional[float] = None
     min_speedup: float = 1.25
     max_halo_fraction: float = 0.25
+    halo_depth: Optional[int] = None
+    overlap: bool = True
     cache_capacity: int = 128
     latency_window: int = 2048
 
@@ -186,6 +190,8 @@ class StencilServer:
                 cache_capacity=self.config.cache_capacity,
                 min_speedup=self.config.min_speedup,
                 max_halo_fraction=self.config.max_halo_fraction,
+                halo_depth=self.config.halo_depth,
+                overlap=self.config.overlap,
                 max_workers=self.config.max_workers))
         else:
             require(devices is None and cache is None,
@@ -437,7 +443,9 @@ class StencilServer:
                         if request.iterations % compiled.temporal_fusion == 0:
                             run = self.session.execute_sharded_plan(
                                 plan, request.grid, request.iterations,
-                                devices=spec, cache=self.cache)
+                                devices=spec, cache=self.cache,
+                                halo_depth=decision.halo_depth,
+                                overlap=decision.overlap)
                             kind, used = "sharded", decision.devices
                         else:
                             # non-divisible stragglers on a sharded batch run

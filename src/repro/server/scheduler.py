@@ -5,17 +5,19 @@ answers two questions with the *existing* analytical model (no new cost
 model is introduced):
 
 * **single or sharded?**  The per-sweep roofline time of the plan
-  (``plan.estimate.t_total``) is compared against the modelled sharded sweep
-  — per-shard compute shrinking with the device count versus the
-  interconnect cost of the partition's real halo geometry
-  (:class:`repro.stencils.partition.GridPartition` +
-  :meth:`repro.tcu.spec.MultiDeviceSpec.exchange_seconds`, exactly what the
+  (``plan.estimate.t_total``) is compared against the modelled
+  communication-avoiding round — per-shard compute shrinking with the
+  device count versus the interconnect cost of the partition's real halo
+  geometry, amortised over ``halo_depth`` sweeps per exchange and
+  overlapped with interior compute
+  (:func:`repro.engine.sharded.model_round`, exactly the timeline the
   :class:`~repro.engine.sharded.ShardedExecutor` bills at run time).  Small
   grids are latency-bound and stay on one device; large grids clear the
   NVLink latency and shard.
-* **how many devices?**  Every free power-of-two count is evaluated and the
+* **how many devices, how deep a halo?**  Every free power-of-two count is
+  evaluated at every feasible ``halo_depth`` up to ``max_halo_depth``; the
   best modelled speedup wins, provided it beats ``min_speedup`` and the
-  halo-traffic fraction stays under ``max_halo_fraction``.
+  exposed-exchange share of the round stays under ``max_halo_fraction``.
 
 Occupancy is enforced by the :class:`repro.tcu.occupancy.OccupancyLedger`:
 :meth:`DevicePoolScheduler.route` decides and leases in one step, and the
@@ -56,7 +58,9 @@ class RoutingDecision:
     reason: str
     sweep_seconds: float          # modelled single-device sweep (roofline)
     modelled_speedup: float       # sharded speedup at `devices` (1.0 single)
-    halo_fraction: float          # modelled halo share of byte movement
+    halo_fraction: float          # modelled exposed-exchange share of a round
+    halo_depth: int = 1           # communication-avoiding depth to run at
+    overlap: bool = True          # overlap exchanges with interior compute
 
     @property
     def sharded(self) -> bool:
@@ -83,8 +87,22 @@ class DevicePoolScheduler:
         path (sharding has real costs — shard compiles, halo exchanges — so
         a marginal win is not worth them).
     max_halo_fraction:
-        Upper bound on the modelled halo share of total byte movement; past
-        it the decomposition is communication-dominated and stays single.
+        Upper bound on the modelled *exposed* exchange share of a round's
+        wall time (exchange time the compute/comm overlap cannot hide);
+        past it the decomposition is communication-dominated and stays
+        single.
+    halo_depth:
+        Communication-avoiding depth to route at, or ``None`` (default) to
+        search every feasible depth up to ``max_halo_depth`` per candidate
+        device count and take the cheapest modelled round.
+    max_halo_depth:
+        Search ceiling for the automatic depth choice — deep halos trade
+        redundant compute for latency, and past a few steps the redundant
+        work always dominates, so an unbounded search would only waste
+        partition builds.
+    overlap:
+        Whether routed runs (and their cost model) overlap halo exchange
+        with interior compute.
     route_retries:
         How many failed optimistic multi-device leases :meth:`route`
         tolerates before degrading to the always-satisfiable single-device
@@ -95,6 +113,9 @@ class DevicePoolScheduler:
     def __init__(self, pool: Union[MultiDeviceSpec, int] = 1, *,
                  min_speedup: float = 1.25,
                  max_halo_fraction: float = 0.25,
+                 halo_depth: Optional[int] = None,
+                 max_halo_depth: int = 4,
+                 overlap: bool = True,
                  ledger: Optional[OccupancyLedger] = None,
                  route_retries: int = 8) -> None:
         if isinstance(pool, (int, np.integer)):
@@ -106,10 +127,16 @@ class DevicePoolScheduler:
         require(min_speedup >= 1.0, "min_speedup must be >= 1.0")
         require(0.0 <= max_halo_fraction <= 1.0,
                 "max_halo_fraction must be in [0, 1]")
+        if halo_depth is not None:
+            require_positive_int(halo_depth, "halo_depth")
+        require_positive_int(max_halo_depth, "max_halo_depth")
         require_positive_int(route_retries, "route_retries")
         self.pool = pool
         self.min_speedup = min_speedup
         self.max_halo_fraction = max_halo_fraction
+        self.halo_depth = halo_depth
+        self.max_halo_depth = max_halo_depth
+        self.overlap = bool(overlap)
         self.route_retries = route_retries
         self.ledger = ledger if ledger is not None \
             else OccupancyLedger(pool.device_count)
@@ -118,41 +145,55 @@ class DevicePoolScheduler:
     # decision model
     # ------------------------------------------------------------------ #
     def _sharded_estimate(self, compiled: CompiledStencil, devices: int
-                          ) -> Optional[Tuple[float, float]]:
-        """``(modelled speedup, halo fraction)`` of a ``devices``-way shard.
+                          ) -> Optional[Tuple[float, float, int]]:
+        """``(modelled speedup, halo fraction, halo depth)`` of a
+        ``devices``-way shard at its best communication-avoiding depth.
 
-        Uses the same partition geometry and interconnect model the sharded
-        executor bills at run time; ``None`` when the grid cannot be tiled
-        into that many shards.
+        Prices the steady-state round with
+        :func:`repro.engine.sharded.model_round` — the same partition
+        geometry, interconnect model, exchange amortisation and overlap the
+        sharded executor bills at run time — and returns ``None`` when the
+        grid cannot be tiled into that many shards.  The depth search walks
+        1..``max_halo_depth`` (clamped to what the geometry supports) and
+        keeps the cheapest amortised sweep; with a fixed ``halo_depth``
+        configured, only that depth (clamped) is priced.
         """
+        from repro.engine.sharded import model_round
+
+        sweep = compiled.plan.estimate.t_total
+        align = compiled.plan.config.r
+        radius = compiled.pattern.radius
         try:
-            # boundary-aware: periodic wrap adds real interconnect messages
-            # at the global edges, and the decision must bill what the
-            # sharded executor will bill
-            partition = GridPartition.build(
-                compiled.grid_shape, compiled.pattern.radius, devices,
-                align=compiled.plan.config.r, boundary=compiled.boundary)
+            feasible = GridPartition.max_halo_depth(
+                compiled.grid_shape, radius, devices, align=align,
+                boundary=compiled.boundary)
         except Exception:
             return None
-        if partition.n_shards > devices or partition.n_shards < 2:
-            return None
+        if self.halo_depth is not None:
+            depths = [min(self.halo_depth, feasible)]
+        else:
+            depths = range(1, min(self.max_halo_depth, feasible) + 1)
         itemsize = compiled.plan.dtype.itemsize
-        halo_seconds = max(
-            self.pool.exchange_seconds(elements * itemsize, messages)
-            for elements, messages in zip(
-                partition.received_elements_per_shard(),
-                partition.messages_per_shard()))
-        sweep = compiled.plan.estimate.t_total
-        sharded_sweep = sweep / partition.n_shards + halo_seconds
-        speedup = sweep / sharded_sweep if sharded_sweep > 0 else 0.0
-        traffic = compiled.plan.estimate.traffic
-        device_bytes = (traffic.global_bytes + traffic.metadata_bytes
-                        + traffic.lut_bytes)
-        halo_bytes = float(sum(partition.received_elements_per_shard())
-                           * itemsize)
-        total = halo_bytes + device_bytes
-        halo_fraction = halo_bytes / total if total > 0 else 0.0
-        return speedup, halo_fraction
+        best: Optional[Tuple[float, float, int]] = None
+        for depth in depths:
+            try:
+                # boundary-aware: periodic wrap adds real interconnect
+                # messages at the global edges, and the decision must bill
+                # what the sharded executor will bill
+                partition = GridPartition.build(
+                    compiled.grid_shape, radius, devices, align=align,
+                    boundary=compiled.boundary, halo_depth=depth)
+            except Exception:
+                continue
+            if partition.n_shards > devices or partition.n_shards < 2:
+                return None
+            round_model = model_round(partition, self.pool, itemsize, sweep,
+                                      overlap=self.overlap)
+            speedup = sweep / round_model.per_sweep_seconds \
+                if round_model.per_sweep_seconds > 0 else 0.0
+            if best is None or speedup > best[0]:
+                best = (speedup, round_model.halo_fraction, depth)
+        return best
 
     def decide(self, compiled: CompiledStencil, iterations: int,
                free_devices: Optional[int] = None) -> RoutingDecision:
@@ -181,16 +222,17 @@ class DevicePoolScheduler:
         while devices <= free:
             estimate = self._sharded_estimate(compiled, devices)
             if estimate is not None:
-                speedup, halo_fraction = estimate
+                speedup, halo_fraction, halo_depth = estimate
                 if (halo_fraction <= self.max_halo_fraction
                         and (best is None
                              or speedup > best.modelled_speedup)):
                     best = RoutingDecision(
                         executor="sharded", devices=devices,
                         reason=f"modelled {speedup:.2f}x on {devices} "
-                               f"devices",
+                               f"devices (halo depth {halo_depth})",
                         sweep_seconds=sweep, modelled_speedup=speedup,
-                        halo_fraction=halo_fraction)
+                        halo_fraction=halo_fraction, halo_depth=halo_depth,
+                        overlap=self.overlap)
             devices *= 2
         if best is None or best.modelled_speedup < self.min_speedup:
             return single("latency-bound: modelled sharded speedup below "

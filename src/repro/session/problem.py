@@ -147,6 +147,18 @@ class SolvePolicy:
         pool.
     shard_grid:
         Optional shards-per-axis override for sharded execution.
+    halo_depth:
+        Communication-avoiding halo depth for sharded execution: ghost
+        regions deep enough that one halo exchange validates ``halo_depth``
+        consecutive sweeps (the intervening sweeps recompute the ghost zone
+        redundantly).  ``None`` defers to the route: the classic depth 1
+        for an explicit ``"sharded"`` solve, the scheduler's modelled best
+        depth under ``"auto"``.  Clamped to what the partition geometry
+        supports.
+    overlap:
+        Whether sharded execution overlaps halo exchange with interior
+        compute (``max(interior, exchange) + rim`` per post-exchange sweep
+        in the modelled timeline).
     max_workers:
         Thread-pool width override for sharded sweeps / batched compiles.
     window_seconds / max_batch_size:
@@ -166,6 +178,8 @@ class SolvePolicy:
     deadline_seconds: Optional[float] = None
     devices: Optional[Any] = None
     shard_grid: Optional[Tuple[int, ...]] = None
+    halo_depth: Optional[int] = None
+    overlap: bool = True
     max_workers: Optional[int] = None
     window_seconds: Optional[float] = None
     max_batch_size: Optional[int] = None

@@ -128,8 +128,11 @@ class ShardedSessionExecutor(SessionExecutor):
             else session.pool
         max_workers = policy.max_workers if policy.max_workers is not None \
             else session.config.max_workers
+        halo_depth = policy.halo_depth if policy.halo_depth is not None else 1
         executor = ShardedExecutor(devices, shard_grid=policy.shard_grid,
-                                   cache=cache, max_workers=max_workers)
+                                   cache=cache, max_workers=max_workers,
+                                   halo_depth=halo_depth,
+                                   overlap=policy.overlap)
         result = executor.execute(compiled, problem.grid, problem.iterations)
         result = self._tagged(result, problem.tag)
         return Solution(

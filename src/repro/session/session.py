@@ -66,9 +66,11 @@ class SessionConfig:
         An injected :class:`~repro.service.cache.CompileCache`, or the
         capacity (and optional persistence directory) of the session-owned
         one built when none is injected.
-    min_speedup / max_halo_fraction:
-        The ``auto``-routing thresholds (see
-        :class:`~repro.server.scheduler.DevicePoolScheduler`).
+    min_speedup / max_halo_fraction / halo_depth / overlap:
+        The ``auto``-routing thresholds and communication-avoiding knobs
+        (see :class:`~repro.server.scheduler.DevicePoolScheduler`);
+        ``halo_depth=None`` lets the scheduler search for the cheapest
+        modelled depth per routing decision.
     max_workers:
         Default thread-pool width for sharded sweeps and batched compiles.
     queue_bound / window_seconds / max_batch_size / default_deadline_seconds:
@@ -86,6 +88,8 @@ class SessionConfig:
     persist_dir: Optional[str] = None
     min_speedup: float = 1.25
     max_halo_fraction: float = 0.25
+    halo_depth: Optional[int] = None
+    overlap: bool = True
     max_workers: Optional[int] = None
     queue_bound: int = 128
     window_seconds: float = 0.002
@@ -128,7 +132,8 @@ class StencilSession:
             capacity=config.cache_capacity, persist_dir=config.persist_dir)
         self.scheduler = DevicePoolScheduler(
             pool, min_speedup=config.min_speedup,
-            max_halo_fraction=config.max_halo_fraction)
+            max_halo_fraction=config.max_halo_fraction,
+            halo_depth=config.halo_depth, overlap=config.overlap)
         self.registry = registry if registry is not None else default_registry()
 
         self._server: Optional[Any] = None
@@ -170,9 +175,14 @@ class StencilSession:
             decision = self.decide(problem, compiled=compiled)
             mode = decision.executor
             reason = decision.reason
-            if decision.sharded and policy.devices is None:
-                policy = replace(policy, devices=self.scheduler.spec_for(
-                    decision, compiled))
+            if decision.sharded:
+                if policy.devices is None:
+                    policy = replace(policy, devices=self.scheduler.spec_for(
+                        decision, compiled))
+                if policy.halo_depth is None:
+                    # run at the depth the routing model priced
+                    policy = replace(policy, halo_depth=decision.halo_depth,
+                                     overlap=decision.overlap)
 
         executor = self.registry.create(mode)
         solution = executor.solve(
@@ -295,6 +305,8 @@ class StencilSession:
                     default_deadline_seconds=config.default_deadline_seconds,
                     min_speedup=config.min_speedup,
                     max_halo_fraction=config.max_halo_fraction,
+                    halo_depth=config.halo_depth,
+                    overlap=config.overlap,
                     cache_capacity=config.cache_capacity)
                 self._server = StencilServer(session=self,
                                              config=server_config)
@@ -332,13 +344,16 @@ class StencilSession:
             compiled, grid, iterations)
 
     def execute_sharded_plan(self, compiled: Any, grid: Any, iterations: int,
-                             *, devices: Any, cache: Any = _UNSET) -> Any:
+                             *, devices: Any, cache: Any = _UNSET,
+                             halo_depth: int = 1,
+                             overlap: bool = True) -> Any:
         """Sharded engine call on a precompiled plan (no Solution wrapping)."""
         from repro.engine.sharded import ShardedExecutor
 
         call_cache = self.cache if cache is _UNSET else cache
         executor = ShardedExecutor(devices, cache=call_cache,
-                                   max_workers=self.config.max_workers)
+                                   max_workers=self.config.max_workers,
+                                   halo_depth=halo_depth, overlap=overlap)
         return executor.execute(compiled, grid, iterations)
 
     # ------------------------------------------------------------------ #

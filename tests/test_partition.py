@@ -5,8 +5,10 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.stencils.boundary import apply_boundary
 from repro.stencils.partition import (
     GridPartition,
+    halo_steps,
     plan_shard_grid,
     split_extent,
 )
@@ -95,6 +97,126 @@ class TestGridPartition:
         assert set(neighbors) == {(0, +1), (1, +1)}
         middle_keys = set(part.neighbors(part.shard_at((1, 0))))
         assert middle_keys == {(0, -1), (1, +1)}
+
+
+class TestDegenerateGeometry:
+    """Edge geometries the deep-halo rework must keep exact: shards no
+    bigger than the stencil radius, periodic self-wraps on single-shard
+    axes, and extents that do not divide evenly."""
+
+    def test_radius_equals_smallest_shard_interior(self):
+        # out extent 8 split in two -> each shard owns exactly radius cells,
+        # so a neighbour's *entire* interior becomes the ghost slab
+        part = GridPartition.build((16,), 4, (2,), align=(1,))
+        assert [s.out_shape for s in part.shards] == [(4,), (4,)]
+        assert GridPartition.max_halo_depth((16,), 4, (2,)) == 1
+        rng = np.random.default_rng(5)
+        data = rng.random(16)
+        locals_ = part.extract(data)
+        globally = data.copy()
+        globally[4:-4] = globally[4:-4] * 2.0 + 1.0
+        for local, shard in zip(locals_, part.shards):
+            view = local[shard.interior_local]
+            local[shard.interior_local] = view * 2.0 + 1.0
+        part.exchange_halos(locals_)
+        for local, shard in zip(locals_, part.shards):
+            assert np.array_equal(local, globally[shard.subgrid_slices])
+
+    def test_periodic_self_wrap_on_single_shard_axis(self):
+        part = GridPartition.build((20, 20), 1, (1, 2), boundary="periodic")
+        for shard in part.shards:
+            faces = part.exchanged_faces(shard)
+            # axis 0 has one shard: its wrap is a local copy, not a message
+            assert all(axis == 1 for axis, _ in faces)
+            assert part.halo_source(shard, 0, -1).index == shard.index
+        assert part.messages_per_shard() == (2, 2)
+        rng = np.random.default_rng(6)
+        data = apply_boundary(rng.random((20, 20)), 1, "periodic")
+        locals_ = part.extract(data)
+        globally = data.copy()
+        globally[1:-1, 1:-1] = globally[1:-1, 1:-1] * 2.0 + 1.0
+        for local, shard in zip(locals_, part.shards):
+            view = local[shard.interior_local]
+            local[shard.interior_local] = view * 2.0 + 1.0
+        apply_boundary(globally, 1, "periodic")
+        part.exchange_halos(locals_)
+        for local, shard in zip(locals_, part.shards):
+            assert np.array_equal(local, globally[shard.subgrid_slices]), \
+                shard.index
+
+    def test_non_dividing_shard_count(self):
+        part = GridPartition.build((103,), 1, (3,), align=(8,))
+        chunks = [s.out_shape[0] for s in part.shards]
+        assert chunks == list(split_extent(101, 3, align=8))
+        assert sum(chunks) == 101
+        covered = np.zeros(101, dtype=int)
+        for shard in part.shards:
+            covered[shard.out_start[0]:shard.out_stop[0]] += 1
+        assert np.all(covered == 1)
+
+
+class TestDeepHaloGeometry:
+    def test_halo_steps_round_radius_up_to_tiles(self):
+        assert halo_steps(3, (8, 4, 1)) == (8, 4, 3)
+        assert halo_steps(1, (8, 8)) == (8, 8)
+        assert halo_steps(4, (4,)) == (4,)
+
+    def test_deep_ghosts_only_on_exchanged_faces(self):
+        part = GridPartition.build((130, 130), 1, (2, 2), align=(8, 8),
+                                   halo_depth=3)
+        corner = part.shard_at((0, 0))
+        # global-edge faces stay radius-wide; exchanged faces carry
+        # radius + (k-1)*step = 1 + 2*8 deep ghosts
+        assert corner.lo_ghost == (1, 1)
+        assert corner.hi_ghost == (17, 17)
+        assert corner.subgrid_shape == (64 + 1 + 17, 64 + 1 + 17)
+
+    def test_windows_shrink_tile_congruently(self):
+        part = GridPartition.build((130, 130), 1, (2, 2), align=(8, 8),
+                                   halo_depth=3)
+        corner = part.shard_at((0, 0))
+        shapes = [part.window_out_shape(corner, mult) for mult in range(3)]
+        assert shapes[0] == corner.out_shape
+        for smaller, larger in zip(shapes, shapes[1:]):
+            assert all(b - a in (0, 8, 16) and b >= a
+                       for a, b in zip(smaller, larger))
+        # writeback never touches the input ring
+        inner = part.window_writeback(corner, 1)
+        outer = part.window(corner, 1)
+        assert all(w.start == o.start + 1 and w.stop == o.stop - 1
+                   for w, o in zip(inner, outer))
+
+    def test_max_halo_depth_periodic_needs_tile_divisibility(self):
+        # out extent 98 is not a multiple of the 8-wide tiles: wrap images
+        # would land tile-incongruent, so periodic clamps to depth 1
+        assert GridPartition.max_halo_depth((100,), 1, (2,), align=(8,),
+                                            boundary="periodic") == 1
+        assert GridPartition.max_halo_depth((100,), 1, (2,), align=(8,),
+                                            boundary="dirichlet") > 1
+        assert GridPartition.max_halo_depth((130,), 1, (2,), align=(8,),
+                                            boundary="periodic") > 1
+
+    def test_default_depth_keeps_legacy_ghosts(self):
+        part = GridPartition.build((96, 96), 2, (2, 2))
+        for shard in part.shards:
+            assert shard.lo_ghost == (2, 2) or 0 in shard.index
+            assert all(g in (2,) for g in shard.lo_ghost + shard.hi_ghost)
+
+    def test_deep_exchange_fills_whole_ghost_slab(self):
+        part = GridPartition.build((66,), 1, (2,), align=(8,), halo_depth=2)
+        rng = np.random.default_rng(8)
+        data = rng.random(66)
+        locals_ = part.extract(data)
+        globally = data.copy()
+        globally[1:-1] = globally[1:-1] * 2.0 + 1.0
+        for local, shard in zip(locals_, part.shards):
+            view = local[shard.interior_local]
+            local[shard.interior_local] = view * 2.0 + 1.0
+        moved = part.exchange_halos(locals_)
+        # the deep ghost is radius + step = 9 cells per exchanged face
+        assert moved == part.halo_elements_per_exchange() == 18
+        for local, shard in zip(locals_, part.shards):
+            assert np.array_equal(local, globally[shard.subgrid_slices])
 
 
 def _random_partition_case(rng):

@@ -259,6 +259,68 @@ class TestRoutingDecisions:
             scheduler.pool.interconnect_bandwidth_gbs
 
 
+class TestHaloDepthRouting:
+    """The scheduler's communication-avoiding depth search: auto mode picks
+    the modelled-best depth per device count, fixed depth is honoured, and
+    the decision carries both knobs to the executor."""
+
+    @pytest.fixture(scope="class")
+    def plan(self, heat2d_cls):
+        return compile_stencil(heat2d_cls, (514, 514), search=False,
+                               r1=8, r2=8)
+
+    @pytest.fixture(scope="class")
+    def laggy_pool(self):
+        return MultiDeviceSpec(device_count=4,
+                               interconnect_bandwidth_gbs=600.0,
+                               link_latency_seconds=2e-7)
+
+    def test_auto_depth_goes_deep_when_latency_exposed(self, plan,
+                                                       laggy_pool):
+        decision = DevicePoolScheduler(laggy_pool, overlap=False).decide(
+            plan, 16)
+        assert decision.executor == "sharded"
+        assert decision.halo_depth > 1
+        assert decision.overlap is False
+        assert "halo depth" in decision.reason
+
+    def test_overlap_can_hide_what_deep_halos_avoid(self, plan, laggy_pool):
+        """With overlap modelled, the interior hides this workload's whole
+        exchange — depth 1 wins; without it the search must go deeper."""
+        hidden = DevicePoolScheduler(laggy_pool, overlap=True).decide(plan, 16)
+        exposed = DevicePoolScheduler(laggy_pool, overlap=False).decide(
+            plan, 16)
+        assert hidden.executor == exposed.executor == "sharded"
+        assert hidden.halo_depth == 1
+        assert hidden.overlap is True
+        assert exposed.halo_depth > hidden.halo_depth
+        assert hidden.modelled_speedup >= exposed.modelled_speedup
+
+    def test_fixed_depth_honoured(self, plan, laggy_pool):
+        decision = DevicePoolScheduler(laggy_pool, halo_depth=2).decide(
+            plan, 16)
+        assert decision.executor == "sharded"
+        assert decision.halo_depth == 2
+
+    def test_deep_halos_unlock_sharding(self, plan, laggy_pool):
+        """Capped at depth 1 the exposed latency kills the modelled speedup
+        and the workload routes single-device — the deeper search is what
+        makes this pool worth sharding on at all."""
+        capped = DevicePoolScheduler(laggy_pool, overlap=False,
+                                     max_halo_depth=1).decide(plan, 16)
+        deep = DevicePoolScheduler(laggy_pool, overlap=False).decide(plan, 16)
+        assert capped.executor == "single"
+        assert "latency-bound" in capped.reason
+        assert deep.executor == "sharded"
+        assert deep.halo_depth > 1
+
+    def test_single_route_keeps_default_depth(self, heat2d_cls):
+        small = compile_stencil(heat2d_cls, (64, 64))
+        decision = DevicePoolScheduler(4).decide(small, 2)
+        assert decision.executor == "single"
+        assert decision.halo_depth == 1
+
+
 @pytest.fixture(scope="class")
 def heat2d_cls():
     from repro.stencils.pattern import StencilPattern

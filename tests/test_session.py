@@ -232,6 +232,28 @@ class TestAutoRouting:
             decision = session.decide(Problem(heat2d, grid, 2))
         assert decision.executor == "single"
 
+    def test_policy_halo_depth_reaches_executor(self, session, heat2d):
+        grid = make_grid((130, 130), seed=3)
+        problem = Problem(heat2d, grid, 4)
+        deep = session.solve(problem, SolvePolicy(mode="sharded", devices=4,
+                                                  halo_depth=2))
+        shallow = session.solve(problem, SolvePolicy(mode="sharded",
+                                                     devices=4))
+        assert deep.result.halo_depth == 2
+        assert deep.result.halo_exchange_count < \
+            shallow.result.halo_exchange_count
+        assert shallow.result.halo_depth == 1  # explicit sharded defaults
+        assert np.array_equal(deep.output, shallow.output)
+
+    def test_auto_route_adopts_scheduler_depth(self, heat2d):
+        grid = make_grid((2048, 2048), seed=7)
+        with StencilSession(devices=4, overlap=False) as session:
+            solution = session.solve(Problem(heat2d, grid, 2))
+        assert solution.provenance.executor == "sharded"
+        # auto mode defers the depth choice to the routing decision
+        assert solution.result.halo_depth >= 1
+        assert solution.result.overlap is False
+
 
 class TestTagsAndBatch:
     def test_batch_tags_propagate(self, session, heat2d):

@@ -1,16 +1,22 @@
 """Sharded-execution tests: bit-identical equivalence against the golden
-fixtures, shard-plan fingerprint sharing, and the scaling analysis."""
+fixtures (including deep halos), shard-plan fingerprint sharing, the halo
+accounting, and the scaling / deep-halo tradeoff analysis."""
 
 from __future__ import annotations
+
+from functools import lru_cache
 
 import numpy as np
 import pytest
 from golden.generate_golden import CASES as GOLDEN_CASES, fixture_path
 
 from repro import compile_stencil, get_benchmark, make_grid, run_stencil
-from repro.analysis import per_shard_utilization, sharded_scaling
+from repro.analysis import (deep_halo_tradeoff, per_shard_utilization,
+                            sharded_scaling)
 from repro.engine import ShardedExecutor, SweepExecutor
+from repro.engine.sharded import model_round, model_schedule
 from repro.service import CompileCache, solve_sharded
+from repro.stencils.pattern import StencilPattern
 from repro.tcu.spec import MultiDeviceSpec, multi_a100
 from repro.util.validation import ValidationError
 
@@ -131,6 +137,190 @@ class TestShardedExecutor:
         assert "shard_compile" in result.overhead_seconds
 
 
+#: Deep-halo matrix geometry: shapes sized so the 8x8 layout tiles divide
+#: the interior (periodic wrap images stay tile-congruent) and every shard
+#: owns the depth-3 ghost width (1 + 2*8 = 17 cells).
+DEEP_SHAPES = {1: (258,), 2: (130, 130)}
+DEEP_SHARDS = {1: {1: (1,), 2: (2,), 4: (4,)},
+               2: {1: (1, 1), 2: (2, 1), 4: (2, 2)}}
+DEEP_ITERS = 4
+
+#: One cache for the whole matrix — window shapes repeat heavily across
+#: depths and shard grids, so the 54 cases compile a handful of plans.
+_DEEP_CACHE = CompileCache(capacity=256)
+
+
+@lru_cache(maxsize=None)
+def _deep_case(ndim, boundary):
+    shape = DEEP_SHAPES[ndim]
+    weights = [0.6] + [0.4 / (2 * ndim)] * (2 * ndim)
+    pattern = StencilPattern.star(ndim, 1, weights=weights,
+                                  name=f"deep-heat-{ndim}d")
+    grid = make_grid(shape, kind="random", seed=11, boundary=boundary)
+    compiled = compile_stencil(pattern, shape, boundary=boundary,
+                               search=False, r1=8, r2=8)
+    single = run_stencil(compiled, grid, DEEP_ITERS)
+    return compiled, grid, single.output
+
+
+@pytest.mark.parametrize("boundary", ["dirichlet", "periodic", "reflect"])
+@pytest.mark.parametrize("depth", [1, 2, 3])
+@pytest.mark.parametrize("shards", [1, 2, 4])
+@pytest.mark.parametrize("ndim", [1, 2])
+class TestDeepHaloEquivalence:
+    """The communication-avoiding schedule must stay bit-identical to the
+    single-device run across every boundary condition, shard grid and
+    halo depth — redundant ghost compute included."""
+
+    def test_bit_identical_across_depths(self, ndim, shards, depth, boundary):
+        compiled, grid, expected = _deep_case(ndim, boundary)
+        executor = ShardedExecutor(shards,
+                                   shard_grid=DEEP_SHARDS[ndim][shards],
+                                   cache=_DEEP_CACHE, halo_depth=depth)
+        result = executor.execute(compiled, grid, DEEP_ITERS)
+        if shards > 1:
+            # the geometry is sized so the requested depth is feasible
+            assert result.halo_depth == depth
+            expected_exchanges = -(-DEEP_ITERS // depth) - 1
+            assert result.halo_exchange_count == expected_exchanges
+        assert np.array_equal(result.output, expected)
+
+
+class TestDeepHaloAccounting:
+    def _run(self, compiled, grid, **kwargs):
+        return ShardedExecutor(4, cache=_DEEP_CACHE, **kwargs).execute(
+            compiled, grid, DEEP_ITERS)
+
+    def test_deeper_halos_exchange_less(self):
+        compiled, grid, _ = _deep_case(2, "dirichlet")
+        shallow = self._run(compiled, grid, halo_depth=1)
+        deep = self._run(compiled, grid, halo_depth=3)
+        assert shallow.halo_exchange_count == DEEP_ITERS - 1
+        assert deep.halo_exchange_count < shallow.halo_exchange_count
+        assert deep.halo_exchange_seconds < shallow.halo_exchange_seconds
+        # fewer exchanges trade against redundant ghost compute
+        assert shallow.redundant_points_updated == 0.0
+        assert deep.redundant_points_updated > 0.0
+        assert 0.0 < deep.redundant_compute_fraction < 1.0
+
+    def test_overlap_hides_exchange_time(self):
+        compiled, grid, expected = _deep_case(2, "dirichlet")
+        hidden = self._run(compiled, grid, halo_depth=2, overlap=True)
+        serial = self._run(compiled, grid, halo_depth=2, overlap=False)
+        # overlap is a timing model, never a numerics change
+        assert np.array_equal(hidden.output, serial.output)
+        assert np.array_equal(hidden.output, expected)
+        assert hidden.halo_exchange_seconds == serial.halo_exchange_seconds
+        assert hidden.halo_exposed_seconds <= serial.halo_exposed_seconds
+        assert hidden.elapsed_seconds <= serial.elapsed_seconds
+        # without overlap every exchange second is exposed wall time
+        assert serial.halo_exposed_seconds == pytest.approx(
+            serial.halo_exchange_seconds)
+        assert serial.halo_traffic_fraction == pytest.approx(
+            serial.halo_exposed_seconds / serial.elapsed_seconds)
+
+    def test_halo_bytes_fraction_separates_byte_view(self):
+        compiled, grid, _ = _deep_case(2, "dirichlet")
+        result = self._run(compiled, grid, halo_depth=2)
+        assert 0.0 < result.halo_bytes_fraction < 1.0
+        assert result.device_traffic_bytes > result.halo_exchange_bytes
+
+    def test_infeasible_depth_clamps_to_geometry(self, heat2d):
+        compiled = compile_stencil(heat2d, (34, 34), search=False, r1=8, r2=8)
+        grid = make_grid((34, 34), seed=3)
+        result = ShardedExecutor(4, shard_grid=(2, 2),
+                                 halo_depth=5).execute(compiled, grid, 4)
+        # 16-cell chunks hold at most radius + 1*step = 9 ghost cells
+        assert result.halo_depth == 2
+        assert np.array_equal(result.output,
+                              run_stencil(compiled, grid, 4).output)
+
+
+class TestRoundModels:
+    def test_model_schedule_matches_executor_wall_clock(self):
+        from repro.engine.sharded import window_plan_seconds
+        from repro.stencils.partition import GridPartition
+
+        compiled, grid, _ = _deep_case(2, "dirichlet")
+        spec = MultiDeviceSpec(device=compiled.spec, device_count=4)
+        for depth in (1, 2, 3):
+            for overlap in (True, False):
+                executor = ShardedExecutor(spec, shard_grid=(2, 2),
+                                           cache=_DEEP_CACHE,
+                                           halo_depth=depth, overlap=overlap)
+                partition = executor.partition(compiled)
+                seconds = window_plan_seconds(compiled, spec, partition,
+                                              cache=_DEEP_CACHE)
+                model = model_schedule(partition, spec,
+                                       compiled.plan.dtype.itemsize,
+                                       DEEP_ITERS,
+                                       compiled.plan.estimate.t_total,
+                                       overlap=overlap,
+                                       window_seconds=seconds)
+                result = executor.execute(compiled, grid, DEEP_ITERS)
+                assert model.round_seconds == pytest.approx(
+                    result.elapsed_seconds, rel=1e-9)
+                assert model.exposed_seconds == pytest.approx(
+                    result.halo_exposed_seconds, rel=1e-9, abs=1e-18)
+                assert model.redundant_fraction * result.points_updated == \
+                    pytest.approx(result.redundant_points_updated)
+
+    def test_model_round_single_shard_is_pure_compute(self, heat2d):
+        from repro.stencils.partition import GridPartition
+
+        compiled = compile_stencil(heat2d, (66, 66), search=False,
+                                   r1=8, r2=8)
+        partition = GridPartition.build((66, 66), 1, (1, 1), align=(8, 8))
+        model = model_round(partition, multi_a100(1), 2, 1e-6)
+        assert model.per_sweep_seconds == 1e-6
+        assert model.halo_seconds == 0.0
+        assert model.halo_fraction == 0.0
+
+
+class TestDeepHaloTradeoff:
+    def test_points_cover_contiguous_depths(self):
+        compiled, _, _ = _deep_case(2, "dirichlet")
+        trade = deep_halo_tradeoff(compiled, 4, shard_grid=(2, 2),
+                                   max_depth=3, cache=_DEEP_CACHE)
+        assert [p.halo_depth for p in trade.points] == [1, 2, 3]
+        assert trade.devices == 4
+        assert trade.shard_grid == (2, 2)
+        assert trade.predicted_depth in (1, 2, 3)
+        rows = trade.as_rows()
+        assert rows[0]["halo_depth"] == 1
+        assert all(p.redundant_fraction == 0.0 for p in trade.points[:1])
+        assert all(p.redundant_fraction > 0.0 for p in trade.points[1:])
+
+    def test_max_depth_clamped_to_geometry(self, heat2d):
+        compiled = compile_stencil(heat2d, (34, 34), search=False, r1=8, r2=8)
+        trade = deep_halo_tradeoff(compiled, 4, shard_grid=(2, 2),
+                                   max_depth=6, window_estimates=False)
+        assert [p.halo_depth for p in trade.points] == [1, 2]
+
+    def test_finite_schedule_predicts_measured_optimum(self):
+        """The crossover assert the benchmark relies on: with finite-horizon
+        window-exact pricing, the predicted depth IS the measured argmin."""
+        compiled, grid, _ = _deep_case(2, "dirichlet")
+        spec = MultiDeviceSpec(device=compiled.spec, device_count=4,
+                               interconnect_bandwidth_gbs=600.0,
+                               link_latency_seconds=2e-7)
+        trade = deep_halo_tradeoff(compiled, spec, shard_grid=(2, 2),
+                                   max_depth=3, overlap=False,
+                                   cache=_DEEP_CACHE, iterations=DEEP_ITERS)
+        measured = {}
+        for point in trade.points:
+            result = ShardedExecutor(spec, shard_grid=(2, 2),
+                                     cache=_DEEP_CACHE,
+                                     halo_depth=point.halo_depth,
+                                     overlap=False).execute(
+                compiled, grid, DEEP_ITERS)
+            measured[point.halo_depth] = result.elapsed_seconds
+            assert point.per_sweep_seconds * DEEP_ITERS == pytest.approx(
+                result.elapsed_seconds, rel=1e-9)
+        best = min(measured, key=measured.get)
+        assert trade.predicted_depth == best
+
+
 class TestSolveSharded:
     def test_matches_direct_pipeline(self, heat2d):
         grid = make_grid((96, 96), seed=9)
@@ -184,6 +374,24 @@ class TestScalingAnalysis:
             assert point.efficiency == pytest.approx(point.speedup / point.devices)
         rows = report.as_rows()
         assert rows[1]["devices"] == 2
+
+    def test_envelope_fields_in_rows(self, heat2d):
+        grid = make_grid((130, 130), seed=5)
+        report = sharded_scaling(heat2d, grid, 4, device_counts=(1, 4),
+                                 halo_depth=2, overlap=False,
+                                 shard_grids=((1, 1), (2, 2)))
+        row = report.as_rows()[1]
+        for key in ("halo_depth", "overlap", "halo_exchange_count",
+                    "halo_exchange_bytes", "halo_exposed_seconds",
+                    "halo_bytes_fraction", "redundant_compute_fraction"):
+            assert key in row
+        assert row["halo_depth"] == 2
+        assert row["overlap"] is False
+        assert row["halo_exchange_count"] == 1
+        assert row["redundant_compute_fraction"] > 0.0
+        baseline = report.as_rows()[0]
+        assert baseline["halo_exchange_count"] == 0
+        assert baseline["halo_bytes_fraction"] == 0.0
 
     def test_per_shard_utilization_rows(self, heat2d):
         grid = make_grid((96, 96), seed=5)
