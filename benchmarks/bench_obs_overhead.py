@@ -1,0 +1,157 @@
+"""Observability overhead — tracing must be free when off.
+
+Three timings of the same hot, fully cached single-device solve:
+
+* *bypassed* — the ambient instrumentation monkeypatched out of every
+  module that carries it: the true uninstrumented baseline;
+* *disabled* — the shipped default (no tracer on the session): every
+  instrumented call site pays one context-variable read and finds no
+  active span;
+* *enabled* — a live :class:`repro.Tracer` recording the full span tree.
+
+The contract enforced here: the disabled path costs at most 5% over the
+bypassed baseline.  The enabled/disabled ratio is *reported* (it buys the
+whole span tree, so it is allowed to cost) and persisted through the usual
+benchmark envelope.
+
+Regenerate with::
+
+    pytest benchmarks/bench_obs_overhead.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import time
+
+import repro.engine.single as engine_single
+import repro.engine.sharded as engine_sharded
+import repro.service.batch as service_batch
+import repro.service.cache as service_cache
+from benchmarks.conftest import save_results
+from repro import Problem, SessionConfig, StencilPattern, StencilSession, Tracer
+from repro.obs.trace import _NOOP_CONTEXT, Tracer as _Tracer
+from repro.stencils import make_grid
+
+ROUNDS = 40
+GRID_SHAPE = (128, 128)
+ITERATIONS = 2
+#: Disabled-tracing overhead budget over the uninstrumented baseline.
+MAX_DISABLED_OVERHEAD = 1.05
+
+
+def _heat2d() -> StencilPattern:
+    return StencilPattern.star(2, 1, weights=[0.6, 0.1, 0.1, 0.1, 0.1],
+                               name="heat-2d")
+
+
+def _hot_session(tracer: Tracer | None = None) -> tuple:
+    """A session plus a problem whose plan is already resident in cache."""
+    session = StencilSession(SessionConfig(devices=1, tracer=tracer))
+    problem = Problem(_heat2d(), make_grid(GRID_SHAPE, seed=11), ITERATIONS)
+    session.solve(problem, mode="single")  # warm the compile cache
+    return session, problem
+
+
+def _time_solves(session, problem, rounds: int = ROUNDS) -> float:
+    """Best-of-N wall time of one hot cached solve (min rejects noise)."""
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        session.solve(problem, mode="single")
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _time_interleaved(session, problem, monkeypatch,
+                      rounds: int = ROUNDS) -> tuple:
+    """Best-of-N for the bypassed and disabled paths, *interleaved* round by
+    round so clock drift, cache state and CPU frequency hit both equally —
+    a phase-ordered comparison would attribute machine drift to tracing."""
+    best_bypassed = float("inf")
+    best_disabled = float("inf")
+    for _ in range(rounds):
+        with monkeypatch.context() as patched:
+            _bypass_instrumentation(patched)
+            start = time.perf_counter()
+            session.solve(problem, mode="single")
+            best_bypassed = min(best_bypassed,
+                                time.perf_counter() - start)
+        start = time.perf_counter()
+        session.solve(problem, mode="single")
+        best_disabled = min(best_disabled, time.perf_counter() - start)
+    return best_bypassed, best_disabled
+
+
+def _bypass_instrumentation(monkeypatch) -> None:
+    """Patch the ambient hooks out of every instrumented module, yielding
+    the code path as it was before the observability layer existed."""
+    noop_span = lambda *a, **k: _NOOP_CONTEXT  # noqa: E731
+    no_current = lambda: None  # noqa: E731
+    monkeypatch.setattr(service_cache, "obs_span", noop_span)
+    monkeypatch.setattr(service_batch, "obs_span", noop_span)
+    monkeypatch.setattr(service_batch, "current_span", no_current)
+    monkeypatch.setattr(engine_single, "current_span", no_current)
+    monkeypatch.setattr(engine_sharded, "current_span", no_current)
+
+
+def test_disabled_tracing_overhead(benchmark, monkeypatch, results_dir):
+    session, problem = _hot_session()
+
+    # bypassed (ambient hooks monkeypatched away) vs disabled (the shipped
+    # default: instrumentation present, no tracer) — interleaved
+    bypassed, disabled = _time_interleaved(session, problem, monkeypatch)
+
+    # keep the harness timing the real disabled path too
+    benchmark.pedantic(session.solve, args=(problem,),
+                       kwargs={"mode": "single"}, rounds=10, iterations=1)
+    disabled = min(disabled, min(benchmark.stats.stats.data))
+
+    # full tracing: every solve records its span tree
+    traced_session, traced_problem = _hot_session(tracer=Tracer())
+    enabled = _time_solves(traced_session, traced_problem)
+
+    disabled_ratio = disabled / bypassed if bypassed > 0 else float("inf")
+    enabled_ratio = enabled / disabled if disabled > 0 else float("inf")
+    print(f"\nhot cached solve {GRID_SHAPE} x{ITERATIONS}: "
+          f"bypassed {bypassed * 1e3:.3f} ms, "
+          f"disabled {disabled * 1e3:.3f} ms "
+          f"({disabled_ratio:.3f}x), "
+          f"enabled {enabled * 1e3:.3f} ms "
+          f"({enabled_ratio:.3f}x over disabled)")
+
+    assert disabled_ratio <= MAX_DISABLED_OVERHEAD, (
+        f"disabled tracing costs {disabled_ratio:.3f}x over the "
+        f"uninstrumented baseline (budget {MAX_DISABLED_OVERHEAD}x)")
+    # the traced run actually produced spans (it paid for something real)
+    assert traced_session.tracer.spans()
+
+    path = save_results("obs_overhead", {
+        "bypassed_seconds": bypassed,
+        "disabled_seconds": disabled,
+        "enabled_seconds": enabled,
+        "disabled_over_bypassed": disabled_ratio,
+        "enabled_over_disabled": enabled_ratio,
+    }, config={
+        "grid_shape": list(GRID_SHAPE),
+        "iterations": ITERATIONS,
+        "rounds": ROUNDS,
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "timer": "best-of-rounds",
+    })
+    print(f"saved observability-overhead rows to {path}")
+
+
+def test_null_tracer_allocates_nothing(benchmark):
+    """The no-op recorder is shared state: spans and contexts are singletons."""
+    from repro.obs.trace import NOOP_SPAN, NULL_TRACER
+
+    def disabled_span_cycle():
+        with NULL_TRACER.span("x", a=1) as span_:
+            span_.set(b=2).add_device_seconds(1.0)
+        return span_
+
+    result = benchmark.pedantic(disabled_span_cycle, rounds=50,
+                                iterations=200)
+    assert result is NOOP_SPAN
+    assert NULL_TRACER.spans() == []
+    assert _Tracer(enabled=False).span("y") is _NOOP_CONTEXT

@@ -24,7 +24,12 @@ Scientific Stencil Computations via Structured Sparsity Transformation*
 * :mod:`repro.session` — the unified front door: a :class:`StencilSession`
   that takes a typed :class:`Problem` plus a :class:`SolvePolicy`
   (``auto | single | sharded | served | baseline:<name>``) and returns a
-  uniform :class:`Solution` with provenance of which engine actually ran.
+  uniform :class:`Solution` with provenance of which engine actually ran;
+* :mod:`repro.obs` — observability: a structured :class:`Tracer` whose spans
+  follow a request end to end (queue wait, coalescing, routing, compiles,
+  per-round sweeps and halo exchanges), a process-wide
+  :class:`MetricsRegistry` unifying server/cache/device metrics, and JSONL /
+  Chrome trace-event exporters (load the latter in Perfetto).
 
 Quickstart
 ----------
@@ -132,6 +137,15 @@ from repro.session import (
     StencilSession,
     default_session,
 )
+from repro.obs import (
+    Span,
+    Tracer,
+    NULL_TRACER,
+    current_span,
+    MetricsRegistry,
+    global_registry,
+    reset_global_registry,
+)
 
 __version__ = "1.1.0"
 
@@ -207,5 +221,12 @@ __all__ = [
     "SessionConfig",
     "StencilSession",
     "default_session",
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "current_span",
+    "MetricsRegistry",
+    "global_registry",
+    "reset_global_registry",
     "__version__",
 ]

@@ -34,6 +34,12 @@ from repro.analysis.scaling import (
     sharded_scaling,
 )
 from repro.analysis.report import render_markdown_report, write_report
+from repro.analysis.tracing import (
+    SpanNode,
+    build_span_tree,
+    render_span_tree,
+    validate_spans,
+)
 
 __all__ = [
     "gstencil_per_second",
@@ -61,4 +67,8 @@ __all__ = [
     "sharded_scaling",
     "render_markdown_report",
     "write_report",
+    "SpanNode",
+    "build_span_tree",
+    "render_span_tree",
+    "validate_spans",
 ]

@@ -203,6 +203,25 @@ def _section_backend_comparison(data: dict) -> List[str]:
     return lines + [""]
 
 
+def _section_obs_overhead(data: dict) -> List[str]:
+    lines = ["## Observability — tracing overhead on a hot cached solve", ""]
+    ratio = data.get("disabled_over_bypassed")
+    enabled_ratio = data.get("enabled_over_disabled")
+    rows = [["uninstrumented baseline (hooks bypassed)",
+             _ms(data.get("bypassed_seconds"))],
+            ["tracing disabled (shipped default)",
+             _ms(data.get("disabled_seconds"))],
+            ["tracing enabled (full span tree)",
+             _ms(data.get("enabled_seconds"))],
+            ["disabled / bypassed",
+             f"{ratio:.3f}x" if isinstance(ratio, (int, float)) else "?"],
+            ["enabled / disabled",
+             f"{enabled_ratio:.3f}x"
+             if isinstance(enabled_ratio, (int, float)) else "?"]]
+    lines += _table(["quantity", "value"], rows)
+    return lines + [""]
+
+
 _SECTIONS = {
     "fig6_sota_comparison": _section_fig6,
     "fig7_breakdown": _section_fig7,
@@ -213,6 +232,7 @@ _SECTIONS = {
     "sharded_scaling": _section_sharded_scaling,
     "server_load": _section_server_load,
     "backend_comparison": _section_backend_comparison,
+    "obs_overhead": _section_obs_overhead,
 }
 
 

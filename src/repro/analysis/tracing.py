@@ -1,0 +1,187 @@
+"""Span-tree analysis: build, validate and pretty-print traces.
+
+Works on live :class:`~repro.obs.trace.Span` objects *or* on the plain
+dicts produced by :func:`repro.obs.export.read_jsonl`, so a trace can be
+inspected in-process or from a file a server wrote yesterday.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "SpanNode",
+    "build_span_tree",
+    "validate_spans",
+    "render_span_tree",
+]
+
+
+def _get(span: Any, name: str, default: Any = None) -> Any:
+    """Field access over both Span objects and span dicts."""
+    if isinstance(span, dict):
+        return span.get(name, default)
+    return getattr(span, name, default)
+
+
+def _attrs(span: Any) -> Dict[str, Any]:
+    attrs = _get(span, "attrs", {}) or {}
+    return dict(attrs)
+
+
+def _duration(span: Any) -> float:
+    end = _get(span, "end_seconds")
+    start = _get(span, "start_seconds", 0.0) or 0.0
+    if end is None:
+        duration = _get(span, "duration_seconds", 0.0)
+        if callable(duration):
+            return duration()
+        return float(duration or 0.0)
+    return max(0.0, float(end) - float(start))
+
+
+@dataclass
+class SpanNode:
+    """One span plus its children, ordered by start time."""
+
+    span: Any
+    children: List["SpanNode"] = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return _get(self.span, "name", "?")
+
+    @property
+    def duration_seconds(self) -> float:
+        return _duration(self.span)
+
+    @property
+    def device_seconds(self) -> float:
+        return float(_get(self.span, "device_seconds", 0.0) or 0.0)
+
+    def walk(self) -> Iterable["SpanNode"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+def build_span_tree(spans: Sequence[Any],
+                    trace_id: Optional[str] = None) -> List[SpanNode]:
+    """Assemble spans into parent→child trees; returns the roots.
+
+    A span whose ``parent_id`` does not resolve within the set is treated as
+    a root (so a partially exported trace still renders);
+    :func:`validate_spans` is the strict check that flags such orphans.
+    """
+    if trace_id is not None:
+        spans = [s for s in spans if _get(s, "trace_id") == trace_id]
+    nodes = {_get(s, "span_id"): SpanNode(s) for s in spans}
+    roots: List[SpanNode] = []
+    for span in spans:
+        node = nodes[_get(span, "span_id")]
+        parent_id = _get(span, "parent_id")
+        if parent_id is not None and parent_id in nodes:
+            nodes[parent_id].children.append(node)
+        else:
+            roots.append(node)
+    for node in nodes.values():
+        node.children.sort(key=lambda n: _get(n.span, "start_seconds", 0.0))
+    roots.sort(key=lambda n: _get(n.span, "start_seconds", 0.0))
+    return roots
+
+
+def validate_spans(spans: Sequence[Any]) -> List[str]:
+    """Well-formedness check; returns a list of human-readable problems.
+
+    An empty list means the trace is sound: unique span ids, every
+    ``parent_id`` resolves to a span of the *same* trace, every finished
+    span has ``end >= start``, and no span is left unfinished.
+    """
+    problems: List[str] = []
+    by_id: Dict[str, Any] = {}
+    for span in spans:
+        span_id = _get(span, "span_id")
+        if not span_id:
+            problems.append(f"span {_get(span, 'name')!r} has no span_id")
+            continue
+        if span_id in by_id:
+            problems.append(f"duplicate span_id {span_id!r}")
+        by_id[span_id] = span
+    for span in spans:
+        name = _get(span, "name")
+        span_id = _get(span, "span_id")
+        parent_id = _get(span, "parent_id")
+        if parent_id is not None:
+            parent = by_id.get(parent_id)
+            if parent is None:
+                problems.append(
+                    f"span {name!r} ({span_id}) has orphan parent "
+                    f"{parent_id!r}")
+            elif _get(parent, "trace_id") != _get(span, "trace_id"):
+                problems.append(
+                    f"span {name!r} ({span_id}) crosses traces: parent "
+                    f"{parent_id!r} belongs to another trace_id")
+        start = _get(span, "start_seconds")
+        end = _get(span, "end_seconds")
+        if end is None:
+            problems.append(f"span {name!r} ({span_id}) was never finished")
+        elif start is not None and float(end) < float(start):
+            problems.append(
+                f"span {name!r} ({span_id}) ends before it starts "
+                f"({end} < {start})")
+    return problems
+
+
+def _format_node(node: SpanNode, prefix: str, is_last: bool,
+                 lines: List[str], attr_keys: Optional[Sequence[str]]) -> None:
+    connector = "`- " if is_last else "|- "
+    wall_ms = node.duration_seconds * 1e3
+    parts = [f"{node.name}  {wall_ms:.3f}ms"]
+    if node.device_seconds:
+        parts.append(f"dev={node.device_seconds * 1e3:.3f}ms")
+    attrs = _attrs(node.span)
+    if attr_keys is None:
+        shown = attrs
+    else:
+        shown = {k: attrs[k] for k in attr_keys if k in attrs}
+    if shown:
+        rendered = ", ".join(f"{k}={v}" for k, v in shown.items())
+        parts.append(f"[{rendered}]")
+    lines.append(prefix + connector + "  ".join(parts))
+    child_prefix = prefix + ("   " if is_last else "|  ")
+    for i, child in enumerate(node.children):
+        _format_node(child, child_prefix, i == len(node.children) - 1,
+                     lines, attr_keys)
+
+
+def render_span_tree(spans: Sequence[Any], trace_id: Optional[str] = None,
+                     attr_keys: Optional[Sequence[str]] = None) -> str:
+    """ASCII tree of a trace: name, wall ms, modelled device ms, attrs.
+
+    ``attr_keys`` limits which attributes are shown (all by default)::
+
+        solve  12.847ms  [mode=auto, pattern=heat-2d]
+        |- request  12.102ms
+        |  |- queue_wait  0.513ms
+        |  |- coalesce  2.004ms  [batch_size=3]
+        |  `- execute  9.344ms  dev=1.204ms
+        `- export  0.281ms
+    """
+    lines: List[str] = []
+    for root in build_span_tree(spans, trace_id=trace_id):
+        wall_ms = root.duration_seconds * 1e3
+        header = [f"{root.name}  {wall_ms:.3f}ms"]
+        if root.device_seconds:
+            header.append(f"dev={root.device_seconds * 1e3:.3f}ms")
+        attrs = _attrs(root.span)
+        if attr_keys is not None:
+            attrs = {k: attrs[k] for k in attr_keys if k in attrs}
+        if attrs:
+            header.append(
+                "[" + ", ".join(f"{k}={v}" for k, v in attrs.items()) + "]")
+        lines.append("  ".join(header))
+        for i, child in enumerate(root.children):
+            _format_node(child, "", i == len(root.children) - 1, lines,
+                         attr_keys)
+    return "\n".join(lines)

@@ -54,6 +54,7 @@ from repro.engine.base import (
     summarize_launches,
     throughput_metrics,
 )
+from repro.obs.trace import current_span
 from repro.stencils.boundary import apply_boundary
 from repro.stencils.grid import Grid
 from repro.stencils.partition import GridPartition
@@ -600,9 +601,18 @@ class ShardedExecutor:
         partition = self.partition(compiled)
         depth = partition.halo_depth
         radius = partition.radius
+        # One ambient-context check up front: round/exchange/sweep spans are
+        # recorded on this (round-loop) thread, which carries the trace
+        # context — the shard pool threads never need it.
+        trace = current_span()
+        tracer = trace.tracer if trace is not None else None
         compile_start = time.perf_counter()
         phases = self._shard_phases(compiled, spec, partition)
         shard_compile_seconds = time.perf_counter() - compile_start
+        if tracer is not None:
+            tracer.record("shard_compile", compile_start,
+                          compile_start + shard_compile_seconds, parent=trace,
+                          shards=partition.n_shards, halo_depth=depth)
 
         itemsize = compiled.plan.dtype.itemsize
         recv_messages = partition.messages_per_shard()
@@ -652,9 +662,16 @@ class ShardedExecutor:
         try:
             sweep = 0
             first_round = True
+            round_index = 0
             while sweep < sweeps:
                 span = min(depth, sweeps - sweep)
                 after_exchange = False
+                round_span = None
+                round_wall_before = wall
+                if tracer is not None:
+                    round_span = tracer.begin("round", parent=trace,
+                                              round=round_index,
+                                              sweeps_in_round=span)
                 if not first_round:
                     # one exchange validates the whole round; nothing reads
                     # halos after the final sweep, so the last round's
@@ -662,12 +679,20 @@ class ShardedExecutor:
                     # shard still refreshes its local faces (reflect
                     # mirrors, periodic self-wraps) but crosses no link, so
                     # nothing is counted
+                    exchange_start = time.perf_counter()
                     exchanged = partition.exchange_halos(locals_)
                     if partition.n_shards > 1:
                         halo_bytes += exchanged * itemsize
                         halo_seconds += halo_seconds_per_exchange
                         exchange_count += 1
                         after_exchange = True
+                        if tracer is not None:
+                            tracer.record(
+                                "halo_exchange", exchange_start,
+                                time.perf_counter(), parent=round_span,
+                                device_seconds=halo_seconds_per_exchange,
+                                bytes=exchanged * itemsize,
+                                overlap=self.overlap)
                 for j in range(span):
                     mult = span - 1 - j
                     if j > 0:
@@ -675,7 +700,9 @@ class ShardedExecutor:
                         # round, but reflect mirrors and periodic self-wraps
                         # are refreshed every sweep, like apply_boundary
                         partition.refresh_local_boundaries(locals_)
+                    sweep_start = time.perf_counter()
                     results = sweep_all(mult)
+                    sweep_end = time.perf_counter()
                     for launches, result in zip(shard_launches, results):
                         launches.append(result)
                     elapsed = [r.elapsed_seconds for r in results]
@@ -685,6 +712,11 @@ class ShardedExecutor:
                     redundant_cells += sum(
                         p[mult].out_cells - owned
                         for p, owned in zip(phases, owned_cells))
+                    if tracer is not None:
+                        tracer.record("sweep", sweep_start, sweep_end,
+                                      parent=round_span,
+                                      device_seconds=max(elapsed),
+                                      sweep=sweep + j, window_mult=mult)
                     if after_exchange and self.overlap:
                         # the exchange rides under the interior phase of the
                         # first sweep it validates; only the overflow (and
@@ -700,15 +732,34 @@ class ShardedExecutor:
                                 max(interior_sec, shard_halo_seconds[i])
                                 + (seconds - interior_sec))
                         wall += step_wall
-                        exposed_seconds += step_wall - max(elapsed)
+                        exposure = step_wall - max(elapsed)
+                        exposed_seconds += exposure
+                        if tracer is not None:
+                            # modelled quantity, not a measured interval —
+                            # zero host wall, the exposed time rides in
+                            # device_seconds
+                            tracer.record("overlap_exposed", sweep_end,
+                                          sweep_end, parent=round_span,
+                                          device_seconds=exposure,
+                                          sweep=sweep + j, overlap=True)
                     elif after_exchange:
                         wall += max(elapsed) + halo_seconds_per_exchange
                         exposed_seconds += halo_seconds_per_exchange
+                        if tracer is not None:
+                            tracer.record("overlap_exposed", sweep_end,
+                                          sweep_end, parent=round_span,
+                                          device_seconds=(
+                                              halo_seconds_per_exchange),
+                                          sweep=sweep + j, overlap=False)
                     else:
                         wall += max(elapsed)
                     after_exchange = False
                 sweep += span
                 first_round = False
+                round_index += 1
+                if tracer is not None and round_span is not None:
+                    round_span.add_device_seconds(wall - round_wall_before)
+                    tracer.end(round_span)
         finally:
             if pool is not None:
                 pool.shutdown()

@@ -15,6 +15,7 @@ plus two fixes the step structure makes natural:
 from __future__ import annotations
 
 import threading
+import time
 from typing import List, Optional
 
 from repro.core.fusion import fused_iterations
@@ -30,6 +31,7 @@ from repro.engine.base import (
     summarize_launches,
     throughput_metrics,
 )
+from repro.obs.trace import current_span
 from repro.stencils.boundary import apply_boundary
 from repro.stencils.grid import Grid
 from repro.tcu.executor import LaunchResult
@@ -115,6 +117,21 @@ class SingleDeviceExecutor:
         current = grid.data.copy()
         launches: List[LaunchResult] = []
 
+        # One ambient-context check up front: with no trace active the sweep
+        # loops run exactly as before (a single None comparison per sweep).
+        trace = current_span()
+        tracer = trace.tracer if trace is not None else None
+
+        def timed_sweep(context, phase: str, index: int) -> LaunchResult:
+            if tracer is None:
+                return run_sweep(context, current)
+            start = time.perf_counter()
+            launch = run_sweep(context, current)
+            tracer.record("sweep", start, time.perf_counter(), parent=trace,
+                          device_seconds=launch.elapsed_seconds,
+                          phase=phase, sweep=index)
+            return launch
+
         # The halo ring follows the boundary condition around every sweep
         # (a no-op under Dirichlet — under periodic / reflect the halo is
         # derived state, not data).  Each phase fills at its own plan's
@@ -125,15 +142,15 @@ class SingleDeviceExecutor:
         if fused_sweeps:
             context = prepare_sweep(compiled, self.spec)
             apply_boundary(current, context.radius, boundary)
-            for _ in range(fused_sweeps):
-                launches.append(run_sweep(context, current))
+            for index in range(fused_sweeps):
+                launches.append(timed_sweep(context, "fused", index))
                 apply_boundary(current, context.radius, boundary)
         if leftover:
             context = prepare_sweep(leftover_plan(compiled, self.cache),
                                     self.spec)
             apply_boundary(current, context.radius, boundary)
-            for _ in range(leftover):
-                launches.append(run_sweep(context, current))
+            for index in range(leftover):
+                launches.append(timed_sweep(context, "leftover", index))
                 apply_boundary(current, context.radius, boundary)
 
         totals = summarize_launches(launches)

@@ -1,0 +1,135 @@
+"""Span exporters: JSONL (one span dict per line) and the Chrome trace-event
+JSON format loadable in Perfetto / ``chrome://tracing``.
+
+Chrome events use the *complete* phase (``"ph": "X"``) with microsecond
+``ts``/``dur`` relative to the tracer epoch.  Thread names are mapped to
+stable integer ``tid``\\s and announced through ``"M"`` (metadata) events, so
+the timeline groups spans by the thread that produced them — queue waits on
+the submitting thread, sweeps on the dispatch worker.  Span identity
+(``trace_id``/``span_id``/``parent_id``), attributes and the modelled device
+seconds travel in ``args``, which Perfetto shows in the selection panel.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+]
+
+PathLike = Union[str, Path]
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce attr values to something ``json.dump`` accepts verbatim."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    return repr(value)
+
+
+def chrome_trace_events(spans: Iterable["Span"],
+                        tracer: Optional["Tracer"] = None) -> Dict[str, Any]:
+    """Build the Chrome trace-event JSON object for ``spans``.
+
+    Returns the ``{"traceEvents": [...]}`` object form (not the bare array)
+    so extra top-level keys — time unit, tracer epoch — survive the round
+    trip through Perfetto.
+    """
+    spans = list(spans)
+    pid = tracer.pid if tracer is not None else 1
+    events: List[Dict[str, Any]] = [{
+        "name": "process_name",
+        "ph": "M",
+        "pid": pid,
+        "tid": 0,
+        "args": {"name": "repro"},
+    }]
+    tids: Dict[str, int] = {}
+    for span in spans:
+        if span.thread not in tids:
+            tids[span.thread] = len(tids) + 1
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tids[span.thread],
+                "args": {"name": span.thread},
+            })
+    for span in spans:
+        end = span.end_seconds if span.end_seconds is not None \
+            else span.start_seconds
+        args: Dict[str, Any] = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+        }
+        if span.device_seconds:
+            args["device_seconds"] = span.device_seconds
+        for key, value in span.attrs.items():
+            args[key] = _json_safe(value)
+        events.append({
+            "name": span.name,
+            "cat": span.name.split(".", 1)[0],
+            "ph": "X",
+            "ts": span.start_seconds * 1e6,
+            "dur": max(0.0, end - span.start_seconds) * 1e6,
+            "pid": pid,
+            "tid": tids[span.thread],
+            "args": args,
+        })
+    payload: Dict[str, Any] = {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+    }
+    if tracer is not None:
+        payload["otherData"] = {
+            "epoch_unix_seconds": tracer.epoch_unix,
+            "dropped_spans": tracer.dropped,
+        }
+    return payload
+
+
+def write_chrome_trace(path: PathLike, spans: Iterable["Span"],
+                       tracer: Optional["Tracer"] = None) -> Path:
+    """Write ``spans`` as a Chrome trace-event JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(chrome_trace_events(spans, tracer=tracer), handle)
+    return path
+
+
+def write_jsonl(path: PathLike, spans: Iterable["Span"]) -> Path:
+    """Write one ``Span.as_dict()`` JSON object per line; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        for span in spans:
+            record = span.as_dict()
+            record["attrs"] = _json_safe(record["attrs"])
+            handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_jsonl(path: PathLike) -> List[Dict[str, Any]]:
+    """Load a JSONL span file back into a list of span dicts."""
+    records: List[Dict[str, Any]] = []
+    with Path(path).open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

@@ -1,0 +1,401 @@
+"""Structured tracing: spans, a context-propagating :class:`Tracer`, and a
+zero-overhead no-op path when tracing is disabled.
+
+A *span* is one named interval of work with a ``trace_id`` (the request it
+belongs to), a ``span_id``, an optional ``parent_id``, free-form attributes,
+host wall start/end times and — because the execution backend is a simulated
+accelerator — the *modelled device seconds* billed inside the interval.  The
+two clocks are deliberately separate: host wall time measures what this
+process spent (compiles, queue waits, Python overhead) while device seconds
+are what the roofline model says the hardware would spend.
+
+Context propagation uses a :class:`contextvars.ContextVar`, so ``async`` code
+and plain nested ``with`` blocks both inherit the correct parent.  Thread
+pools do **not** inherit context automatically; code that hops threads (the
+server's dispatch worker) re-binds the request span explicitly with
+:meth:`Tracer.activate`.
+
+Two entry points create spans:
+
+* ``tracer.span("name", **attrs)`` — explicit handle, used by the layers that
+  own a tracer (session, server).
+* ``repro.obs.trace.span("name", **attrs)`` — *ambient* helper for deep
+  layers (compile cache, engines) that should join whatever trace is active
+  without threading a tracer through their signatures.  When no trace is
+  active it returns a shared no-op context manager and costs one
+  ``ContextVar.get`` plus one attribute check.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+import uuid
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NULL_TRACER",
+    "current_span",
+    "span",
+]
+
+_span_counter = itertools.count(1)
+
+
+def _new_trace_id() -> str:
+    return uuid.uuid4().hex
+
+
+def _new_span_id() -> str:
+    return f"{next(_span_counter):x}-{uuid.uuid4().hex[:8]}"
+
+
+class Span:
+    """One named interval of work inside a trace.
+
+    ``start_seconds``/``end_seconds`` are relative to the owning tracer's
+    epoch (a ``perf_counter`` captured at tracer construction), which keeps
+    them monotonic, subtraction-safe and small.  ``device_seconds``
+    accumulates the modelled accelerator time billed inside the span.
+    """
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "attrs",
+        "start_seconds",
+        "end_seconds",
+        "device_seconds",
+        "thread",
+        "_tracer",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        start_seconds: float,
+        tracer: "Optional[Tracer]" = None,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.start_seconds = start_seconds
+        self.end_seconds: Optional[float] = None
+        self.device_seconds = 0.0
+        self.attrs: Dict[str, Any] = dict(attrs) if attrs else {}
+        self.thread = threading.current_thread().name
+        self._tracer = tracer
+
+    # -- mutation -----------------------------------------------------------
+
+    def set(self, **attrs: Any) -> "Span":
+        """Attach/overwrite attributes on an open (or finished) span."""
+        self.attrs.update(attrs)
+        return self
+
+    def add_device_seconds(self, seconds: float) -> "Span":
+        self.device_seconds += float(seconds)
+        return self
+
+    # -- views --------------------------------------------------------------
+
+    @property
+    def tracer(self) -> "Optional[Tracer]":
+        return self._tracer
+
+    @property
+    def finished(self) -> bool:
+        return self.end_seconds is not None
+
+    def duration_seconds(self) -> float:
+        if self.end_seconds is None:
+            return 0.0
+        return max(0.0, self.end_seconds - self.start_seconds)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_seconds": self.start_seconds,
+            "end_seconds": self.end_seconds,
+            "duration_seconds": self.duration_seconds(),
+            "device_seconds": self.device_seconds,
+            "thread": self.thread,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, trace={self.trace_id[:8]}, "
+                f"span={self.span_id}, parent={self.parent_id}, "
+                f"dur={self.duration_seconds() * 1e3:.3f}ms)")
+
+
+class _NoopSpan:
+    """Inert stand-in returned wherever tracing is disabled.
+
+    Supports the full mutation surface of :class:`Span` as no-ops so call
+    sites never branch on whether tracing is on.
+    """
+
+    __slots__ = ()
+
+    trace_id = ""
+    span_id = ""
+    parent_id = None
+    name = ""
+    device_seconds = 0.0
+    start_seconds = 0.0
+    end_seconds = 0.0
+    finished = True
+    attrs: Dict[str, Any] = {}
+
+    def set(self, **attrs: Any) -> "_NoopSpan":
+        return self
+
+    def add_device_seconds(self, seconds: float) -> "_NoopSpan":
+        return self
+
+    def duration_seconds(self) -> float:
+        return 0.0
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _NoopSpanContext:
+    """Shared, allocation-free context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NoopSpan:
+        return NOOP_SPAN
+
+    def __exit__(self, *exc: Any) -> bool:
+        return False
+
+
+_NOOP_CONTEXT = _NoopSpanContext()
+
+#: The active span for the current thread/context.  ``None`` means "no trace
+#: in flight here" and is the fast path everywhere.
+_ACTIVE: ContextVar[Optional[Span]] = ContextVar("repro_obs_active_span",
+                                                default=None)
+
+
+def current_span() -> Optional[Span]:
+    """The span active in the calling context, or ``None``."""
+    return _ACTIVE.get()
+
+
+def span(name: str, **attrs: Any):
+    """Ambient span helper: open a child of the active span, if any.
+
+    Deep layers (compile cache, engines) call this instead of carrying a
+    tracer.  With no active trace — the common, untraced case — it returns a
+    shared no-op context manager without allocating.
+    """
+    parent = _ACTIVE.get()
+    if parent is None:
+        return _NOOP_CONTEXT
+    tracer = parent.tracer
+    if tracer is None or not tracer.enabled:
+        return _NOOP_CONTEXT
+    return tracer.span(name, parent=parent, **attrs)
+
+
+class Tracer:
+    """Collects finished spans for later export.
+
+    One tracer usually serves one :class:`~repro.session.StencilSession`
+    (plus the server it spawns).  The instance is thread-safe: spans may be
+    begun/finished from any thread; the finished-span buffer is guarded by a
+    lock and bounded by ``max_spans`` (oldest spans are dropped and counted
+    in :attr:`dropped` once the buffer is full — a tracing buffer must never
+    become the memory leak it was meant to find).
+
+    ``enabled=False`` (or :data:`NULL_TRACER`) turns every call into a
+    constant-time no-op that allocates nothing.
+    """
+
+    def __init__(self, *, enabled: bool = True, max_spans: int = 100_000) -> None:
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be positive, got {max_spans}")
+        self.enabled = bool(enabled)
+        self.max_spans = int(max_spans)
+        self.dropped = 0
+        self._lock = threading.Lock()
+        self._finished: List[Span] = []
+        # Pair the perf_counter epoch with a unix timestamp so exporters can
+        # place relative span times on an absolute clock.
+        self.epoch_perf = time.perf_counter()
+        self.epoch_unix = time.time()
+        self.pid = os.getpid()
+
+    # -- clock --------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds since this tracer's epoch (monotonic)."""
+        return time.perf_counter() - self.epoch_perf
+
+    def to_epoch(self, perf_counter_value: float) -> float:
+        """Convert a raw ``time.perf_counter()`` reading to epoch-relative."""
+        return perf_counter_value - self.epoch_perf
+
+    # -- span lifecycle -----------------------------------------------------
+
+    def begin(self, name: str, *, parent: Optional[Span] = None,
+              trace_id: Optional[str] = None, **attrs: Any) -> Span:
+        """Open a span without activating it (explicit handle management).
+
+        ``parent`` defaults to the ambient active span; pass ``trace_id`` to
+        force a fresh root into an existing trace (used when adopting server
+        requests whose submitting context carried no span).
+        """
+        if not self.enabled:
+            return NOOP_SPAN  # type: ignore[return-value]
+        if parent is None:
+            parent = _ACTIVE.get()
+            if parent is not None and parent.tracer is not self:
+                parent = None  # never parent across tracers
+        if parent is not None and isinstance(parent, _NoopSpan):
+            parent = None
+        tid = trace_id or (parent.trace_id if parent is not None
+                           else _new_trace_id())
+        return Span(
+            name,
+            trace_id=tid,
+            span_id=_new_span_id(),
+            parent_id=parent.span_id if parent is not None else None,
+            start_seconds=self.now(),
+            tracer=self,
+            attrs=attrs,
+        )
+
+    def end(self, span_: Span) -> Span:
+        """Finish a span begun with :meth:`begin` and buffer it.
+
+        Idempotent: a span that already finished (and was buffered) is left
+        untouched, so racing resolution paths (e.g. a server request settled
+        once with a result and once with a late error) cannot duplicate it.
+        """
+        if not self.enabled or isinstance(span_, _NoopSpan):
+            return span_
+        if span_.end_seconds is not None:
+            return span_
+        span_.end_seconds = self.now()
+        self._append(span_)
+        return span_
+
+    @contextmanager
+    def _span_context(self, span_: Span) -> Iterator[Span]:
+        token = _ACTIVE.set(span_)
+        try:
+            yield span_
+        finally:
+            _ACTIVE.reset(token)
+            self.end(span_)
+
+    def span(self, name: str, *, parent: Optional[Span] = None, **attrs: Any):
+        """``with tracer.span("compile", fingerprint=fp) as sp:`` — open a
+        span, activate it for the duration of the block, finish it on exit."""
+        if not self.enabled:
+            return _NOOP_CONTEXT
+        return self._span_context(self.begin(name, parent=parent, **attrs))
+
+    @contextmanager
+    def _activate_context(self, span_: Span) -> Iterator[Span]:
+        token = _ACTIVE.set(span_)
+        try:
+            yield span_
+        finally:
+            _ACTIVE.reset(token)
+
+    def activate(self, span_: Optional[Span]):
+        """Bind an *already-open* span as the active context without ending
+        it on exit.  Used when a request span crosses threads (server
+        dispatch workers re-bind the span the submitter opened)."""
+        if not self.enabled or span_ is None or isinstance(span_, _NoopSpan):
+            return _NOOP_CONTEXT
+        return self._activate_context(span_)
+
+    def record(self, name: str, start: float, end: float, *,
+               parent: Optional[Span] = None, device_seconds: float = 0.0,
+               **attrs: Any) -> Span:
+        """Retroactively record an interval measured with raw
+        ``time.perf_counter()`` readings (queue waits, sweep launches).
+
+        ``start``/``end`` are absolute ``perf_counter`` values; they are
+        rebased onto the tracer epoch.
+        """
+        if not self.enabled:
+            return NOOP_SPAN  # type: ignore[return-value]
+        span_ = self.begin(name, parent=parent, **attrs)
+        span_.start_seconds = self.to_epoch(start)
+        span_.end_seconds = self.to_epoch(max(start, end))
+        span_.device_seconds = float(device_seconds)
+        self._append(span_)
+        return span_
+
+    # -- buffer -------------------------------------------------------------
+
+    def _append(self, span_: Span) -> None:
+        with self._lock:
+            if len(self._finished) >= self.max_spans:
+                overflow = len(self._finished) - self.max_spans + 1
+                del self._finished[:overflow]
+                self.dropped += overflow
+            self._finished.append(span_)
+
+    def spans(self, trace_id: Optional[str] = None) -> List[Span]:
+        """Finished spans, oldest first; optionally filtered to one trace."""
+        with self._lock:
+            snapshot = list(self._finished)
+        if trace_id is None:
+            return snapshot
+        return [s for s in snapshot if s.trace_id == trace_id]
+
+    def trace_ids(self) -> List[str]:
+        """Distinct trace ids in buffer order of first appearance."""
+        seen: Dict[str, None] = {}
+        for s in self.spans():
+            seen.setdefault(s.trace_id, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._finished.clear()
+            self.dropped = 0
+
+    # -- convenience export hooks ------------------------------------------
+
+    def export_jsonl(self, path, trace_id: Optional[str] = None):
+        from repro.obs.export import write_jsonl
+        return write_jsonl(path, self.spans(trace_id))
+
+    def export_chrome(self, path, trace_id: Optional[str] = None):
+        from repro.obs.export import write_chrome_trace
+        return write_chrome_trace(path, self.spans(trace_id), tracer=self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({state}, spans={len(self._finished)})"
+
+
+#: Shared disabled tracer — the default everywhere tracing is optional.
+NULL_TRACER = Tracer(enabled=False)

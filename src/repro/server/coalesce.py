@@ -27,10 +27,18 @@ __all__ = ["MicroBatch", "Coalescer", "coalesce"]
 
 @dataclass(frozen=True)
 class MicroBatch:
-    """Requests sharing one compile fingerprint, dispatched together."""
+    """Requests sharing one compile fingerprint, dispatched together.
+
+    ``window_start``/``window_end`` bracket the collection cycle that
+    gathered the batch (``time.perf_counter`` values); the tracing layer
+    records them as the batch's coalesce-window span.  Batches built
+    directly through :func:`coalesce` carry ``0.0``/``0.0``.
+    """
 
     fingerprint: str
     items: Tuple[QueuedRequest, ...]
+    window_start: float = 0.0
+    window_end: float = 0.0
 
     @property
     def size(self) -> int:
@@ -43,12 +51,16 @@ class MicroBatch:
 
 
 def coalesce(items: Sequence[QueuedRequest],
-             max_batch_size: Optional[int] = None) -> List[MicroBatch]:
+             max_batch_size: Optional[int] = None,
+             window_start: float = 0.0,
+             window_end: float = 0.0) -> List[MicroBatch]:
     """Group ``items`` by fingerprint, preserving arrival order.
 
     Groups are emitted in order of their first arrival; a group larger than
     ``max_batch_size`` is split into consecutive chunks so one hot
-    fingerprint cannot monopolise a dispatch.
+    fingerprint cannot monopolise a dispatch.  ``window_start`` /
+    ``window_end`` (``perf_counter`` values) are stamped onto every batch
+    for the tracing layer.
     """
     groups: Dict[str, List[QueuedRequest]] = {}
     for item in items:
@@ -61,8 +73,10 @@ def coalesce(items: Sequence[QueuedRequest],
             require_positive_int(max_batch_size, "max_batch_size")
             chunks = [members[i:i + max_batch_size]
                       for i in range(0, len(members), max_batch_size)]
-        batches.extend(MicroBatch(fingerprint, tuple(chunk))
-                       for chunk in chunks)
+        batches.extend(
+            MicroBatch(fingerprint, tuple(chunk),
+                       window_start=window_start, window_end=window_end)
+            for chunk in chunks)
     return batches
 
 
@@ -106,9 +120,10 @@ class Coalescer:
         first = await queue.get()
         if first is None:
             return None
+        window_open = time.perf_counter()
         gathered: List[QueuedRequest] = [first]
         try:
-            window_end = time.perf_counter() + self.window_seconds
+            window_end = window_open + self.window_seconds
             while len(gathered) < self.max_batch_size:
                 now = time.perf_counter()
                 remaining = window_end - now
@@ -137,10 +152,15 @@ class Coalescer:
             # dilute an idle server's ratio toward 0.
             self.cycles += 1
             self.collected += len(gathered)
+        window_close = time.perf_counter()
         try:
-            return coalesce(gathered, self.max_batch_size)
+            return coalesce(gathered, self.max_batch_size,
+                            window_start=window_open,
+                            window_end=window_close)
         except Exception:
-            return [MicroBatch(item.fingerprint, (item,))
+            return [MicroBatch(item.fingerprint, (item,),
+                               window_start=window_open,
+                               window_end=window_close)
                     for item in gathered]
 
     @property

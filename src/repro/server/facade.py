@@ -36,6 +36,7 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Union
 
 from repro.core.pipeline import StencilRunResult
+from repro.obs.trace import NULL_TRACER
 from repro.server.coalesce import Coalescer, MicroBatch
 from repro.server.queue import (
     DeadlineExceededError,
@@ -108,6 +109,9 @@ class ServerResult:
     batch_size: int         # live requests in the dispatched micro-batch
     queue_wait_seconds: float
     service_seconds: float  # submit -> result, the client-visible latency
+    #: trace id of the request's span tree when the server's session traces
+    #: (empty otherwise) — resolve it with ``tracer.spans(trace_id)``
+    trace_id: str = ""
 
     @property
     def output(self):
@@ -200,6 +204,10 @@ class StencilServer:
         self.session = session
         self.cache = session.cache
         self.scheduler = session.scheduler
+        #: the session's tracer (NULL_TRACER when the session does not
+        #: trace): every admitted request opens a span on it, and dispatch
+        #: workers re-bind that span so engine/cache spans join the trace
+        self.tracer = getattr(session, "tracer", NULL_TRACER)
         self.telemetry = ServerTelemetry(self.config.latency_window)
         self.queue = RequestQueue(self.config.queue_bound)
         self.coalescer = Coalescer(self.config.window_seconds,
@@ -282,11 +290,25 @@ class StencilServer:
             deadline_seconds = self.config.default_deadline_seconds
         deadline = None if deadline_seconds is None \
             else time.perf_counter() + float(deadline_seconds)
+        compile_request = request.compile_request()
+        span = None
+        if self.tracer.enabled:
+            # Child of the ambient span when the submitter is inside a
+            # traced session.solve(mode="served"); a fresh trace root for
+            # direct submissions.
+            span = self.tracer.begin(
+                "request",
+                fingerprint=compile_request.fingerprint,
+                pattern=request.pattern.name,
+                grid_shape=request.grid_shape,
+                iterations=request.iterations,
+                tag=request.tag)
         item = QueuedRequest(
             request=request,
-            compile_request=request.compile_request(),
+            compile_request=compile_request,
             future=Future(),
-            deadline=deadline)
+            deadline=deadline,
+            span=span)
         self.telemetry.submitted()
         with self._pending_cond:
             self._pending += 1
@@ -295,6 +317,8 @@ class StencilServer:
         except ServerError as exc:
             self._settle_pending()
             self.telemetry.rejected(type(exc).__name__)
+            if span is not None:
+                self.tracer.end(span.set(error=type(exc).__name__))
             raise
         item.future.add_done_callback(lambda _: self._settle_pending())
         return SubmitHandle(item)
@@ -398,10 +422,26 @@ class StencilServer:
     # ------------------------------------------------------------------ #
     # batch execution (thread-pool workers)
     # ------------------------------------------------------------------ #
+    def _trace_dispatch(self, item: QueuedRequest, batch: MicroBatch,
+                        dispatch_start: float) -> None:
+        """Record the pre-execution phases (queue wait, coalesce window)
+        of one request retroactively onto its span."""
+        span = item.span
+        if span is None:
+            return
+        self.tracer.record("queue_wait", item.enqueued_at, dispatch_start,
+                           parent=span)
+        if batch.window_start:
+            self.tracer.record("coalesce", batch.window_start,
+                               batch.window_end, parent=span,
+                               batch_size=batch.size,
+                               fingerprint=batch.fingerprint)
+
     def _execute_batch(self, batch: MicroBatch) -> None:
         dispatch_start = time.perf_counter()
         live = []
         for item in batch.items:
+            self._trace_dispatch(item, batch, dispatch_start)
             if item.expired(dispatch_start):
                 self._resolve_error(
                     item,
@@ -414,11 +454,25 @@ class StencilServer:
                 live.append(item)
         if not live:
             return
+        tracer = self.tracer
         try:
             # one compile per fingerprint: every path below (the session's
             # batch engine, the sharded executor's per-shard plans, leftover
-            # plans) shares it through the session cache
-            compiled = self.cache.get_or_compile(live[0].compile_request)
+            # plans) shares it through the session cache.  The worker thread
+            # carries no trace context, so the leader's span is re-bound
+            # here; the cache's own lookup span joins under it.
+            compile_start = time.perf_counter()
+            with tracer.activate(live[0].span):
+                compiled = self.cache.get_or_compile(live[0].compile_request)
+            compile_end = time.perf_counter()
+            for item in live[1:]:
+                if item.span is not None:
+                    # followers share the leader's lookup; give their traces
+                    # the same interval so every request stays auditable
+                    tracer.record("cache.lookup", compile_start, compile_end,
+                                  parent=item.span, shared_with_batch=True,
+                                  fingerprint=item.fingerprint)
+            route_start = time.perf_counter()
             try:
                 decision, lease = self.scheduler.route(
                     compiled, live[0].request.iterations,
@@ -431,6 +485,16 @@ class StencilServer:
                                           "batch waited for a device"),
                         "ServerClosedError")
                 return
+            route_end = time.perf_counter()
+            for item in live:
+                if item.span is not None:
+                    tracer.record("route", route_start, route_end,
+                                  parent=item.span,
+                                  executor=decision.executor,
+                                  devices=decision.devices,
+                                  halo_depth=decision.halo_depth,
+                                  overlap=decision.overlap,
+                                  reason=decision.reason)
             self.telemetry.batch_dispatched(
                 len(live), decision.executor, decision.devices)
             modelled = 0.0
@@ -440,29 +504,35 @@ class StencilServer:
                     for item in live:
                         request = item.request
                         plan = rebrand(compiled, item.compile_request)
-                        if request.iterations % compiled.temporal_fusion == 0:
-                            run = self.session.execute_sharded_plan(
-                                plan, request.grid, request.iterations,
-                                devices=spec, cache=self.cache,
-                                halo_depth=decision.halo_depth,
-                                overlap=decision.overlap)
-                            kind, used = "sharded", decision.devices
-                        else:
-                            # non-divisible stragglers on a sharded batch run
-                            # single-device (leftover sweeps need it anyway)
-                            run = self.session.execute_plan(
-                                plan, request.grid, request.iterations,
-                                cache=self.cache)
-                            kind, used = "single", 1
+                        with tracer.activate(item.span):
+                            if request.iterations % compiled.temporal_fusion \
+                                    == 0:
+                                run = self.session.execute_sharded_plan(
+                                    plan, request.grid, request.iterations,
+                                    devices=spec, cache=self.cache,
+                                    halo_depth=decision.halo_depth,
+                                    overlap=decision.overlap)
+                                kind, used = "sharded", decision.devices
+                            else:
+                                # non-divisible stragglers on a sharded batch
+                                # run single-device (leftover sweeps need it
+                                # anyway)
+                                run = self.session.execute_plan(
+                                    plan, request.grid, request.iterations,
+                                    cache=self.cache)
+                                kind, used = "single", 1
                         modelled += run.elapsed_seconds
                         self._resolve(item, run, kind, used,
                                       len(live), dispatch_start)
                 else:
-                    report = self.session.execute_batch(
-                        [item.request for item in live],
-                        cache=self.cache,
-                        compile_requests=[item.compile_request
-                                          for item in live])
+                    # coalesced single-device batches execute as one unit;
+                    # the engine's spans land in the leader's trace
+                    with tracer.activate(live[0].span):
+                        report = self.session.execute_batch(
+                            [item.request for item in live],
+                            cache=self.cache,
+                            compile_requests=[item.compile_request
+                                              for item in live])
                     for item, batch_item in zip(live, report.items):
                         modelled += batch_item.result.elapsed_seconds
                         self._resolve(item, batch_item.result, "single", 1,
@@ -481,6 +551,12 @@ class StencilServer:
         end = time.perf_counter()
         if item.tag is not None and run.tag != item.tag:
             run = replace(run, tag=item.tag)
+        span = item.span
+        if span is not None:
+            span.set(executor=executor, devices=devices,
+                     batch_size=batch_size)
+            span.add_device_seconds(run.elapsed_seconds)
+            self.tracer.end(span)
         result = ServerResult(
             run=run,
             tag=item.tag,
@@ -489,7 +565,8 @@ class StencilServer:
             devices=devices,
             batch_size=batch_size,
             queue_wait_seconds=dispatch_start - item.enqueued_at,
-            service_seconds=end - item.enqueued_at)
+            service_seconds=end - item.enqueued_at,
+            trace_id=span.trace_id if span is not None else "")
         item.future.set_result(result)
         self.telemetry.completed(
             queue_wait_seconds=dispatch_start - item.enqueued_at,
@@ -501,6 +578,8 @@ class StencilServer:
         if not item.future.done():
             item.future.set_exception(exc)
             self.telemetry.failed(reason)
+            if item.span is not None:
+                self.tracer.end(item.span.set(error=reason))
 
     def _settle_pending(self) -> None:
         with self._pending_cond:

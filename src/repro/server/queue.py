@@ -17,7 +17,7 @@ import time
 from collections import deque
 from concurrent.futures import Future
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional
+from typing import Any, Deque, List, Optional
 
 from repro.service.fingerprint import CompileRequest
 from repro.session.problem import Problem
@@ -71,6 +71,9 @@ class QueuedRequest:
     enqueued_at: float = field(default_factory=time.perf_counter)
     #: absolute ``time.perf_counter`` deadline; ``None`` = no deadline
     deadline: Optional[float] = None
+    #: per-request trace span (a :class:`repro.obs.Span`), opened at
+    #: admission when the server's session traces; ``None`` when disabled
+    span: Optional[Any] = None
 
     @property
     def fingerprint(self) -> str:

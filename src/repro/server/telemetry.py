@@ -10,75 +10,17 @@ are computed on demand from the window.
 
 from __future__ import annotations
 
-import math
 import threading
 import time
-from collections import Counter, deque
-from typing import Any, Deque, Dict, Optional
+from collections import Counter
+from typing import Any, Dict, Optional
 
-from repro.util.validation import require, require_positive_int
+# RollingLatency now lives in the observability substrate (re-exported here
+# for compatibility): the same rolling-percentile window backs the metrics
+# registry's histograms and the occupancy ledger's hold-time stats.
+from repro.obs.metrics import RollingLatency, global_registry
 
 __all__ = ["RollingLatency", "ServerTelemetry"]
-
-
-class RollingLatency:
-    """Bounded rolling window of latency samples with on-demand percentiles."""
-
-    def __init__(self, window: int = 2048) -> None:
-        require_positive_int(window, "window")
-        self._samples: Deque[float] = deque(maxlen=window)
-        self._count = 0
-        self._total = 0.0
-
-    def record(self, seconds: float) -> None:
-        require(seconds >= 0.0, "latency must be non-negative")
-        self._samples.append(seconds)
-        self._count += 1
-        self._total += seconds
-
-    def percentile(self, p: float) -> float:
-        """Nearest-rank percentile over the current window (0 when empty)."""
-        require(0.0 < p <= 100.0, "percentile must be in (0, 100]")
-        if not self._samples:
-            return 0.0
-        ordered = sorted(self._samples)
-        rank = max(1, math.ceil(p / 100.0 * len(ordered)))
-        return ordered[rank - 1]
-
-    @property
-    def count(self) -> int:
-        """Lifetime sample count (including samples the window dropped)."""
-        return self._count
-
-    @property
-    def mean(self) -> float:
-        """Mean over the current *window*, consistent with the percentiles."""
-        samples = self._samples
-        return sum(samples) / len(samples) if samples else 0.0
-
-    @property
-    def lifetime_mean(self) -> float:
-        """Mean over every sample ever recorded (windowless)."""
-        return self._total / self._count if self._count else 0.0
-
-    def as_dict(self) -> Dict[str, float]:
-        """Window-consistent export: ``mean``/``max``/percentiles all
-        describe the same rolling window, so a long-lived server's mean is
-        not dominated by ancient samples the window already dropped.
-        ``count`` stays lifetime (it is the only field that *should* keep
-        growing) and the lifetime mean is exported separately.
-        """
-        samples = self._samples
-        return {
-            "count": self._count,
-            "window_size": len(samples),
-            "mean_seconds": self.mean,
-            "lifetime_mean_seconds": self.lifetime_mean,
-            "p50_seconds": self.percentile(50.0),
-            "p95_seconds": self.percentile(95.0),
-            "p99_seconds": self.percentile(99.0),
-            "max_seconds": max(samples) if samples else 0.0,
-        }
 
 
 class ServerTelemetry:
@@ -111,6 +53,10 @@ class ServerTelemetry:
         self.queue_wait = RollingLatency(latency_window)
         self.execute = RollingLatency(latency_window)
         self.total = RollingLatency(latency_window)
+        # Re-register into the process-wide metrics registry (weakref'd: a
+        # garbage-collected server drops out of the unified snapshot).
+        self.metrics_section = global_registry().register_provider(
+            "server", self.snapshot)
 
     # ------------------------------------------------------------------ #
     # recording

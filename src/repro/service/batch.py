@@ -26,6 +26,7 @@ from repro.core.pipeline import (
     StencilRunResult,
     execute_compiled,
 )
+from repro.obs.trace import current_span, span as obs_span
 from repro.service.cache import CacheStats, CompileCache, rebrand
 from repro.service.fingerprint import CompileRequest
 from repro.session.problem import Problem
@@ -181,16 +182,33 @@ def execute_batch(
     events: List[str] = []
     compile_start = time.perf_counter()
     cold = [creq for creq in distinct.values() if not cache.contains(creq)]
-    cold_plans = parallel_map(
-        lambda creq: cache.get_or_compile(creq, events=events),
-        cold, max_workers=max_workers)
-    plans = {creq.fingerprint: plan for creq, plan in zip(cold, cold_plans)}
-    for creq in distinct.values():
-        if creq.fingerprint not in plans:
-            plans[creq.fingerprint] = cache.get_or_compile(creq, events=events)
+    with obs_span("batch.compile", distinct_plans=len(distinct),
+                  cold_plans=len(cold)) as compile_span:
+        active = current_span()
+        if active is not None and active.tracer is not None:
+            # Pool threads do not inherit the tracing contextvar; re-bind
+            # the compile span so the cache's lookup spans join the trace.
+            tracer = active.tracer
+
+            def compile_one(creq: CompileRequest) -> CompiledStencil:
+                with tracer.activate(active):
+                    return cache.get_or_compile(creq, events=events)
+        else:
+            def compile_one(creq: CompileRequest) -> CompiledStencil:
+                return cache.get_or_compile(creq, events=events)
+
+        cold_plans = parallel_map(compile_one, cold, max_workers=max_workers)
+        plans = {creq.fingerprint: plan
+                 for creq, plan in zip(cold, cold_plans)}
+        for creq in distinct.values():
+            if creq.fingerprint not in plans:
+                plans[creq.fingerprint] = cache.get_or_compile(
+                    creq, events=events)
+        compiles_performed = events.count("compile")
+        cache_hits = len(events) - compiles_performed
+        compile_span.set(compiles_performed=compiles_performed,
+                         cache_hits=cache_hits)
     compile_wall = time.perf_counter() - compile_start
-    compiles_performed = events.count("compile")
-    cache_hits = len(events) - compiles_performed
 
     fingerprint_counts = Counter(creq.fingerprint for creq in compile_requests)
     shared = {fp for fp, count in fingerprint_counts.items() if count > 1}
@@ -203,8 +221,12 @@ def execute_batch(
         compiled = rebrand(plans[creq.fingerprint], creq)
         # the batch cache also serves leftover plans (non-divisible
         # iteration counts), so they compile once per fingerprint too
-        result = execute_compiled(compiled, request.grid, request.iterations,
-                                  cache=cache)
+        with obs_span("execute", fingerprint=creq.fingerprint,
+                      iterations=request.iterations,
+                      tag=request.tag) as execute_span:
+            result = execute_compiled(compiled, request.grid,
+                                      request.iterations, cache=cache)
+            execute_span.add_device_seconds(result.elapsed_seconds)
         if request.tag is not None:
             # stamp the request's tag onto the result itself, so results
             # stay attributable after they leave the BatchItem wrapper

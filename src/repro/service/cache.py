@@ -21,6 +21,8 @@ from pathlib import Path
 from typing import Dict, Optional, Tuple
 
 from repro.core.pipeline import CompiledStencil
+from repro.obs.metrics import global_registry
+from repro.obs.trace import span as obs_span
 from repro.service.fingerprint import CompileRequest
 from repro.stencils.pattern import StencilPattern
 from repro.util.validation import require_positive_int
@@ -187,6 +189,10 @@ class CompileCache:
         #: Per-fingerprint locks so concurrent misses on the *same* plan
         #: compile once while distinct plans compile in parallel.
         self._compile_locks: Dict[str, threading.Lock] = {}
+        # Re-register into the process-wide metrics registry (weakref'd: a
+        # garbage-collected cache drops out of the unified snapshot).
+        self.metrics_section = global_registry().register_provider(
+            "cache", self.metrics_snapshot)
 
     # ------------------------------------------------------------------ #
     # core API
@@ -201,38 +207,47 @@ class CompileCache:
         """
         record = events.append if events is not None else lambda event: None
         fingerprint = request.fingerprint
-        cached = self._lookup(fingerprint)
-        if cached is not None:
-            record("hit")
-            return _rebrand(cached, request)
-
-        with self._fingerprint_lock(fingerprint):
-            # Re-check: another thread may have compiled while we waited.
+        # Ambient span: joins whatever trace is active (a served request, a
+        # session solve); a shared no-op context when none is.
+        with obs_span("cache.lookup", fingerprint=fingerprint) as span:
             cached = self._lookup(fingerprint)
             if cached is not None:
                 record("hit")
+                span.set(outcome="hit")
                 return _rebrand(cached, request)
-            persisted = self._load_persisted(fingerprint,
-                                             request.options.backend)
-            if persisted is not None:
-                compiled, compile_seconds = persisted
+
+            with self._fingerprint_lock(fingerprint):
+                # Re-check: another thread may have compiled while we waited.
+                cached = self._lookup(fingerprint)
+                if cached is not None:
+                    record("hit")
+                    span.set(outcome="hit")
+                    return _rebrand(cached, request)
+                persisted = self._load_persisted(fingerprint,
+                                                 request.options.backend)
+                if persisted is not None:
+                    compiled, compile_seconds = persisted
+                    with self._lock:
+                        self.stats.hits += 1
+                        self.stats.disk_hits += 1
+                        self.stats.saved_seconds += compile_seconds
+                    self._store(fingerprint,
+                                CacheEntry(compiled, compile_seconds))
+                    record("disk")
+                    span.set(outcome="disk",
+                             saved_compile_ms=compile_seconds * 1e3)
+                    return _rebrand(compiled, request)
+                start = time.perf_counter()
+                compiled = request.compile()
+                elapsed = time.perf_counter() - start
                 with self._lock:
-                    self.stats.hits += 1
-                    self.stats.disk_hits += 1
-                    self.stats.saved_seconds += compile_seconds
-                self._store(fingerprint, CacheEntry(compiled, compile_seconds))
-                record("disk")
-                return _rebrand(compiled, request)
-            start = time.perf_counter()
-            compiled = request.compile()
-            elapsed = time.perf_counter() - start
-            with self._lock:
-                self.stats.misses += 1
-                self.stats.compile_seconds += elapsed
-            self._store(fingerprint, CacheEntry(compiled, elapsed))
-            self._persist(fingerprint, compiled, elapsed)
-            record("compile")
-            return compiled
+                    self.stats.misses += 1
+                    self.stats.compile_seconds += elapsed
+                self._store(fingerprint, CacheEntry(compiled, elapsed))
+                self._persist(fingerprint, compiled, elapsed)
+                record("compile")
+                span.set(outcome="compile", compile_ms=elapsed * 1e3)
+                return compiled
 
     def compile(self, pattern: StencilPattern, grid_shape: Tuple[int, ...],
                 **compile_kwargs) -> CompiledStencil:
@@ -249,6 +264,13 @@ class CompileCache:
         cache lock, so concurrent lookups can't tear the counters)."""
         with self._lock:
             return replace(self.stats)
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Zero-arg provider the unified metrics registry calls."""
+        stats = self.snapshot_stats().as_dict()
+        stats["resident_plans"] = len(self)
+        stats["capacity"] = self.capacity
+        return stats
 
     def clear(self, remove_persisted: bool = False) -> None:
         """Drop all in-memory entries and reset the statistics.

@@ -210,6 +210,9 @@ class Provenance:
     its plan compiled) under.  ``backend`` records the execution backend
     the plan's sweeps ran on (:mod:`repro.core.codegen`; empty for
     baseline comparators, which never touch the SparStencil pipeline).
+    ``trace_id`` links the solution to its spans when the session solved it
+    under an enabled :class:`repro.obs.Tracer` (empty otherwise) — any
+    served answer is auditable back to its queue-wait/compile/sweep spans.
     """
 
     mode_requested: str
@@ -221,6 +224,7 @@ class Provenance:
     delegate: Optional[str] = None
     boundary: str = "dirichlet"
     backend: str = "tcu-sim"
+    trace_id: str = ""
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -233,6 +237,7 @@ class Provenance:
             "delegate": self.delegate,
             "boundary": self.boundary,
             "backend": self.backend,
+            "trace_id": self.trace_id,
         }
 
 

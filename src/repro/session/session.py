@@ -29,6 +29,8 @@ from typing import Any, Callable, Dict, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry, global_registry
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.server.scheduler import DevicePoolScheduler, RoutingDecision
 from repro.service.cache import CompileCache
 from repro.session.problem import Problem, Provenance, Solution, SolvePolicy
@@ -80,6 +82,12 @@ class SessionConfig:
         Optional sink called with one flat dict per completed solve /
         batch — the session-level analogue of
         :class:`~repro.server.telemetry.ServerTelemetry`.
+    tracer:
+        Optional :class:`repro.obs.Tracer`.  When enabled, every solve
+        opens a root span, the executors/cache/engines attach their spans
+        under it, and :attr:`Solution.provenance.trace_id` records which
+        trace the answer belongs to.  Defaults to the shared disabled
+        tracer (:data:`repro.obs.NULL_TRACER`), a zero-overhead no-op.
     """
 
     devices: Union[MultiDeviceSpec, int] = 1
@@ -96,6 +104,7 @@ class SessionConfig:
     max_batch_size: int = 16
     default_deadline_seconds: Optional[float] = None
     telemetry: Optional[Callable[[Dict[str, Any]], None]] = None
+    tracer: Optional[Tracer] = None
 
 
 class StencilSession:
@@ -135,6 +144,8 @@ class StencilSession:
             max_halo_fraction=config.max_halo_fraction,
             halo_depth=config.halo_depth, overlap=config.overlap)
         self.registry = registry if registry is not None else default_registry()
+        self.tracer = config.tracer if config.tracer is not None \
+            else NULL_TRACER
 
         self._server: Optional[Any] = None
         self._server_lock = threading.Lock()
@@ -163,32 +174,52 @@ class StencilSession:
         problem = self._apply_backend_policy(problem, policy)
         call_cache = self.cache if cache is _UNSET else cache
 
-        mode_requested = policy.mode
-        compiled = None
-        compile_request = None
-        reason = ""
-        mode = policy.mode
-        if mode == "auto":
-            compile_request = problem.compile_request()
-            compiled = call_cache.get_or_compile(compile_request) \
-                if call_cache is not None else compile_request.compile()
-            decision = self.decide(problem, compiled=compiled)
-            mode = decision.executor
-            reason = decision.reason
-            if decision.sharded:
-                if policy.devices is None:
-                    policy = replace(policy, devices=self.scheduler.spec_for(
-                        decision, compiled))
-                if policy.halo_depth is None:
-                    # run at the depth the routing model priced
-                    policy = replace(policy, halo_depth=decision.halo_depth,
-                                     overlap=decision.overlap)
+        # Root span of the request: everything below — routing, compiles,
+        # queueing, engine sweeps — attaches under it through the ambient
+        # context, and the trace id is stamped into the provenance so the
+        # answer stays auditable back to its spans.
+        with self.tracer.span(
+                "solve", pattern=problem.pattern.name,
+                grid_shape=problem.grid_shape,
+                iterations=problem.iterations,
+                mode_requested=policy.mode, tag=problem.tag) as root_span:
+            mode_requested = policy.mode
+            compiled = None
+            compile_request = None
+            reason = ""
+            mode = policy.mode
+            if mode == "auto":
+                compile_request = problem.compile_request()
+                compiled = call_cache.get_or_compile(compile_request) \
+                    if call_cache is not None else compile_request.compile()
+                decision = self.decide(problem, compiled=compiled)
+                mode = decision.executor
+                reason = decision.reason
+                if decision.sharded:
+                    if policy.devices is None:
+                        policy = replace(
+                            policy, devices=self.scheduler.spec_for(
+                                decision, compiled))
+                    if policy.halo_depth is None:
+                        # run at the depth the routing model priced
+                        policy = replace(policy,
+                                         halo_depth=decision.halo_depth,
+                                         overlap=decision.overlap)
 
-        executor = self.registry.create(mode)
-        solution = executor.solve(
-            self, problem, policy, cache=call_cache, compiled=compiled,
-            compile_request=compile_request, mode_requested=mode_requested,
-            reason=reason)
+            executor = self.registry.create(mode)
+            solution = executor.solve(
+                self, problem, policy, cache=call_cache, compiled=compiled,
+                compile_request=compile_request,
+                mode_requested=mode_requested, reason=reason)
+            root_span.set(executor=solution.provenance.executor,
+                          devices=solution.provenance.devices,
+                          reason=solution.provenance.reason)
+            root_span.add_device_seconds(solution.result.elapsed_seconds)
+            if root_span.trace_id:
+                solution = replace(
+                    solution,
+                    provenance=replace(solution.provenance,
+                                       trace_id=root_span.trace_id))
         self._emit({"event": "solve", **solution.summary()})
         return solution
 
@@ -202,9 +233,10 @@ class StencilSession:
         ``cache=None`` reproduces the legacy ``solve_many`` behaviour of a
         private per-batch cache; by default the session cache is shared.
         """
-        report = self.execute_batch(problems, cache=cache,
-                                    max_workers=max_workers,
-                                    compile_requests=compile_requests)
+        with self.tracer.span("solve_batch", requests=len(problems)):
+            report = self.execute_batch(problems, cache=cache,
+                                        max_workers=max_workers,
+                                        compile_requests=compile_requests)
         self._emit({"event": "solve_batch", **report.summary()})
         return report
 
@@ -216,7 +248,12 @@ class StencilSession:
         legacy ``run_stencil`` shim delegates to.  The original compile
         request is unknown here, so :attr:`Solution.fingerprint` is empty.
         """
-        result = self.execute_plan(compiled, grid, iterations, cache=cache)
+        with self.tracer.span("run", iterations=iterations,
+                              tag=tag) as root_span:
+            result = self.execute_plan(compiled, grid, iterations,
+                                       cache=cache)
+            root_span.add_device_seconds(result.elapsed_seconds)
+            trace_id = root_span.trace_id
         if tag is not None:
             result = replace(result, tag=tag)
         solution = Solution(
@@ -230,7 +267,8 @@ class StencilSession:
                 devices=1,
                 reason="precompiled plan executed directly",
                 boundary=compiled.boundary,
-                backend=compiled.backend),
+                backend=compiled.backend,
+                trace_id=trace_id),
             tag=tag)
         self._emit({"event": "run", **solution.summary()})
         return solution
@@ -369,6 +407,13 @@ class StencilSession:
                         "pool": self.pool.name},
             "server": server.metrics() if server is not None else None,
         }
+
+    @property
+    def metrics_registry(self) -> MetricsRegistry:
+        """The process-wide unified registry (every cache/ledger/server
+        telemetry instance re-registers into it); one
+        :meth:`~repro.obs.MetricsRegistry.snapshot` covers the system."""
+        return global_registry()
 
     def close(self) -> None:
         """Shut down the session's server (if one was materialised).

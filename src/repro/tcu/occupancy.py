@@ -21,9 +21,13 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro.obs.metrics import RollingLatency, global_registry
 from repro.util.validation import require, require_positive_int
 
 __all__ = ["DeviceLease", "DeviceState", "OccupancyLedger"]
+
+#: Rolling window of per-device lease hold times kept for percentile export.
+HOLD_WINDOW = 512
 
 
 @dataclass
@@ -35,6 +39,8 @@ class DeviceState:
     modelled_seconds: float = 0.0
     leases: int = 0
     in_use: bool = False
+    hold: RollingLatency = field(
+        default_factory=lambda: RollingLatency(HOLD_WINDOW))
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -43,6 +49,13 @@ class DeviceState:
             "modelled_seconds": self.modelled_seconds,
             "leases": self.leases,
             "in_use": self.in_use,
+            "hold_seconds": {
+                "mean_seconds": self.hold.mean,
+                "p50_seconds": self.hold.percentile(50.0),
+                "p95_seconds": self.hold.percentile(95.0),
+                "p99_seconds": self.hold.percentile(99.0),
+                "max_seconds": self.hold.percentile(100.0),
+            },
         }
 
 
@@ -80,6 +93,10 @@ class OccupancyLedger:
         self._peak_in_use = 0
         self._total_leases = 0
         self._created_at = time.perf_counter()
+        # Re-register into the process-wide metrics registry (weakref'd:
+        # a garbage-collected ledger drops out of the unified snapshot).
+        self.metrics_section = global_registry().register_provider(
+            "devices", self.snapshot)
 
     # ------------------------------------------------------------------ #
     # lease protocol
@@ -140,7 +157,7 @@ class OccupancyLedger:
         ``modelled_seconds`` over the pool reproduces the total rather than
         multiplying it by the lease width.  Returns the held wall seconds.
         """
-        held = time.perf_counter() - lease.acquired_at
+        held = max(0.0, time.perf_counter() - lease.acquired_at)
         modelled_share = modelled_seconds / lease.device_count
         with self._condition:
             for device_id in lease.device_ids:
@@ -150,6 +167,7 @@ class OccupancyLedger:
                 state.in_use = False
                 state.busy_seconds += held
                 state.modelled_seconds += modelled_share
+                state.hold.record(held)
                 self._free.append(device_id)
             self._free.sort()
             self._condition.notify_all()
@@ -194,17 +212,31 @@ class OccupancyLedger:
             }
 
     def snapshot(self) -> Dict[str, object]:
-        """Plain-dict occupancy picture for the telemetry exporter."""
-        wall = time.perf_counter() - self._created_at
+        """Plain-dict occupancy picture for the telemetry exporter.
+
+        Per-device entries carry lease hold-time *percentiles* (p50/p95/p99
+        over a rolling window), not just lifetime means, and every
+        wall-time division is guarded so a ledger snapshotted immediately
+        after construction (zero elapsed wall time) exports zeros instead
+        of raising.
+        """
+        wall = max(0.0, time.perf_counter() - self._created_at)
         with self._condition:
             busy = [state.busy_seconds for state in self._devices]
+            per_device = []
+            for state in self._devices:
+                entry = state.as_dict()
+                entry["utilization"] = (
+                    min(1.0, state.busy_seconds / wall) if wall > 0 else 0.0)
+                per_device.append(entry)
+            denominator = wall * self.device_count
             return {
                 "device_count": self.device_count,
                 "in_use": self.device_count - len(self._free),
                 "peak_in_use": self._peak_in_use,
                 "total_leases": self._total_leases,
                 "wall_seconds": wall,
-                "per_device": [state.as_dict() for state in self._devices],
-                "mean_utilization": (sum(busy) / (wall * self.device_count)
-                                     if wall > 0 else 0.0),
+                "per_device": per_device,
+                "mean_utilization": (sum(busy) / denominator
+                                     if denominator > 0 else 0.0),
             }

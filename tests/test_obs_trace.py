@@ -1,0 +1,248 @@
+"""Tracer correctness: span trees, context propagation, the no-op path."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.analysis import build_span_tree, render_span_tree, validate_spans
+from repro.obs import NULL_TRACER, Tracer, current_span
+from repro.obs.export import chrome_trace_events, read_jsonl, write_jsonl
+from repro.obs.trace import NOOP_SPAN, span as ambient_span
+
+
+# --------------------------------------------------------------------------- #
+# span lifecycle
+# --------------------------------------------------------------------------- #
+class TestSpanLifecycle:
+    def test_nested_spans_form_one_trace(self):
+        tracer = Tracer()
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        spans = tracer.spans(outer.trace_id)
+        assert [s.name for s in spans] == ["inner", "outer"]  # finish order
+        assert validate_spans(spans) == []
+
+    def test_sibling_spans_share_parent(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with tracer.span("a"):
+                pass
+            with tracer.span("b"):
+                pass
+        children = [s for s in tracer.spans(root.trace_id)
+                    if s.parent_id == root.span_id]
+        assert sorted(s.name for s in children) == ["a", "b"]
+
+    def test_separate_roots_get_distinct_trace_ids(self):
+        tracer = Tracer()
+        with tracer.span("one"):
+            pass
+        with tracer.span("two"):
+            pass
+        assert len(tracer.trace_ids()) == 2
+
+    def test_end_is_idempotent(self):
+        tracer = Tracer()
+        span_ = tracer.begin("once")
+        tracer.end(span_)
+        first_end = span_.end_seconds
+        tracer.end(span_)
+        assert span_.end_seconds == first_end
+        assert len(tracer.spans()) == 1
+
+    def test_attrs_and_device_seconds(self):
+        tracer = Tracer()
+        with tracer.span("work", fingerprint="abc") as span_:
+            span_.set(outcome="hit")
+            span_.add_device_seconds(0.25)
+            span_.add_device_seconds(0.5)
+        assert span_.attrs == {"fingerprint": "abc", "outcome": "hit"}
+        assert span_.device_seconds == pytest.approx(0.75)
+
+    def test_record_rebases_perf_counter_values(self):
+        tracer = Tracer()
+        start = time.perf_counter()
+        end = start + 0.5
+        span_ = tracer.record("interval", start, end, device_seconds=0.1)
+        assert span_.duration_seconds() == pytest.approx(0.5, abs=1e-6)
+        assert span_.device_seconds == pytest.approx(0.1)
+        assert span_.finished
+
+    def test_record_clamps_inverted_interval(self):
+        tracer = Tracer()
+        start = time.perf_counter()
+        span_ = tracer.record("weird", start, start - 1.0)
+        assert span_.duration_seconds() == 0.0
+
+    def test_exception_still_ends_span(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom") as span_:
+                raise RuntimeError("x")
+        assert span_.finished
+        assert tracer.spans()[0].name == "boom"
+
+    def test_buffer_bound_drops_oldest(self):
+        tracer = Tracer(max_spans=3)
+        for index in range(5):
+            with tracer.span(f"s{index}"):
+                pass
+        spans = tracer.spans()
+        assert len(spans) == 3
+        assert tracer.dropped == 2
+        assert [s.name for s in spans] == ["s2", "s3", "s4"]
+
+
+# --------------------------------------------------------------------------- #
+# context propagation
+# --------------------------------------------------------------------------- #
+class TestContextPropagation:
+    def test_current_span_tracks_nesting(self):
+        tracer = Tracer()
+        assert current_span() is None
+        with tracer.span("outer") as outer:
+            assert current_span() is outer
+            with tracer.span("inner") as inner:
+                assert current_span() is inner
+            assert current_span() is outer
+        assert current_span() is None
+
+    def test_ambient_span_joins_active_trace(self):
+        tracer = Tracer()
+        with tracer.span("root") as root:
+            with ambient_span("deep", key="v") as deep:
+                assert deep.trace_id == root.trace_id
+                assert deep.parent_id == root.span_id
+
+    def test_ambient_span_without_trace_is_noop(self):
+        with ambient_span("orphan") as span_:
+            assert span_ is NOOP_SPAN
+        # nothing was recorded anywhere: the helper never owns a tracer
+
+    def test_activate_rebinds_across_threads(self):
+        tracer = Tracer()
+        seen = {}
+
+        def worker(parent):
+            with tracer.activate(parent):
+                with tracer.span("threaded") as span_:
+                    seen["trace_id"] = span_.trace_id
+                    seen["parent_id"] = span_.parent_id
+
+        with tracer.span("root") as root:
+            thread = threading.Thread(target=worker, args=(root,))
+            thread.start()
+            thread.join()
+        assert seen["trace_id"] == root.trace_id
+        assert seen["parent_id"] == root.span_id
+
+    def test_threads_do_not_inherit_context_implicitly(self):
+        tracer = Tracer()
+        observed = []
+
+        def worker():
+            observed.append(current_span())
+
+        with tracer.span("root"):
+            thread = threading.Thread(target=worker)
+            thread.start()
+            thread.join()
+        assert observed == [None]
+
+
+# --------------------------------------------------------------------------- #
+# the disabled path
+# --------------------------------------------------------------------------- #
+class TestDisabledTracer:
+    def test_null_tracer_records_nothing(self):
+        with NULL_TRACER.span("ignored") as span_:
+            span_.set(a=1).add_device_seconds(3.0)
+        assert NULL_TRACER.spans() == []
+        assert span_ is NOOP_SPAN
+        assert span_.trace_id == ""
+
+    def test_disabled_span_contexts_are_shared(self):
+        first = NULL_TRACER.span("a")
+        second = NULL_TRACER.span("b")
+        assert first is second  # the allocation-free fast path
+
+    def test_begin_end_record_are_noops(self):
+        tracer = Tracer(enabled=False)
+        span_ = tracer.begin("x")
+        assert span_ is NOOP_SPAN
+        tracer.end(span_)
+        tracer.record("y", 0.0, 1.0)
+        assert tracer.spans() == []
+
+
+# --------------------------------------------------------------------------- #
+# tree building / validation / export
+# --------------------------------------------------------------------------- #
+class TestTreeAndExport:
+    def _sample_trace(self):
+        tracer = Tracer()
+        with tracer.span("root", mode="test") as root:
+            with tracer.span("child") as child:
+                child.add_device_seconds(0.001)
+            tracer.record("measured", time.perf_counter(),
+                          time.perf_counter() + 0.01, parent=root)
+        return tracer, root.trace_id
+
+    def test_build_span_tree(self):
+        tracer, trace_id = self._sample_trace()
+        roots = build_span_tree(tracer.spans(trace_id))
+        assert len(roots) == 1
+        assert roots[0].name == "root"
+        assert sorted(c.name for c in roots[0].children) == \
+            ["child", "measured"]
+
+    def test_validate_flags_orphans_and_unfinished(self):
+        tracer = Tracer()
+        orphan = tracer.begin("orphan")
+        orphan.parent_id = "missing-parent"
+        tracer.end(orphan)
+        unfinished = tracer.begin("open")
+        problems = validate_spans(tracer.spans() + [unfinished])
+        assert any("missing-parent" in p for p in problems)
+        assert any("never finished" in p for p in problems)
+
+    def test_render_span_tree_mentions_every_span(self):
+        tracer, trace_id = self._sample_trace()
+        text = render_span_tree(tracer.spans(trace_id))
+        for name in ("root", "child", "measured"):
+            assert name in text
+
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer, trace_id = self._sample_trace()
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, tracer.spans(trace_id))
+        rows = read_jsonl(path)
+        assert len(rows) == 3
+        assert {row["trace_id"] for row in rows} == {trace_id}
+        # round-tripped dicts build the identical tree
+        roots = build_span_tree(rows)
+        assert len(roots) == 1 and roots[0].name == "root"
+
+    def test_chrome_export_shape(self, tmp_path):
+        tracer, trace_id = self._sample_trace()
+        path = tmp_path / "trace.json"
+        tracer.export_chrome(path, trace_id)
+        doc = json.loads(path.read_text())
+        events = doc["traceEvents"]
+        assert all(e["ph"] in ("X", "M") for e in events)
+        complete = [e for e in events if e["ph"] == "X"]
+        assert len(complete) == 3
+        for event in complete:
+            assert event["dur"] >= 0
+            assert isinstance(event["ts"], (int, float))
+            assert event["args"]["trace_id"] == trace_id
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_chrome_events_without_tracer_metadata(self):
+        tracer, trace_id = self._sample_trace()
+        doc = chrome_trace_events(tracer.spans(trace_id))
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
