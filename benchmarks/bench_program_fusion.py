@@ -1,0 +1,148 @@
+"""Cross-stage program fusion — modelled and executed exchange savings.
+
+A fused :class:`repro.StencilProgram` exchanges halos once per group of
+consecutive equal-radius stages instead of once per stage.  This benchmark
+prices both schedules with :func:`repro.analysis.program_fusion_summary`
+(the identical arithmetic the routing scheduler uses), executes both on the
+sharded program runner, and asserts the acceptance criterion: **fusion cuts
+the halo-exchange count per program step**, the executed counts match the
+model exactly, and the fused/unfused outputs stay bit-identical.
+
+Regenerate with::
+
+    pytest benchmarks/bench_program_fusion.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import save_results
+from repro import (
+    Problem,
+    ShardedProgramRunner,
+    StencilPattern,
+    StencilProgram,
+    StencilSession,
+)
+from repro.analysis import program_fusion_summary
+from repro.stencils.grid import make_grid
+
+SHAPE = (512, 512)
+STEPS = 8
+DEVICES = 4
+
+#: Chain programs whose stages share a radius, so fusion can group them:
+#: (name, stage count) — each stage is a distinct radius-1 kernel, giving
+#: N compiled plans per program and N exchanges per step unfused.
+PROGRAMS = [("three-stage", 3), ("five-stage", 5)]
+
+_ROWS: dict = {}
+
+
+def _chain_program(name: str, stages: int) -> StencilProgram:
+    """A chain of ``stages`` distinct radius-1 kernels (star / box blends,
+    all mass-conserving so the field stays bounded over the run)."""
+    entries = []
+    for index in range(stages):
+        centre = 0.5 + 0.04 * index
+        rest = (1.0 - centre) / 8.0
+        kernel = np.full((3, 3), rest)
+        kernel[1, 1] = centre
+        entries.append((f"s{index}",
+                        StencilPattern.from_dense(kernel,
+                                                  name=f"{name}-k{index}")))
+    return StencilProgram.chain(name, entries)
+
+
+@pytest.fixture(scope="module")
+def session():
+    with StencilSession(devices=DEVICES) as session:
+        yield session
+
+
+@pytest.mark.parametrize("name,stages", PROGRAMS,
+                         ids=[p[0] for p in PROGRAMS])
+def test_fusion_cuts_modelled_exchanges(benchmark, session, name, stages):
+    """The acceptance gate: the fused schedule must need strictly fewer
+    modelled halo exchanges than exchange-per-stage execution, and the
+    model must agree with itself on both step counts."""
+    program = _chain_program(name, stages)
+    grid = make_grid(SHAPE, kind="random", seed=2026, boundary="periodic")
+    plan = session.compile(Problem(program=program, grid=grid,
+                                   iterations=STEPS))
+
+    summary = benchmark.pedantic(
+        lambda: program_fusion_summary(plan, devices=DEVICES, steps=STEPS),
+        rounds=1, iterations=1)
+
+    assert summary.shardable
+    assert summary.fused.exchange_count < summary.unfused.exchange_count
+    assert summary.exchanges_removed > 0
+    # exchange-per-stage: stages per step; fused: groups per step (first
+    # round of the run is always exchange-free)
+    assert summary.unfused.exchange_count == stages * STEPS - 1
+    groups = len(summary.fused.groups)
+    assert summary.fused.exchange_count == groups * STEPS - 1
+
+    _ROWS.setdefault("modelled", {})[name] = summary.as_dict()
+    print(f"\nProgram fusion — {name} ({stages} stages, {STEPS} steps, "
+          f"{DEVICES} devices):")
+    print(f"  unfused exchanges: {summary.unfused.exchange_count}")
+    print(f"  fused exchanges:   {summary.fused.exchange_count} "
+          f"(depth {summary.fused.halo_depth}, "
+          f"{groups} group(s)/step)")
+    print(f"  removed:           {summary.exchanges_removed} "
+          f"({summary.exchange_reduction:.0%})")
+    print(f"  exposed comm saved: "
+          f"{summary.exposed_seconds_saved * 1e6:.2f} us")
+
+
+def test_executed_exchanges_match_model(benchmark, session):
+    """The sharded program runner must bill exactly the exchange count the
+    model predicted, fused and unfused, with bit-identical outputs."""
+    program = _chain_program("exec-check", 3)
+    grid = make_grid(SHAPE, kind="random", seed=7, boundary="periodic")
+    plan = session.compile(Problem(program=program, grid=grid,
+                                   iterations=STEPS))
+    summary = program_fusion_summary(plan, devices=DEVICES, steps=STEPS)
+
+    def run_both():
+        fused = ShardedProgramRunner(
+            DEVICES, cache=session.cache, fuse=True).execute(
+                plan, grid, STEPS)
+        unfused = ShardedProgramRunner(
+            DEVICES, cache=session.cache, fuse=False).execute(
+                plan, grid, STEPS)
+        return fused, unfused
+
+    fused, unfused = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    assert fused.halo_exchange_count == summary.fused.exchange_count
+    assert unfused.halo_exchange_count == summary.unfused.exchange_count
+    assert fused.halo_exchange_count < unfused.halo_exchange_count
+    assert np.array_equal(fused.output, unfused.output)
+
+    _ROWS["executed"] = {
+        "fused_exchanges": fused.halo_exchange_count,
+        "unfused_exchanges": unfused.halo_exchange_count,
+        "fused_halo_seconds": fused.halo_exchange_seconds,
+        "unfused_halo_seconds": unfused.halo_exchange_seconds,
+        "fused_elapsed_seconds": fused.elapsed_seconds,
+        "unfused_elapsed_seconds": unfused.elapsed_seconds,
+        "bit_identical": True,
+    }
+    print(f"\nExecuted — fused {fused.halo_exchange_count} vs unfused "
+          f"{unfused.halo_exchange_count} exchanges; halo time "
+          f"{fused.halo_exchange_seconds * 1e6:.2f} vs "
+          f"{unfused.halo_exchange_seconds * 1e6:.2f} us (bit-identical)")
+
+
+def test_save_results(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    save_results("program_fusion", _ROWS,
+                 config={"shape": list(SHAPE), "steps": STEPS,
+                         "devices": DEVICES,
+                         "programs": {name: stages
+                                      for name, stages in PROGRAMS}})

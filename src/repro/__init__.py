@@ -5,8 +5,8 @@ Scientific Stencil Computations via Structured Sparsity Transformation*
 (SC'25).  The package contains:
 
 * :mod:`repro.stencils` — stencil patterns, grids, boundary conditions
-  (``dirichlet`` / ``periodic`` / ``reflect``), golden references and the
-  benchmark catalog;
+  (``dirichlet`` / ``periodic`` / ``reflect`` / ``neumann(flux=...)``),
+  golden references and the benchmark catalog;
 * :mod:`repro.tcu` — a functional + cost model of an A100-class GPU with
   dense and 2:4-sparse Tensor Cores;
 * :mod:`repro.core` — the paper's contribution: Adaptive Layout Morphing,
@@ -25,6 +25,11 @@ Scientific Stencil Computations via Structured Sparsity Transformation*
   that takes a typed :class:`Problem` plus a :class:`SolvePolicy`
   (``auto | single | sharded | served | baseline:<name>``) and returns a
   uniform :class:`Solution` with provenance of which engine actually ran;
+* :mod:`repro.programs` — multi-stage stencil programs: a
+  :class:`StencilProgram` DAG of named stages compiled stage-by-stage
+  through the cache into one program fingerprint, executed with one
+  boundary fill per stage and cross-stage fused halo exchanges when
+  sharded (``Problem(program=...)`` routes here);
 * :mod:`repro.obs` — observability: a structured :class:`Tracer` whose spans
   follow a request end to end (queue wait, coalescing, routing, compiles,
   per-round sweeps and halo exchanges), a process-wide
@@ -62,6 +67,9 @@ from repro.stencils import (
     BoundaryCondition,
     BOUNDARY_CONDITIONS,
     apply_boundary,
+    boundary_flux,
+    boundary_kind,
+    neumann,
     normalize_boundary,
     Grid,
     GridPartition,
@@ -126,7 +134,23 @@ from repro.engine import (
     ShardedRunResult,
 )
 from repro.baselines import get_baseline, available_baselines, all_methods
-from repro.analysis import cache_amortization, compare_methods, sharded_scaling
+from repro.analysis import (
+    cache_amortization,
+    compare_methods,
+    program_fusion_summary,
+    sharded_scaling,
+)
+from repro.programs import (
+    STATE,
+    ProgramPlan,
+    ProgramRunner,
+    ProgramStage,
+    ShardedProgramRunner,
+    StencilProgram,
+    compile_program,
+    model_program,
+    run_program_reference,
+)
 from repro.session import (
     Problem,
     SolvePolicy,
@@ -147,7 +171,7 @@ from repro.obs import (
     reset_global_registry,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "StencilPattern",
@@ -155,6 +179,9 @@ __all__ = [
     "BoundaryCondition",
     "BOUNDARY_CONDITIONS",
     "apply_boundary",
+    "boundary_flux",
+    "boundary_kind",
+    "neumann",
     "normalize_boundary",
     "Grid",
     "GridPartition",
@@ -212,7 +239,17 @@ __all__ = [
     "all_methods",
     "cache_amortization",
     "compare_methods",
+    "program_fusion_summary",
     "sharded_scaling",
+    "STATE",
+    "ProgramStage",
+    "StencilProgram",
+    "ProgramPlan",
+    "ProgramRunner",
+    "ShardedProgramRunner",
+    "compile_program",
+    "model_program",
+    "run_program_reference",
     "Problem",
     "SolvePolicy",
     "Provenance",

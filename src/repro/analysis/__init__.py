@@ -33,6 +33,10 @@ from repro.analysis.scaling import (
     per_shard_utilization,
     sharded_scaling,
 )
+from repro.analysis.programs import (
+    ProgramFusionSummary,
+    program_fusion_summary,
+)
 from repro.analysis.report import render_markdown_report, write_report
 from repro.analysis.tracing import (
     SpanNode,
@@ -65,6 +69,8 @@ __all__ = [
     "deep_halo_tradeoff",
     "per_shard_utilization",
     "sharded_scaling",
+    "ProgramFusionSummary",
+    "program_fusion_summary",
     "render_markdown_report",
     "write_report",
     "SpanNode",

@@ -1,0 +1,110 @@
+"""Program-level analysis: what cross-stage fusion buys.
+
+A fused :class:`~repro.programs.StencilProgram` exchanges halos once per
+*group* of consecutive equal-radius stages instead of once per stage.  This
+module prices both schedules with :func:`repro.programs.model_program` (the
+same arithmetic the routing scheduler and the sharded program runner bill
+with) and reports the modelled savings — exchange count, exposed
+communication seconds and wall time — so the fusion benchmark and the README
+table can quote numbers without executing a single sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.util.validation import require
+
+__all__ = ["ProgramFusionSummary", "program_fusion_summary"]
+
+
+@dataclass(frozen=True)
+class ProgramFusionSummary:
+    """Modelled fused-vs-unfused comparison of one compiled program.
+
+    ``exchanges_removed`` is the number of halo exchanges fusion eliminates
+    over the whole run; ``fused``/``unfused`` are the underlying
+    :class:`~repro.programs.ProgramCostModel` records.  When the program
+    cannot shard at all, both models carry ``sharded_seconds=None`` and the
+    savings are zero by construction.
+    """
+
+    program: str
+    steps: int
+    devices: int
+    fused: Any      # repro.programs.ProgramCostModel
+    unfused: Any    # repro.programs.ProgramCostModel
+
+    @property
+    def shardable(self) -> bool:
+        return self.fused.sharded_seconds is not None
+
+    @property
+    def exchanges_removed(self) -> int:
+        return self.unfused.exchange_count - self.fused.exchange_count
+
+    @property
+    def exchange_reduction(self) -> float:
+        """Fraction of the unfused run's exchanges that fusion removes."""
+        if self.unfused.exchange_count == 0:
+            return 0.0
+        return self.exchanges_removed / self.unfused.exchange_count
+
+    @property
+    def exposed_seconds_saved(self) -> float:
+        return self.unfused.exposed_seconds - self.fused.exposed_seconds
+
+    @property
+    def wall_seconds_saved(self) -> float:
+        if not self.shardable:
+            return 0.0
+        return self.unfused.sharded_seconds - self.fused.sharded_seconds
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "program": self.program,
+            "steps": self.steps,
+            "devices": self.devices,
+            "shardable": self.shardable,
+            "fused_groups": [list(group) for group in self.fused.groups],
+            "halo_depth": self.fused.halo_depth,
+            "fused_exchanges": self.fused.exchange_count,
+            "unfused_exchanges": self.unfused.exchange_count,
+            "exchanges_removed": self.exchanges_removed,
+            "exchange_reduction": self.exchange_reduction,
+            "exposed_seconds_saved": self.exposed_seconds_saved,
+            "wall_seconds_saved": self.wall_seconds_saved,
+            "single_seconds": self.fused.single_seconds,
+            "fused_sharded_seconds": self.fused.sharded_seconds,
+            "unfused_sharded_seconds": self.unfused.sharded_seconds,
+        }
+
+
+def program_fusion_summary(plan: Any, *, devices: int = 2, steps: int = 1,
+                           shard_grid: Optional[Sequence[int]] = None,
+                           overlap: bool = True) -> ProgramFusionSummary:
+    """Price ``plan`` fused and unfused on the same partition geometry.
+
+    ``plan`` is a :class:`~repro.programs.ProgramPlan` (from
+    :func:`repro.programs.compile_program`); the two cost models differ only
+    in the ``fuse`` flag, so every other term — partition, interconnect,
+    overlap arithmetic — cancels and the delta is purely what grouped
+    exchanges buy.
+    """
+    from repro.programs import ProgramPlan, model_program
+
+    require(isinstance(plan, ProgramPlan),
+            f"plan must be a ProgramPlan, got {type(plan).__name__}")
+    fused = model_program(plan, devices=devices, steps=steps,
+                          shard_grid=shard_grid, fuse=True, overlap=overlap)
+    unfused = model_program(plan, devices=devices, steps=steps,
+                            shard_grid=shard_grid, fuse=False,
+                            overlap=overlap)
+    return ProgramFusionSummary(
+        program=plan.program.name,
+        steps=steps,
+        devices=devices,
+        fused=fused,
+        unfused=unfused,
+    )

@@ -222,6 +222,31 @@ def _section_obs_overhead(data: dict) -> List[str]:
     return lines + [""]
 
 
+def _section_program_fusion(data: dict) -> List[str]:
+    lines = ["## Stencil programs — cross-stage fusion exchange savings", ""]
+    rows = []
+    for name, entry in sorted(data.get("modelled", {}).items()):
+        groups = entry.get("fused_groups", [])
+        stage_count = sum(len(group) for group in groups)
+        rows.append([name, stage_count,
+                     entry.get("unfused_exchanges", "?"),
+                     f"{entry.get('fused_exchanges', '?')} "
+                     f"(depth {entry.get('halo_depth', '?')})",
+                     f"{entry.get('exchange_reduction', 0.0):.0%}",
+                     _ms(entry.get("exposed_seconds_saved"))])
+    lines += _table(["program", "stages", "unfused exchanges",
+                     "fused exchanges", "removed", "exposed comm saved"],
+                    rows)
+    executed = data.get("executed")
+    if executed:
+        lines += ["",
+                  f"Executed check: fused {executed.get('fused_exchanges')} "
+                  f"vs unfused {executed.get('unfused_exchanges')} exchanges, "
+                  "bit-identical output "
+                  f"({'yes' if executed.get('bit_identical') else 'NO'})."]
+    return lines + [""]
+
+
 _SECTIONS = {
     "fig6_sota_comparison": _section_fig6,
     "fig7_breakdown": _section_fig7,
@@ -233,6 +258,7 @@ _SECTIONS = {
     "server_load": _section_server_load,
     "backend_comparison": _section_backend_comparison,
     "obs_overhead": _section_obs_overhead,
+    "program_fusion": _section_program_fusion,
 }
 
 

@@ -312,7 +312,8 @@ def compile_stencil(
         for small kernels; Figure 6 applies the same to SparStencil).
     boundary:
         Halo behaviour between sweeps (``"dirichlet"`` / ``"periodic"`` /
-        ``"reflect"``, see :mod:`repro.stencils.boundary`).  Must match the
+        ``"reflect"`` / ``"neumann(flux=...)"``, see
+        :mod:`repro.stencils.boundary`).  Must match the
         boundary condition of the grids the plan will execute on.
     backend:
         Execution backend for the plan's sweeps (a registered name from

@@ -65,10 +65,11 @@ from repro.util.parallel import default_workers, parallel_map
 from repro.util.validation import require, require_positive_int
 
 __all__ = ["ShardedExecutor", "ShardedRunResult", "HaloRoundModel",
-           "model_round", "model_schedule", "window_plan_seconds"]
+           "model_round", "model_schedule", "window_plan_seconds",
+           "window_request", "build_shard_phases", "run_shard_phase"]
 
 
-def _window_request(compiled: CompiledStencil, device, shape: Tuple[int, ...]):
+def window_request(compiled: CompiledStencil, device, shape: Tuple[int, ...]):
     """The compile request for one shard window: the global plan's layout
     (``r1``/``r2`` pinned, no search) at the window's shape — the pinning
     that makes shard-local tiles bit-identical to the global ones."""
@@ -116,7 +117,7 @@ def window_plan_seconds(compiled: CompiledStencil, spec: MultiDeviceSpec,
     distinct = {}
     for rows in shapes:
         for shape in rows:
-            request = _window_request(compiled, spec.device, shape)
+            request = window_request(compiled, spec.device, shape)
             distinct.setdefault(shape, request)
     parallel_map(cache.get_or_compile, list(distinct.values()),
                  max_workers=max_workers)
@@ -218,6 +219,87 @@ def _interior_cells(partition: GridPartition, shard) -> int:
         trim = sum(radius for f in faces if f[0] == axis)
         cells *= max(0, extent - trim)
     return cells
+
+
+def build_shard_phases(compiled: CompiledStencil, spec: MultiDeviceSpec,
+                       partition: GridPartition, cache=None,
+                       max_workers: Optional[int] = None
+                       ) -> List[List[_ShardPhase]]:
+    """Compile (or fetch) one plan per (shard, window size), pinned to the
+    global layout.
+
+    Plans go through the compile cache keyed by the canonical fingerprint,
+    so the typical partition — interior shards all the same shape, edge
+    shards sharing a handful of remainder shapes, window shapes repeating
+    across shards — compiles each distinct shape exactly once.  Shared by
+    :class:`ShardedExecutor` and the program runner in
+    :mod:`repro.programs.executor`, which builds one phase table per stage
+    over a common partition.
+    """
+    from repro.service.cache import CompileCache
+
+    if cache is None:
+        cache = CompileCache(
+            capacity=max(8, partition.n_shards * partition.halo_depth))
+
+    def request_for(shape: Tuple[int, ...]):
+        return window_request(compiled, spec.device, shape)
+
+    geometry = []       # (shard, mult) -> window/writeback/shape
+    requests = {}
+    for shard in partition.shards:
+        rows = []
+        for mult in range(partition.halo_depth):
+            window = partition.window(shard, mult)
+            shape = tuple(s.stop - s.start for s in window)
+            whole = shape == shard.subgrid_shape and all(
+                s.start == 0 for s in window)
+            rows.append((window, shape, whole))
+            request = request_for(shape)
+            requests.setdefault(request.fingerprint, request)
+        geometry.append(rows)
+    parallel_map(cache.get_or_compile, list(requests.values()),
+                 max_workers=max_workers)
+
+    phases: List[List[_ShardPhase]] = []
+    for shard, rows in zip(partition.shards, geometry):
+        shard_rows = []
+        for mult, (window, shape, whole) in enumerate(rows):
+            plan = cache.get_or_compile(request_for(shape))
+            context = prepare_sweep(plan, spec.device)
+            traffic = plan.plan.estimate.traffic
+            shard_rows.append(_ShardPhase(
+                context=context,
+                window=window,
+                writeback=partition.window_writeback(shard, mult),
+                whole=whole,
+                out_cells=math.prod(
+                    partition.window_out_shape(shard, mult)),
+                dram_bytes=float(traffic.global_bytes
+                                 + traffic.metadata_bytes
+                                 + traffic.lut_bytes),
+            ))
+        phases.append(shard_rows)
+    return phases
+
+
+def run_shard_phase(phase: _ShardPhase, local: np.ndarray,
+                    radius: int) -> LaunchResult:
+    """One shard sweep on its current window.
+
+    A whole-array window runs in place (the classic ``halo_depth=1``
+    path).  A shrunken window is copied to a contiguous buffer — shard
+    plans index C-contiguous storage — swept there, and its computed
+    outputs written back; the window's input ring is read-only and never
+    written back.
+    """
+    if phase.whole:
+        return run_sweep(phase.context, local)
+    buffer = np.ascontiguousarray(local[phase.window])
+    result = run_sweep(phase.context, buffer)
+    local[phase.writeback] = buffer[tuple(
+        slice(radius, s - radius) for s in buffer.shape)]
+    return result
 
 
 @dataclass(frozen=True)
@@ -501,61 +583,9 @@ class ShardedExecutor:
 
     def _shard_phases(self, compiled: CompiledStencil, spec: MultiDeviceSpec,
                       partition: GridPartition) -> List[List[_ShardPhase]]:
-        """Compile (or fetch) one plan per (shard, window size), pinned to
-        the global layout.
-
-        Plans go through the compile cache keyed by the canonical
-        fingerprint, so the typical partition — interior shards all the same
-        shape, edge shards sharing a handful of remainder shapes, window
-        shapes repeating across shards — compiles each distinct shape
-        exactly once.
-        """
-        from repro.service.cache import CompileCache
-
-        cache = self.cache
-        if cache is None:
-            cache = CompileCache(
-                capacity=max(8, partition.n_shards * partition.halo_depth))
-
-        def request_for(shape: Tuple[int, ...]):
-            return _window_request(compiled, spec.device, shape)
-
-        geometry = []       # (shard, mult) -> window/writeback/shape
-        requests = {}
-        for shard in partition.shards:
-            rows = []
-            for mult in range(partition.halo_depth):
-                window = partition.window(shard, mult)
-                shape = tuple(s.stop - s.start for s in window)
-                whole = shape == shard.subgrid_shape and all(
-                    s.start == 0 for s in window)
-                rows.append((window, shape, whole))
-                request = request_for(shape)
-                requests.setdefault(request.fingerprint, request)
-            geometry.append(rows)
-        parallel_map(cache.get_or_compile, list(requests.values()),
-                     max_workers=self.max_workers)
-
-        phases: List[List[_ShardPhase]] = []
-        for shard, rows in zip(partition.shards, geometry):
-            shard_rows = []
-            for mult, (window, shape, whole) in enumerate(rows):
-                plan = cache.get_or_compile(request_for(shape))
-                context = prepare_sweep(plan, spec.device)
-                traffic = plan.plan.estimate.traffic
-                shard_rows.append(_ShardPhase(
-                    context=context,
-                    window=window,
-                    writeback=partition.window_writeback(shard, mult),
-                    whole=whole,
-                    out_cells=math.prod(
-                        partition.window_out_shape(shard, mult)),
-                    dram_bytes=float(traffic.global_bytes
-                                     + traffic.metadata_bytes
-                                     + traffic.lut_bytes),
-                ))
-            phases.append(shard_rows)
-        return phases
+        return build_shard_phases(compiled, spec, partition,
+                                  cache=self.cache,
+                                  max_workers=self.max_workers)
 
     # ------------------------------------------------------------------ #
     # execution
@@ -563,21 +593,7 @@ class ShardedExecutor:
     @staticmethod
     def _run_phase(phase: _ShardPhase, local: np.ndarray,
                    radius: int) -> LaunchResult:
-        """One shard sweep on its current window.
-
-        A whole-array window runs in place (the classic ``halo_depth=1``
-        path).  A shrunken window is copied to a contiguous buffer — shard
-        plans index C-contiguous storage — swept there, and its computed
-        outputs written back; the window's input ring is read-only and never
-        written back.
-        """
-        if phase.whole:
-            return run_sweep(phase.context, local)
-        buffer = np.ascontiguousarray(local[phase.window])
-        result = run_sweep(phase.context, buffer)
-        local[phase.writeback] = buffer[tuple(
-            slice(radius, s - radius) for s in buffer.shape)]
-        return result
+        return run_shard_phase(phase, local, radius)
 
     def execute(self, compiled: CompiledStencil, grid: Grid,
                 iterations: int) -> ShardedRunResult:

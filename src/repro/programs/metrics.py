@@ -1,0 +1,87 @@
+"""Per-stage compile-cache attribution for stencil programs.
+
+:meth:`repro.service.cache.CompileCache.get_or_compile` reports what it did
+per call (``"hit"`` / ``"disk"`` / ``"compile"``), but the cache itself only
+keeps aggregate counters — it cannot say *which program stage* paid for a
+compile.  :class:`StageCacheAttribution` keeps that breakdown, keyed
+``"<program>/<stage>"``, and publishes it as the ``program_stage_cache``
+section of the global :class:`~repro.obs.metrics.MetricsRegistry` snapshot.
+A warm re-solve of an N-stage program is then visible as N stage rows whose
+hit counters advanced and whose compile counters did not.
+
+Tests swap the global registry with
+:func:`repro.obs.metrics.reset_global_registry`, which drops every provider;
+the accessor re-registers the singleton whenever the registry identity it
+last registered with has changed.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional
+
+from repro.obs.metrics import MetricsRegistry, global_registry
+
+__all__ = [
+    "StageCacheAttribution",
+    "stage_cache_attribution",
+]
+
+_EVENTS = ("hit", "disk", "compile")
+
+
+class StageCacheAttribution:
+    """Thread-safe per-stage hit/disk/compile counters.
+
+    One row per ``"<program>/<stage>"`` key; each row is a plain dict of the
+    three event counters.  :meth:`snapshot` is the registry provider.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rows: Dict[str, Dict[str, int]] = {}
+
+    def record(self, program: str, stage: str,
+               events: Iterable[str]) -> None:
+        key = f"{program}/{stage}"
+        with self._lock:
+            row = self._rows.setdefault(
+                key, {event: 0 for event in _EVENTS})
+            for event in events:
+                if event in row:
+                    row[event] += 1
+
+    def row(self, program: str, stage: str) -> Dict[str, int]:
+        """A copy of one stage's counters (zeros when never recorded)."""
+        with self._lock:
+            row = self._rows.get(f"{program}/{stage}")
+            return dict(row) if row else {event: 0 for event in _EVENTS}
+
+    def snapshot(self) -> Dict[str, Dict[str, int]]:
+        with self._lock:
+            return {key: dict(row) for key, row in self._rows.items()}
+
+    def reset(self) -> None:
+        with self._lock:
+            self._rows.clear()
+
+
+_LOCK = threading.Lock()
+_SINGLETON: Optional[StageCacheAttribution] = None
+_REGISTERED_WITH: Optional[MetricsRegistry] = None
+
+
+def stage_cache_attribution() -> StageCacheAttribution:
+    """The process-wide attribution table, registered (and re-registered
+    after a registry reset) as the ``program_stage_cache`` snapshot
+    section."""
+    global _SINGLETON, _REGISTERED_WITH
+    registry = global_registry()
+    with _LOCK:
+        if _SINGLETON is None:
+            _SINGLETON = StageCacheAttribution()
+        if _REGISTERED_WITH is not registry:
+            registry.register_provider("program_stage_cache",
+                                       _SINGLETON.snapshot)
+            _REGISTERED_WITH = registry
+        return _SINGLETON

@@ -239,6 +239,80 @@ class DevicePoolScheduler:
                           f"{self.min_speedup:.2f}x threshold")
         return best
 
+    def decide_program(self, plan: "Any", steps: int,
+                       free_devices: Optional[int] = None) -> RoutingDecision:
+        """Routing decision for a compiled stencil *program*
+        (:class:`repro.programs.ProgramPlan`).
+
+        Prices the sharded round schedule with
+        :func:`repro.programs.executor.model_program` — the same partition
+        geometry, interconnect model and overlap arithmetic as
+        :meth:`decide` — and applies the identical ``min_speedup`` /
+        ``max_halo_fraction`` gates.  The halo depth is not searched here:
+        a program's depth is its fusion-group span (consecutive equal-radius
+        stages under one exchange), clamped by the geometry.
+        """
+        from repro.programs.executor import model_program
+
+        require_positive_int(steps, "steps")
+        free = self.ledger.free if free_devices is None else free_devices
+        free = max(0, min(free, self.pool.device_count))
+        step_seconds = plan.single_step_seconds
+
+        def single(reason: str) -> RoutingDecision:
+            return RoutingDecision(
+                executor="single", devices=1, reason=reason,
+                sweep_seconds=step_seconds, modelled_speedup=1.0,
+                halo_fraction=0.0)
+
+        if free < 2:
+            return single("pool busy: fewer than 2 devices free")
+
+        best: Optional[RoutingDecision] = None
+        devices = 2
+        while devices <= free:
+            spec = self.pool.with_overrides(
+                device=plan.stages[0].compiled[0].spec, device_count=devices)
+            model = model_program(plan, devices=devices, steps=steps,
+                                  fuse=True, overlap=self.overlap, spec=spec)
+            if model.sharded_seconds is not None:
+                speedup = model.single_seconds / model.sharded_seconds \
+                    if model.sharded_seconds > 0 else 0.0
+                halo_fraction = model.exposed_seconds / model.sharded_seconds \
+                    if model.sharded_seconds > 0 else 0.0
+                if (halo_fraction <= self.max_halo_fraction
+                        and (best is None
+                             or speedup > best.modelled_speedup)):
+                    best = RoutingDecision(
+                        executor="sharded", devices=devices,
+                        reason=f"modelled {speedup:.2f}x on {devices} "
+                               f"devices ({len(model.groups)} fused "
+                               f"group(s)/step, depth {model.halo_depth})",
+                        sweep_seconds=step_seconds,
+                        modelled_speedup=speedup,
+                        halo_fraction=halo_fraction,
+                        halo_depth=model.halo_depth,
+                        overlap=self.overlap)
+            elif best is None:
+                # remember why sharding is off the table (chain/radius/
+                # geometry); larger counts cannot fix a structural reason
+                return single(model.reason)
+            devices *= 2
+        if best is None or best.modelled_speedup < self.min_speedup:
+            return single("latency-bound: modelled sharded speedup below "
+                          f"{self.min_speedup:.2f}x threshold")
+        return best
+
+    def spec_for_program(self, decision: RoutingDecision,
+                         plan: "Any") -> MultiDeviceSpec:
+        """The cluster slice a sharded program runs on — ``decision.devices``
+        copies of the device the program's stages were compiled for, joined
+        by the pool's interconnect (the program analogue of
+        :meth:`spec_for`)."""
+        return self.pool.with_overrides(
+            device=plan.stages[0].compiled[0].spec,
+            device_count=decision.devices)
+
     # ------------------------------------------------------------------ #
     # lease integration
     # ------------------------------------------------------------------ #

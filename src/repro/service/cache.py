@@ -33,8 +33,10 @@ __all__ = ["CacheStats", "CacheEntry", "CompileCache", "rebrand"]
 #: Schema version of the persisted-plan payload.  Bumped to 2 when the
 #: execution backend joined the payload: version-1 files carry no backend
 #: field, so they cannot prove which backend compiled them and are treated
-#: as plain misses.
-_PERSIST_PAYLOAD_VERSION = 2
+#: as plain misses.  Bumped to 3 with the ``neumann(flux=...)`` boundary
+#: family (compile fingerprint payload v4): plans persisted under the old
+#: vocabulary are treated as misses rather than trusted across the change.
+_PERSIST_PAYLOAD_VERSION = 3
 
 
 _PIPELINE_VERSION: Optional[str] = None

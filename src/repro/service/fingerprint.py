@@ -92,10 +92,14 @@ def compile_fingerprint(options: CompileOptions) -> str:
     never be served for a problem with another.  The execution backend is
     fingerprinted for the same reason (and the payload version bumped to v3
     when it joined): backends differ numerically, so a cache must never
-    serve a plan across backends — in memory or from disk.
+    serve a plan across backends — in memory or from disk.  v4 marks the
+    ``neumann(flux=...)`` boundary family joining the vocabulary: the flux
+    rides inside the canonical boundary string (``repr`` round-trip exact),
+    and the version bump keeps pre-neumann fingerprints from colliding with
+    post-neumann ones.
     """
     payload = (
-        "sparstencil-compile-v3",
+        "sparstencil-compile-v4",
         _canon_pattern(options.pattern),
         options.grid_shape,
         options.dtype.value,

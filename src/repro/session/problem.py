@@ -74,17 +74,31 @@ class Problem:
     :meth:`repro.service.BatchReport.by_tag`).
     """
 
-    pattern: "Any"              # repro.stencils.pattern.StencilPattern
-    grid: "Any"                 # repro.stencils.grid.Grid
-    iterations: int
+    pattern: Optional["Any"] = None  # repro.stencils.pattern.StencilPattern
+    grid: "Any" = None               # repro.stencils.grid.Grid
+    iterations: int = 0
     options: Dict[str, Any] = field(default_factory=dict)
     tag: Optional[str] = None
     dtype: InitVar[Optional[Any]] = None
+    program: Optional["Any"] = None  # repro.programs.StencilProgram
 
     def __post_init__(self, dtype: Optional[Any]) -> None:
+        from repro.util.validation import require, require_positive_int
+
         self.options = dict(self.options)
         if dtype is not None:
             self.options.setdefault("dtype", dtype)
+        require((self.pattern is None) != (self.program is None),
+                "a Problem takes exactly one of pattern= or program=")
+        require(self.grid is not None, "a Problem needs a grid")
+        require_positive_int(self.iterations, "iterations")
+
+    @property
+    def is_program(self) -> bool:
+        """Whether this problem is a multi-stage
+        :class:`~repro.programs.StencilProgram` rather than a single
+        pattern."""
+        return self.program is not None
 
     def compile_request(self) -> "Any":
         """The canonical, fingerprinted compile request of this problem.
@@ -98,6 +112,10 @@ class Problem:
         from repro.stencils.boundary import normalize_boundary
         from repro.util.validation import require
 
+        require(not self.is_program,
+                "a program Problem has no single compile request — compile "
+                "it with repro.programs.compile_program (or let the session "
+                "route it)")
         options = dict(self.options)
         grid_boundary = normalize_boundary(
             getattr(self.grid, "boundary", None))
@@ -121,7 +139,10 @@ class Problem:
         return tuple(self.grid.shape)
 
     def describe(self) -> str:
-        return (f"{self.pattern.name} on {self.grid_shape} "
+        what = (f"program {self.program.name!r} "
+                f"({len(self.program.stages)} stages)"
+                if self.is_program else self.pattern.name)
+        return (f"{what} on {self.grid_shape} "
                 f"x{self.iterations} iterations"
                 + (f" [{self.tag}]" if self.tag else ""))
 
@@ -213,6 +234,14 @@ class Provenance:
     ``trace_id`` links the solution to its spans when the session solved it
     under an enabled :class:`repro.obs.Tracer` (empty otherwise) — any
     served answer is auditable back to its queue-wait/compile/sweep spans.
+
+    For program problems (:class:`~repro.programs.StencilProgram`),
+    ``stage_fingerprints`` lists every stage tap's compile fingerprint in
+    execution order (``"stage:fingerprint"`` strings; multi-tap stages
+    contribute one entry per tap) and ``fusion_groups`` records the fusion
+    decision the run executed — the stage names sharing each halo exchange
+    (singleton groups on the single-device path, where no exchange exists
+    to fuse).  Both stay empty for plain pattern problems.
     """
 
     mode_requested: str
@@ -225,6 +254,8 @@ class Provenance:
     boundary: str = "dirichlet"
     backend: str = "tcu-sim"
     trace_id: str = ""
+    stage_fingerprints: Tuple[str, ...] = ()
+    fusion_groups: Tuple[Tuple[str, ...], ...] = ()
 
     def as_dict(self) -> Dict[str, Any]:
         return {
@@ -238,6 +269,8 @@ class Provenance:
             "boundary": self.boundary,
             "backend": self.backend,
             "trace_id": self.trace_id,
+            "stage_fingerprints": list(self.stage_fingerprints),
+            "fusion_groups": [list(group) for group in self.fusion_groups],
         }
 
 

@@ -34,6 +34,7 @@ __all__ = [
     "ShardedSessionExecutor",
     "ServedSessionExecutor",
     "BaselineSessionExecutor",
+    "ProgramSessionExecutor",
     "ExecutorRegistry",
     "default_registry",
 ]
@@ -265,6 +266,101 @@ class BaselineSessionExecutor(SessionExecutor):
             tag=problem.tag)
 
 
+class ProgramSessionExecutor(SessionExecutor):
+    """Execute a multi-stage :class:`~repro.programs.StencilProgram` problem.
+
+    The session routes every ``Problem(program=...)`` here regardless of the
+    policy mode; this executor then resolves the mode itself — ``single``
+    runs the :class:`~repro.programs.ProgramRunner`, ``sharded`` the
+    :class:`~repro.programs.ShardedProgramRunner`, and ``auto`` asks the
+    session scheduler's :meth:`~repro.server.scheduler.DevicePoolScheduler.
+    decide_program` (the same min-speedup / halo-fraction gates as plain
+    kernels).  ``served`` and ``baseline:*`` modes do not apply to programs
+    and are rejected.  The provenance records the program fingerprint's
+    constituents: every stage tap's compile fingerprint plus the fusion
+    groups the run executed.
+    """
+
+    name = "program"
+
+    def solve(self, session, problem, policy, *, cache, compiled=None,
+              compile_request=None, mode_requested=None, reason=""):
+        from repro.programs import (
+            ProgramRunner,
+            ShardedProgramRunner,
+            compile_program,
+        )
+
+        kind = policy.mode_kind
+        if kind not in ("auto", "single", "sharded"):
+            raise ValidationError(
+                f"program problems route through auto/single/sharded; "
+                f"mode {policy.mode!r} is not supported for programs")
+        plan = compiled
+        if plan is None:
+            plan = compile_program(problem.program, problem.grid, cache,
+                                   options=dict(problem.options))
+        mode = kind
+        decision = None
+        if mode == "auto":
+            # direct solves decide against the full pool, like the
+            # session's plain-kernel auto route (no lease is taken)
+            decision = session.scheduler.decide_program(
+                plan, problem.iterations,
+                free_devices=session.pool.device_count)
+            mode = decision.executor
+            reason = reason or decision.reason
+
+        if mode == "sharded":
+            if policy.devices is not None:
+                devices = policy.devices
+            elif decision is not None:
+                devices = session.scheduler.spec_for_program(decision, plan)
+            else:
+                devices = session.pool
+            max_workers = policy.max_workers \
+                if policy.max_workers is not None \
+                else session.config.max_workers
+            runner = ShardedProgramRunner(
+                devices, shard_grid=policy.shard_grid, cache=cache,
+                max_workers=max_workers, overlap=policy.overlap)
+            result = runner.execute(plan, problem.grid, problem.iterations)
+            devices_used = result.device_count
+            fusion_groups = runner.partition(plan)[1]
+            reason = reason or "explicit sharded program route"
+        else:
+            result = ProgramRunner().execute(plan, problem.grid,
+                                             problem.iterations)
+            devices_used = 1
+            # no exchange exists on one device, so nothing fuses: the
+            # executed grouping is one stage per group
+            fusion_groups = tuple(
+                (name,) for name in plan.program.stage_names)
+            reason = reason or "explicit single-device program route"
+
+        result = self._tagged(result, problem.tag)
+        stage_fingerprints = tuple(
+            f"{cstage.name}:{fingerprint}"
+            for cstage in plan.stages
+            for fingerprint in cstage.fingerprints)
+        return Solution(
+            result=result,
+            compiled=plan,
+            fingerprint=plan.fingerprint,
+            provenance=Provenance(
+                mode_requested=mode_requested or policy.mode,
+                executor=self.name,
+                engine=plan.engine,
+                devices=devices_used,
+                reason=reason,
+                delegate=mode,
+                boundary=plan.boundary,
+                backend=plan.backend,
+                stage_fingerprints=stage_fingerprints,
+                fusion_groups=fusion_groups),
+            tag=problem.tag)
+
+
 class ExecutorRegistry:
     """Mode-name → executor-factory table of one session.
 
@@ -313,4 +409,5 @@ def default_registry() -> ExecutorRegistry:
     registry.register("single", SingleDeviceSessionExecutor)
     registry.register("sharded", ShardedSessionExecutor)
     registry.register("served", ServedSessionExecutor)
+    registry.register("program", ProgramSessionExecutor)
     return registry

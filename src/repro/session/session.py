@@ -179,7 +179,9 @@ class StencilSession:
         # context, and the trace id is stamped into the provenance so the
         # answer stays auditable back to its spans.
         with self.tracer.span(
-                "solve", pattern=problem.pattern.name,
+                "solve",
+                pattern=(f"program:{problem.program.name}"
+                         if problem.is_program else problem.pattern.name),
                 grid_shape=problem.grid_shape,
                 iterations=problem.iterations,
                 mode_requested=policy.mode, tag=problem.tag) as root_span:
@@ -188,7 +190,11 @@ class StencilSession:
             compile_request = None
             reason = ""
             mode = policy.mode
-            if mode == "auto":
+            if problem.is_program:
+                # program problems always route through the program
+                # executor, which resolves auto/single/sharded itself
+                mode = "program"
+            elif mode == "auto":
                 compile_request = problem.compile_request()
                 compiled = call_cache.get_or_compile(compile_request) \
                     if call_cache is not None else compile_request.compile()
@@ -300,7 +306,8 @@ class StencilSession:
         if existing == policy.backend:
             return problem
         rebound = Problem(problem.pattern, problem.grid, problem.iterations,
-                          options=dict(problem.options), tag=problem.tag)
+                          options=dict(problem.options), tag=problem.tag,
+                          program=problem.program)
         rebound.options["backend"] = policy.backend
         return rebound
 
@@ -314,11 +321,25 @@ class StencilSession:
         decides against live occupancy instead)."""
         if compiled is None:
             compiled = self.compile(problem)
+        if problem.is_program:
+            return self.scheduler.decide_program(
+                compiled, problem.iterations,
+                free_devices=self.pool.device_count)
         return self.scheduler.decide(compiled, problem.iterations,
                                      free_devices=self.pool.device_count)
 
     def compile(self, problem: Problem) -> Any:
-        """Compile (or fetch) the plan for ``problem`` through the cache."""
+        """Compile (or fetch) the plan for ``problem`` through the cache.
+
+        Program problems compile stage by stage into a
+        :class:`~repro.programs.ProgramPlan`; plain pattern problems into a
+        :class:`~repro.core.pipeline.CompiledStencil`.
+        """
+        if problem.is_program:
+            from repro.programs import compile_program
+
+            return compile_program(problem.program, problem.grid, self.cache,
+                                   options=dict(problem.options))
         return self.cache.get_or_compile(problem.compile_request())
 
     def server(self, *, window_seconds: Optional[float] = None,

@@ -7,6 +7,9 @@ from repro.stencils.boundary import (
     BoundaryCondition,
     BOUNDARY_CONDITIONS,
     apply_boundary,
+    boundary_flux,
+    boundary_kind,
+    neumann,
     normalize_boundary,
 )
 from repro.stencils.grid import Grid, make_grid
@@ -31,6 +34,9 @@ __all__ = [
     "BoundaryCondition",
     "BOUNDARY_CONDITIONS",
     "apply_boundary",
+    "boundary_flux",
+    "boundary_kind",
+    "neumann",
     "normalize_boundary",
     "Grid",
     "make_grid",

@@ -42,9 +42,10 @@ class Grid:
     boundary:
         How halo cells behave between sweeps (see
         :mod:`repro.stencils.boundary`): ``"dirichlet"`` (default — held
-        fixed), ``"periodic"`` (wrap-around) or ``"reflect"`` (mirrored,
-        approximating zero-flux Neumann).  Every execution path consumes
-        this, and it enters the canonical compile fingerprint.
+        fixed), ``"periodic"`` (wrap-around), ``"reflect"`` (mirrored,
+        zero-flux Neumann) or ``"neumann(flux=...)"`` (mirror plus a
+        prescribed-gradient bias).  Every execution path consumes this,
+        and it enters the canonical compile fingerprint.
     """
 
     data: np.ndarray
@@ -112,7 +113,7 @@ def make_grid(
         RNG seed for the random workload.
     boundary:
         Boundary condition carried on the grid (``"dirichlet"`` /
-        ``"periodic"`` / ``"reflect"``).
+        ``"periodic"`` / ``"reflect"`` / ``"neumann(flux=...)"``).
     """
     shape = tuple(require_positive_int(s, "grid extent") for s in shape)
     require_in(len(shape), (1, 2, 3), "grid ndim")

@@ -39,10 +39,12 @@ global edges: under ``dirichlet`` the global halo stays fixed; under
 ``periodic`` the exchange wraps around — the shard at the low edge of an
 axis receives from the shard at the high edge (possibly itself when the
 axis has a single shard); under ``reflect`` each edge shard mirrors its own
-first/last interior cells into the out-facing halo.  All three run inside
-the same dimension-ordered stages, so the stacked-corner property (and with
-it bit-identity to the single-device :func:`~repro.stencils.boundary.
-apply_boundary` fill) holds for every condition.
+first/last interior cells into the out-facing halo, and ``neumann(flux=...)``
+adds the same affine bias (:func:`~repro.stencils.boundary.neumann_bias`) to
+the mirrored strip.  All of them run inside the same dimension-ordered
+stages, so the stacked-corner property (and with it bit-identity to the
+single-device :func:`~repro.stencils.boundary.apply_boundary` fill) holds
+for every condition.
 """
 
 from __future__ import annotations
@@ -55,9 +57,13 @@ import numpy as np
 
 from repro.stencils.boundary import (
     DIRICHLET,
+    NEUMANN,
     PERIODIC,
     REFLECT,
     axis_slice as _axis_slice,
+    boundary_flux,
+    boundary_kind,
+    neumann_bias,
     normalize_boundary,
 )
 from repro.util.arrays import ceil_div
@@ -226,6 +232,7 @@ class _ExchangeOp:
     axis: int
     remote_elements: int           # elements billed as interconnect traffic
     local: bool                    # True for mirror fills and self copies
+    bias: Optional[np.ndarray] = None  # neumann affine term added post-flip
 
 
 @dataclass(frozen=True)
@@ -590,19 +597,27 @@ class GridPartition:
                                           local_len - width, local_len)
                     neighbor = self.halo_source(shard, axis, direction)
                     if neighbor is None:
-                        if self.boundary == REFLECT:
-                            # mirror own interior into the out-facing halo
+                        if boundary_kind(self.boundary) in (REFLECT, NEUMANN):
+                            # mirror own interior into the out-facing halo,
+                            # plus the affine flux bias for a neumann wall
+                            flux = boundary_flux(self.boundary)
                             if direction < 0:
                                 src = _axis_slice(self.ndim, axis,
                                                   lo, lo + width)
+                                side = "low"
                             else:
                                 src = _axis_slice(
                                     self.ndim, axis,
                                     lo + out_len - width, lo + out_len)
+                                side = "high"
+                            bias = None
+                            if flux != 0.0:
+                                bias = neumann_bias(self.ndim, axis, width,
+                                                    flux, side=side)
                             ops.append(_ExchangeOp(
                                 kind="mirror", dst=flat, dst_slices=dst,
                                 src=flat, src_slices=src, axis=axis,
-                                remote_elements=0, local=True))
+                                remote_elements=0, local=True, bias=bias))
                         continue  # dirichlet: halo stays fixed
                     src_flat = self.flat_index(neighbor.index)
                     n_lo = neighbor.lo_ghost[axis]
@@ -637,8 +652,10 @@ class GridPartition:
         elements = 0
         for op in ops:
             if op.kind == "mirror":
-                locals_[op.dst][op.dst_slices] = np.flip(
-                    locals_[op.src][op.src_slices], axis=op.axis)
+                strip = np.flip(locals_[op.src][op.src_slices], axis=op.axis)
+                if op.bias is not None:
+                    strip = strip + op.bias
+                locals_[op.dst][op.dst_slices] = strip
             else:
                 locals_[op.dst][op.dst_slices] = \
                     locals_[op.src][op.src_slices]
@@ -653,8 +670,9 @@ class GridPartition:
         supplying shard, boundary faces follow :attr:`boundary` —
         ``dirichlet`` holds the out-facing halo fixed, ``periodic``
         exchanges across the edge with the wrap-around shard (the same copy
-        geometry as an interior exchange) and ``reflect`` mirrors the
-        shard's own first/last ``radius`` interior cells into the halo.  The
+        geometry as an interior exchange) and ``reflect`` /
+        ``neumann(flux=...)`` mirror the shard's own first/last ``radius``
+        interior cells into the halo (plus the affine flux bias).  The
         stages mirror :func:`repro.stencils.boundary.apply_boundary`
         exactly, which keeps sharded sweeps bit-identical to single-device
         ones.

@@ -20,8 +20,11 @@ from repro import (
     Problem,
     StencilSession,
     apply_boundary,
+    boundary_flux,
+    boundary_kind,
     compile_stencil,
     make_grid,
+    neumann,
     normalize_boundary,
 )
 from repro.engine import ShardedExecutor, SingleDeviceExecutor
@@ -51,9 +54,28 @@ class TestVocabulary:
 
     def test_normalize_rejects_unknown(self):
         with pytest.raises(ValidationError):
-            normalize_boundary("neumann")
+            normalize_boundary("open")
         with pytest.raises(ValidationError):
             normalize_boundary(7)
+        with pytest.raises(ValidationError):
+            normalize_boundary("neumann(flux=spam)")
+        with pytest.raises(ValidationError):
+            normalize_boundary("neumann(flux=inf)")
+
+    def test_neumann_normalisation(self):
+        # zero flux IS reflect — both spellings collapse onto one name
+        assert normalize_boundary("neumann") == "reflect"
+        assert normalize_boundary("neumann(flux=0.0)") == "reflect"
+        assert neumann(0.0) == "reflect"
+        # non-zero flux canonicalises to a repr-round-trip-exact string
+        assert neumann(0.25) == "neumann(flux=0.25)"
+        assert normalize_boundary(" Neumann( flux = 0.25 ) ") \
+            == "neumann(flux=0.25)"
+        assert normalize_boundary("neumann(0.25)") == "neumann(flux=0.25)"
+        assert boundary_kind(neumann(0.25)) == "neumann"
+        assert boundary_flux(neumann(0.25)) == 0.25
+        assert boundary_kind("reflect") == "reflect"
+        assert boundary_flux("periodic") == 0.0
 
 
 class TestApplyBoundary:
@@ -94,6 +116,43 @@ class TestApplyBoundary:
         out = apply_boundary(data, 2, "periodic")
         assert out is data
         np.testing.assert_array_equal(data[2:-2, 2:-2], interior)
+
+    @pytest.mark.parametrize("shape,radius", [
+        ((32,), 1), ((32,), 3), ((24, 20), 2),
+    ])
+    def test_neumann_is_reflect_plus_flux_times_separation(self, shape,
+                                                           radius):
+        flux = 0.375
+        rng = np.random.default_rng(3)
+        data = rng.random(shape)
+        mirrored = apply_boundary(data.copy(), radius, "reflect")
+        filled = apply_boundary(data.copy(), radius, neumann(flux))
+        diff = filled - mirrored
+        # interior untouched, and each ghost layer offset by flux times the
+        # cell-centre separation from its mirror source (1, 3, 5, ... going
+        # outward), accumulated per axis through the stacked corner fills
+        interior = tuple(slice(radius, s - radius) for s in shape)
+        np.testing.assert_array_equal(diff[interior], 0.0)
+        for axis in range(len(shape)):
+            edge = [slice(radius, s - radius) for s in shape]
+            for q in range(radius):
+                edge[axis] = slice(shape[axis] - radius + q,
+                                   shape[axis] - radius + q + 1)
+                np.testing.assert_allclose(diff[tuple(edge)],
+                                           flux * (2 * q + 1), atol=1e-12)
+                edge[axis] = slice(radius - 1 - q, radius - q)
+                np.testing.assert_allclose(diff[tuple(edge)],
+                                           flux * (2 * q + 1), atol=1e-12)
+
+    def test_neumann_radius_one_gradient_across_wall(self):
+        flux = -0.5
+        data = np.random.default_rng(7).random((16, 16))
+        apply_boundary(data, 1, neumann(flux))
+        # ghost minus adjacent interior equals the prescribed outward flux
+        np.testing.assert_allclose(data[0, 1:-1] - data[1, 1:-1], flux,
+                                   atol=1e-12)
+        np.testing.assert_allclose(data[-1, 1:-1] - data[-2, 1:-1], flux,
+                                   atol=1e-12)
 
     def test_interior_shorter_than_radius_rejected(self):
         # a 10-cell grid at radius 3 leaves a 4-cell interior (>= 3: fine);
@@ -187,7 +246,7 @@ class TestPartitionBoundary:
             shard_grid = tuple(int(rng.integers(1, 4)) for _ in range(ndim))
             shape = tuple(int(2 * radius + radius * c + rng.integers(0, 10))
                           for c in shard_grid)
-            boundary = ("periodic", "reflect")[cases % 2]
+            boundary = ("periodic", "reflect", neumann(0.25))[cases % 3]
             try:
                 part = GridPartition.build(shape, radius, shard_grid,
                                            boundary=boundary)
@@ -223,7 +282,7 @@ class TestPartitionBoundary:
     def test_self_wrap_and_mirror_are_free(self):
         # one shard: periodic wraps onto itself, reflect mirrors locally —
         # halos are filled but nothing crosses an interconnect
-        for boundary in ("periodic", "reflect"):
+        for boundary in ("periodic", "reflect", neumann(-0.5)):
             part = GridPartition.build((34, 34), 1, (1, 1),
                                        boundary=boundary)
             assert part.messages_per_shard() == (0,)
@@ -241,9 +300,13 @@ BIT_IDENTITY_WORKLOADS = [
     ("box2d9p", (66, 66), 2),
 ]
 
+#: The full condition matrix engines must stay bit-identical under — the
+#: closed vocabulary plus a non-zero-flux neumann representative.
+BOUNDARY_MATRIX = BOUNDARY_CONDITIONS + (neumann(0.125),)
+
 
 class TestEngineBoundary:
-    @pytest.mark.parametrize("boundary", BOUNDARY_CONDITIONS)
+    @pytest.mark.parametrize("boundary", BOUNDARY_MATRIX)
     @pytest.mark.parametrize("devices", [1, 2, 4])
     @pytest.mark.parametrize("fixture_name,shape,iterations",
                              BIT_IDENTITY_WORKLOADS,
@@ -259,7 +322,7 @@ class TestEngineBoundary:
         assert np.array_equal(single.output, sharded.output)
 
     def test_engine_matches_reference_under_every_boundary(self, heat2d):
-        for boundary in BOUNDARY_CONDITIONS:
+        for boundary in BOUNDARY_MATRIX:
             grid = make_grid((64, 64), seed=9, boundary=boundary)
             compiled = compile_stencil(heat2d, (64, 64), boundary=boundary)
             result = SingleDeviceExecutor().execute(compiled, grid, 3)
@@ -306,12 +369,13 @@ class TestFingerprintIsolation:
     def test_problems_differing_only_in_boundary_fingerprint_apart(
             self, heat2d):
         prints = set()
-        for boundary in BOUNDARY_CONDITIONS:
+        matrix = BOUNDARY_MATRIX + (neumann(0.5),)
+        for boundary in matrix:
             problem = Problem(heat2d,
                               make_grid((64, 64), seed=2, boundary=boundary),
                               iterations=2)
             prints.add(problem.compile_request().fingerprint)
-        assert len(prints) == len(BOUNDARY_CONDITIONS)
+        assert len(prints) == len(matrix)
 
     def test_explicit_option_agrees_with_grid_or_raises(self, heat2d):
         problem = Problem(heat2d, make_grid((64, 64), boundary="periodic"),
