@@ -30,6 +30,11 @@ Scientific Stencil Computations via Structured Sparsity Transformation*
   through the cache into one program fingerprint, executed with one
   boundary fill per stage and cross-stage fused halo exchanges when
   sharded (``Problem(program=...)`` routes here);
+* :mod:`repro.lint` — two-tier static analysis: Tier-1 domain pre-flight
+  diagnostics (``session.check(problem)``, ``program.lint()``, the opt-in
+  :class:`StencilServer` admission gate) and a Tier-2 AST linter enforcing
+  the repo's own invariants (``python -m repro.lint src/``), both speaking
+  one :class:`Diagnostic` vocabulary of ``SPxxx`` codes;
 * :mod:`repro.obs` — observability: a structured :class:`Tracer` whose spans
   follow a request end to end (queue wait, coalescing, routing, compiles,
   per-round sweeps and halo exchanges), a process-wide
@@ -125,7 +130,16 @@ from repro.server import (
     ServerResult,
     QueueFullError,
     DeadlineExceededError,
+    LintRejectedError,
     ServerClosedError,
+)
+from repro.lint import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    check_problem,
+    lint_program,
+    rule_table,
 )
 from repro.engine import (
     SweepExecutor,
@@ -229,7 +243,14 @@ __all__ = [
     "ServerResult",
     "QueueFullError",
     "DeadlineExceededError",
+    "LintRejectedError",
     "ServerClosedError",
+    "Diagnostic",
+    "DiagnosticReport",
+    "Severity",
+    "check_problem",
+    "lint_program",
+    "rule_table",
     "SweepExecutor",
     "SingleDeviceExecutor",
     "ShardedExecutor",

@@ -247,6 +247,31 @@ def _section_program_fusion(data: dict) -> List[str]:
     return lines + [""]
 
 
+def _section_lint(data: dict) -> List[str]:
+    """Summarise a ``python -m repro.lint --json`` export: severity counts
+    plus the per-code tally, with each code's worst finding as a sample."""
+    lines = ["## Static analysis — repro.lint report", ""]
+    counts = data.get("counts", {})
+    lines.append(f"Checked `{', '.join(data.get('paths', []) or ['?'])}`: "
+                 f"{counts.get('error', 0)} errors, "
+                 f"{counts.get('warning', 0)} warnings, "
+                 f"{counts.get('info', 0)} infos.")
+    lines.append("")
+    diagnostics = data.get("diagnostics", [])
+    if diagnostics:
+        by_code: Dict[str, List[dict]] = {}
+        for diag in diagnostics:
+            by_code.setdefault(diag.get("code", "?"), []).append(diag)
+        rows = [[code, group[0].get("severity", "?"), len(group),
+                 f"`{group[0].get('location', '?')}`: "
+                 f"{group[0].get('message', '')}"]
+                for code, group in sorted(by_code.items())]
+        lines += _table(["code", "severity", "count", "first finding"], rows)
+    else:
+        lines.append("_Clean — no findings._")
+    return lines + [""]
+
+
 _SECTIONS = {
     "fig6_sota_comparison": _section_fig6,
     "fig7_breakdown": _section_fig7,
@@ -259,6 +284,7 @@ _SECTIONS = {
     "backend_comparison": _section_backend_comparison,
     "obs_overhead": _section_obs_overhead,
     "program_fusion": _section_program_fusion,
+    "lint_report": _section_lint,
 }
 
 

@@ -74,7 +74,9 @@ class AMOSBaseline(Baseline):
                 registers_per_thread=128,
             )
             result = execute_launch(launch, spec)
-            assert result.output is not None
+            if result.output is None:
+                raise RuntimeError(
+                    f"{launch.name} produced no functional output")
             current[interior] = result.output.reshape(flattened.out_shape)
             # AMOS's mapping inefficiency multiplies the issued fragment work.
             elapsed += max(result.compute_seconds * self.mapping_inefficiency,

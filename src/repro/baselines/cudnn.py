@@ -73,7 +73,9 @@ class CudnnBaseline(Baseline):
                 registers_per_thread=36,
             )
             result = execute_launch(launch, spec)
-            assert result.output is not None
+            if result.output is None:
+                raise RuntimeError(
+                    f"{launch.name} produced no functional output")
             current[interior] = result.output.reshape(flattened.out_shape)
             elapsed += result.elapsed_seconds
             compute_s += result.compute_seconds

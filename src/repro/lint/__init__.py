@@ -1,0 +1,46 @@
+"""``repro.lint`` — the two-tier static-analysis subsystem.
+
+One shared :class:`Diagnostic` vocabulary (:mod:`repro.lint.diagnostics`)
+backs two tiers:
+
+* **Tier 1** (:mod:`repro.lint.domain`, ``SP1xx``): pre-flight analyzers
+  over :class:`~repro.session.Problem` / ``StencilProgram`` /
+  :class:`~repro.session.SolvePolicy` / configs — surfaced as
+  :meth:`repro.StencilSession.check`,
+  :meth:`repro.programs.StencilProgram.lint`, and the opt-in
+  :class:`~repro.server.facade.StencilServer` admission gate
+  (``ServerConfig(lint_admission=True)``);
+* **Tier 2** (:mod:`repro.lint.repo`, ``SP2xx``): the AST-based
+  repo-invariant linter, run as ``python -m repro.lint src/``.
+
+``python -m repro.lint --codes`` prints the full rule table.
+"""
+
+from repro.lint.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    RuleInfo,
+    Severity,
+    rule_table,
+)
+from repro.lint.domain import (
+    check_config,
+    check_problem,
+    lint_program,
+    lint_program_wiring,
+)
+from repro.lint.repo import lint_file, lint_paths
+
+__all__ = [
+    "Diagnostic",
+    "DiagnosticReport",
+    "RuleInfo",
+    "Severity",
+    "check_config",
+    "check_problem",
+    "lint_file",
+    "lint_paths",
+    "lint_program",
+    "lint_program_wiring",
+    "rule_table",
+]

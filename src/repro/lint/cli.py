@@ -1,0 +1,67 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Runs the Tier-2 repo-invariant linter over the given files/directories
+(default ``src``) and exits non-zero on any ``error`` finding —
+``--strict`` also fails on warnings.  ``--json`` writes the full
+:class:`~repro.lint.diagnostics.DiagnosticReport` for tooling (the
+``lint_report`` section of :mod:`repro.analysis.report` renders it), and
+``--codes`` prints the registered rule table of *both* tiers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.lint.diagnostics import rule_table
+from repro.lint.repo import lint_paths
+
+__all__ = ["main"]
+
+
+def _print_codes() -> None:
+    rows = [(info.code, f"tier {info.tier}", info.severity.value,
+             info.title, info.hint) for info in rule_table()]
+    widths = [max(len(row[i]) for row in rows) for i in range(4)]
+    for row in rows:
+        cells = [row[i].ljust(widths[i]) for i in range(4)]
+        print("  ".join(cells) + (f"  — {row[4]}" if row[4] else ""))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="SparStencil repo-invariant linter (Tier 2)")
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--strict", action="store_true",
+                        help="fail on warnings as well as errors")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the full report as JSON to PATH")
+    parser.add_argument("--codes", action="store_true",
+                        help="print the registered diagnostic-code table "
+                             "(both tiers) and exit")
+    args = parser.parse_args(argv)
+
+    if args.codes:
+        _print_codes()
+        return 0
+
+    missing: List[str] = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        print(f"no such path(s): {', '.join(missing)}", file=sys.stderr)
+        return 2
+
+    report = lint_paths(args.paths)
+    print(report.render())
+    if args.json is not None:
+        payload = {"paths": [str(p) for p in args.paths],
+                   **report.as_dict()}
+        Path(args.json).write_text(json.dumps(payload, indent=2),
+                                   encoding="utf-8")
+    failing = len(report.errors) + (len(report.warnings)
+                                    if args.strict else 0)
+    return 1 if failing else 0

@@ -1,0 +1,107 @@
+"""Pinned repo-invariant declarations consumed by :mod:`repro.lint.repo`.
+
+Everything the Tier-2 linter enforces against a *declared* contract lives
+here, in one reviewable place: the lock hierarchy, the modules allowed to
+read wall clocks, the fingerprint payload manifest, and the pragma tokens
+that suppress individual findings.  Changing behaviour elsewhere in the
+repo without updating this file is exactly what the linter exists to
+catch — a drift between declaration and code is an ``error`` finding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Tuple
+
+__all__ = [
+    "LOCK_HIERARCHY",
+    "LOCK_COMPONENT_MODULES",
+    "TIMING_MODULE_PREFIXES",
+    "TIMING_ALLOWLIST",
+    "FINGERPRINT_MANIFEST",
+    "PRAGMA_PREFIX",
+    "ALLOW_BROAD_EXCEPT",
+    "ALLOW_ASSERT",
+    "ALLOW_TIMING",
+    "ALLOW_LOCK_ORDER",
+]
+
+#: The declared lock-acquisition order: a thread holding a lock of one
+#: component may only acquire locks (or call into the guarded state) of
+#: components with an *equal or higher* rank.  cache → ledger → telemetry:
+#: the compile cache sits lowest because engine workers call it while the
+#: ledger tracks their lease, and telemetry observes both, so telemetry
+#: must never be entered lock-held from below.
+LOCK_HIERARCHY: Dict[str, int] = {
+    "cache": 0,
+    "ledger": 1,
+    "telemetry": 2,
+}
+
+#: Which modules own each ranked component's locks.  Only these modules are
+#: checked by the lock-order rule (SP205): a module outside the table holds
+#: no ranked lock, so its nesting cannot violate the hierarchy.
+LOCK_COMPONENT_MODULES: Dict[str, str] = {
+    "repro.service.cache": "cache",
+    "repro.tcu.occupancy": "ledger",
+    "repro.server.telemetry": "telemetry",
+    "repro.obs.metrics": "telemetry",
+}
+
+#: Module prefixes that may read wall clocks freely — the observability
+#: layer and the timing utilities exist to wrap the clock for everyone
+#: else.
+TIMING_MODULE_PREFIXES: Tuple[str, ...] = ("repro.obs", "repro.util.timing")
+
+#: Modules with a reviewed, legitimate reason to read the clock directly
+#: (deadlines, batching windows, modelled-versus-wall accounting).  A new
+#: clock call-site anywhere else is an SP203 error: route it through
+#: :mod:`repro.util.timing` / :mod:`repro.obs` or extend this list in the
+#: same change that reviews it.
+TIMING_ALLOWLIST: FrozenSet[str] = frozenset({
+    "repro.engine.sharded",
+    "repro.engine.single",
+    "repro.programs.compile",
+    "repro.programs.executor",
+    "repro.server.coalesce",
+    "repro.server.facade",
+    "repro.server.queue",
+    "repro.server.telemetry",
+    "repro.service.batch",
+    "repro.service.cache",
+    "repro.tcu.occupancy",
+})
+
+#: The pinned fingerprint manifest (SP206): for every versioned payload
+#: literal built by a fingerprint function, the exact set of ``options.*``
+#: fields it may consume.  Consuming a field not listed here — i.e. adding
+#: a fingerprinted field without bumping the payload version and re-pinning
+#: the manifest — is an error: cached plans compiled under the old payload
+#: would silently alias the new one.
+FINGERPRINT_MANIFEST: Dict[str, FrozenSet[str]] = {
+    "sparstencil-compile-v4": frozenset({
+        "backend",
+        "block_hint",
+        "boundary",
+        "conversion_method",
+        "dtype",
+        "engine",
+        "fragment",
+        "grid_shape",
+        "pattern",
+        "r1",
+        "r2",
+        "search",
+        "spec",
+        "temporal_fusion",
+    }),
+    # the program payload hashes stage fingerprints, not options fields
+    "sparstencil-program-v1": frozenset(),
+}
+
+#: Suppression pragmas: ``# lint: <token>`` on the flagged line (or the
+#: line directly above it) silences the matching rule at that site.
+PRAGMA_PREFIX = "lint:"
+ALLOW_BROAD_EXCEPT = "allow-broad-except"
+ALLOW_ASSERT = "allow-assert"
+ALLOW_TIMING = "allow-timing"
+ALLOW_LOCK_ORDER = "allow-lock-order"

@@ -1,0 +1,241 @@
+"""Shared diagnostic vocabulary of the two-tier static-analysis subsystem.
+
+Both tiers of :mod:`repro.lint` — the domain pre-flight analyzers
+(:mod:`repro.lint.domain`, ``SP1xx``) and the AST-based repo-invariant
+linter (:mod:`repro.lint.repo`, ``SP2xx``) — speak one language:
+
+* a :class:`Diagnostic` carries a registered rule *code*, a
+  :class:`Severity` (``error`` findings reject work, ``warning`` findings
+  flag modelled inefficiency, ``info`` findings explain routing), a human
+  message, a *location* (``path:line`` for repo findings, a dotted
+  problem/policy path for domain findings), a structured ``details``
+  mapping for tooling, and a fix *hint*;
+* a :class:`DiagnosticReport` is the immutable, severity-ordered outcome
+  of one analysis run — what :meth:`repro.StencilSession.check`,
+  :meth:`repro.programs.StencilProgram.lint` and the CLI all return.
+
+Every rule registers itself at import time through :func:`register_rule`,
+so the CLI ``--codes`` listing and the README table render from one source
+of truth (:func:`rule_table`).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.util.validation import require
+
+__all__ = [
+    "Severity",
+    "Diagnostic",
+    "DiagnosticReport",
+    "RuleInfo",
+    "register_rule",
+    "rule_info",
+    "rule_table",
+]
+
+
+class Severity(str, enum.Enum):
+    """How seriously a finding should be taken.
+
+    ``error`` — the configuration cannot (or must not) execute: the
+    admission gate rejects it and the CLI exits non-zero.  ``warning`` —
+    the configuration executes but the model predicts waste (clamped
+    halos, sub-crossover sharding).  ``info`` — an explanation of a
+    routing consequence, never a defect.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+    INFO = "info"
+
+    @property
+    def rank(self) -> int:
+        """Sort key: errors first, info last."""
+        return {"error": 0, "warning": 1, "info": 2}[self.value]
+
+
+@dataclass(frozen=True)
+class RuleInfo:
+    """Registry entry documenting one diagnostic code."""
+
+    code: str
+    title: str
+    severity: Severity
+    tier: int            #: 1 = domain pre-flight, 2 = repo invariant
+    hint: str = ""
+
+
+_RULES: Dict[str, RuleInfo] = {}
+
+
+def register_rule(code: str, title: str, severity: Severity, *,
+                  tier: int, hint: str = "") -> RuleInfo:
+    """Register (or idempotently re-register) one diagnostic code."""
+    require(code.startswith("SP") and code[2:].isdigit(),
+            f"diagnostic codes look like 'SP101', got {code!r}")
+    require(tier in (1, 2), f"tier must be 1 or 2, got {tier!r}")
+    info = RuleInfo(code=code, title=title, severity=Severity(severity),
+                    tier=tier, hint=hint)
+    existing = _RULES.get(code)
+    require(existing is None or existing == info,
+            f"diagnostic code {code} already registered with a different "
+            f"definition")
+    _RULES[code] = info
+    return info
+
+
+def _ensure_rules_loaded() -> None:
+    # Rules register at import time of their home module; pull both tiers
+    # in so the table is complete no matter which entry point ran first.
+    from repro.lint import domain, repo  # noqa: F401
+
+
+def rule_info(code: str) -> RuleInfo:
+    """The registered :class:`RuleInfo` for ``code`` (raises if unknown)."""
+    if code not in _RULES:
+        _ensure_rules_loaded()
+    require(code in _RULES, f"unknown diagnostic code {code!r}")
+    return _RULES[code]
+
+
+def rule_table() -> Tuple[RuleInfo, ...]:
+    """Every registered rule, ordered by code — the CLI ``--codes`` listing
+    and the README diagnostic table are generated from this."""
+    _ensure_rules_loaded()
+    return tuple(_RULES[code] for code in sorted(_RULES))
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: a coded, located, explained rule violation."""
+
+    code: str
+    severity: Severity
+    message: str
+    location: str = ""
+    details: Dict[str, Any] = field(default_factory=dict)
+    hint: str = ""
+
+    def render(self) -> str:
+        where = f" at {self.location}" if self.location else ""
+        out = f"{self.code} {self.severity.value}{where}: {self.message}"
+        if self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "severity": self.severity.value,
+            "message": self.message,
+            "location": self.location,
+            "details": dict(self.details),
+            "hint": self.hint,
+        }
+
+
+def emit(code: str, message: str, *, location: str = "",
+         details: Optional[Dict[str, Any]] = None,
+         severity: Optional[Severity] = None,
+         hint: Optional[str] = None) -> Diagnostic:
+    """Build a :class:`Diagnostic`, defaulting severity and hint from the
+    rule registry so every finding of a code stays consistent."""
+    info = rule_info(code)
+    return Diagnostic(
+        code=code,
+        severity=Severity(severity) if severity is not None else info.severity,
+        message=message,
+        location=location,
+        details=dict(details or {}),
+        hint=hint if hint is not None else info.hint)
+
+
+@dataclass(frozen=True)
+class DiagnosticReport:
+    """The immutable outcome of one analysis run, severity-ordered."""
+
+    diagnostics: Tuple[Diagnostic, ...] = ()
+
+    @classmethod
+    def build(cls, diagnostics: Iterable[Diagnostic]) -> "DiagnosticReport":
+        ordered = sorted(diagnostics,
+                         key=lambda d: (d.severity.rank, d.code, d.location))
+        return cls(diagnostics=tuple(ordered))
+
+    def __iter__(self) -> Iterator[Diagnostic]:
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    # -- views ------------------------------------------------------------ #
+    def _with_severity(self, severity: Severity) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.severity is severity)
+
+    @property
+    def errors(self) -> Tuple[Diagnostic, ...]:
+        return self._with_severity(Severity.ERROR)
+
+    @property
+    def warnings(self) -> Tuple[Diagnostic, ...]:
+        return self._with_severity(Severity.WARNING)
+
+    @property
+    def infos(self) -> Tuple[Diagnostic, ...]:
+        return self._with_severity(Severity.INFO)
+
+    @property
+    def ok(self) -> bool:
+        """No error-severity findings (warnings and infos do not veto)."""
+        return not self.errors
+
+    @property
+    def codes(self) -> Tuple[str, ...]:
+        return tuple(d.code for d in self.diagnostics)
+
+    def has(self, code: str) -> bool:
+        return any(d.code == code for d in self.diagnostics)
+
+    def by_code(self, code: str) -> Tuple[Diagnostic, ...]:
+        return tuple(d for d in self.diagnostics if d.code == code)
+
+    def merged(self, other: "DiagnosticReport") -> "DiagnosticReport":
+        return DiagnosticReport.build((*self.diagnostics,
+                                       *other.diagnostics))
+
+    # -- rendering --------------------------------------------------------- #
+    def counts(self) -> Dict[str, int]:
+        return {"error": len(self.errors),
+                "warning": len(self.warnings),
+                "info": len(self.infos)}
+
+    def render(self) -> str:
+        if not self.diagnostics:
+            return "clean: no findings"
+        counts = self.counts()
+        head = ", ".join(f"{n} {sev}(s)" for sev, n in counts.items() if n)
+        lines: List[str] = [head]
+        lines.extend(d.render() for d in self.diagnostics)
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "counts": self.counts(),
+            "diagnostics": [d.as_dict() for d in self.diagnostics],
+        }
+
+    def raise_if_errors(self) -> "DiagnosticReport":
+        """Raise :class:`~repro.util.validation.ValidationError` summarising
+        the error findings; returns ``self`` when clean (chainable)."""
+        from repro.util.validation import ValidationError
+
+        if self.errors:
+            summary = "; ".join(f"{d.code}: {d.message}" for d in self.errors)
+            raise ValidationError(
+                f"{len(self.errors)} error finding(s): {summary}")
+        return self

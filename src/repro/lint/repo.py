@@ -1,0 +1,440 @@
+"""Tier 2: the AST-based repo-invariant linter (``python -m repro.lint``).
+
+These rules enforce codebase contracts that no unit test can see — they
+are properties of the *source*, not of any particular execution:
+
+* **SP200** — a file that does not parse;
+* **SP201** — ``except Exception`` / ``except BaseException`` / bare
+  ``except`` outside the reviewed allowlist (a swallowed failure is a
+  silent wrong answer waiting to happen);
+* **SP202** — ``assert`` used for runtime validation in library code
+  (asserts vanish under ``python -O``; raise
+  :class:`~repro.util.validation.ValidationError` instead);
+* **SP203** — direct wall-clock reads (``time.time`` /
+  ``time.perf_counter`` / ...) outside :mod:`repro.obs`,
+  :mod:`repro.util.timing` and the reviewed
+  :data:`~repro.lint.config.TIMING_ALLOWLIST`;
+* **SP204** — a registered ``SessionExecutor.solve`` that never stamps a
+  :class:`~repro.session.problem.Provenance` record;
+* **SP205** — lock acquisition against the declared hierarchy
+  (:data:`~repro.lint.config.LOCK_HIERARCHY`: cache → ledger →
+  telemetry) — holding a ranked lock while entering a strictly
+  lower-ranked component inverts the order and can deadlock;
+* **SP206** — fingerprint-payload drift: a versioned payload builder
+  consuming ``options.*`` fields that do not match the pinned
+  :data:`~repro.lint.config.FINGERPRINT_MANIFEST` (adding a fingerprinted
+  field without bumping the payload version aliases stale cached plans).
+
+Individual findings are suppressed with a ``# lint: allow-<rule>`` pragma
+on the flagged line or the line directly above it — the allowlist *is*
+the pragma, so every exemption is visible at the site it exempts.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.lint.config import (
+    ALLOW_ASSERT,
+    ALLOW_BROAD_EXCEPT,
+    ALLOW_LOCK_ORDER,
+    ALLOW_TIMING,
+    FINGERPRINT_MANIFEST,
+    LOCK_COMPONENT_MODULES,
+    LOCK_HIERARCHY,
+    TIMING_ALLOWLIST,
+    TIMING_MODULE_PREFIXES,
+)
+from repro.lint.diagnostics import (
+    Diagnostic,
+    DiagnosticReport,
+    Severity,
+    emit,
+    register_rule,
+)
+
+__all__ = ["LintedFile", "lint_file", "lint_paths", "module_name_of"]
+
+register_rule("SP200", "file does not parse", Severity.ERROR, tier=2,
+              hint="fix the syntax error; nothing else can be checked")
+register_rule("SP201", "broad exception handler", Severity.ERROR, tier=2,
+              hint="catch the specific exception, or mark a reviewed "
+                   "safety net with `# lint: allow-broad-except`")
+register_rule("SP202", "assert used for runtime validation", Severity.ERROR,
+              tier=2,
+              hint="raise ValidationError (repro.util.validation) — "
+                   "asserts vanish under python -O")
+register_rule("SP203", "wall-clock read outside the timing layer",
+              Severity.ERROR, tier=2,
+              hint="route through repro.util.timing / repro.obs, or extend "
+                   "TIMING_ALLOWLIST in the change that reviews the site")
+register_rule("SP204", "SessionExecutor.solve never stamps Provenance",
+              Severity.ERROR, tier=2,
+              hint="every executor's Solution must carry a Provenance "
+                   "record of what ran and why")
+register_rule("SP205", "lock acquired against the declared hierarchy",
+              Severity.ERROR, tier=2,
+              hint="respect cache -> ledger -> telemetry: never enter a "
+                   "lower-ranked component while holding a higher rank")
+register_rule("SP206", "fingerprint payload drift", Severity.ERROR, tier=2,
+              hint="bump the payload version and re-pin "
+                   "FINGERPRINT_MANIFEST in repro/lint/config.py")
+
+_PRAGMA_TOKEN_RE = re.compile(r"allow-[a-z-]+")
+_CLOCK_ATTRS = frozenset({
+    "time", "perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns",
+    "process_time", "process_time_ns",
+})
+_BROAD_EXCEPTIONS = frozenset({"Exception", "BaseException"})
+
+
+def module_name_of(path: Path) -> str:
+    """Dotted module name of ``path``, rooted at the last ``repro`` package
+    segment (files outside the package lint under their bare stem, so the
+    allowlists — which name ``repro.*`` modules — never exempt them)."""
+    parts = list(path.with_suffix("").parts)
+    if "repro" in parts:
+        idx = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[idx:]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or path.stem
+
+
+def _parse_pragmas(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    out: Dict[int, FrozenSet[str]] = {}
+    for lineno, line in enumerate(lines, 1):
+        if "lint:" not in line:
+            continue
+        tokens = frozenset(
+            _PRAGMA_TOKEN_RE.findall(line.split("lint:", 1)[1]))
+        if tokens:
+            out[lineno] = tokens
+    return out
+
+
+@dataclass(frozen=True)
+class LintedFile:
+    """One parsed source file plus everything the rules need to see."""
+
+    path: Path
+    module: str
+    lines: Tuple[str, ...]
+    pragmas: Dict[int, FrozenSet[str]]
+    tree: ast.Module
+
+    def suppressed(self, lineno: int, token: str) -> bool:
+        return (token in self.pragmas.get(lineno, ())
+                or token in self.pragmas.get(lineno - 1, ()))
+
+    def location(self, lineno: int) -> str:
+        return f"{self.path}:{lineno}"
+
+
+# --------------------------------------------------------------------- #
+# AST helpers
+# --------------------------------------------------------------------- #
+def _attr_tokens(expr: ast.AST) -> Set[str]:
+    """Lower-cased identifier fragments along an attribute/call chain
+    (``self._fingerprint_lock(fp)`` -> {"self", "fingerprint", "lock"})."""
+    tokens: Set[str] = set()
+    node: Optional[ast.AST] = expr
+    while node is not None:
+        if isinstance(node, ast.Call):
+            node = node.func
+        elif isinstance(node, ast.Subscript):
+            node = node.value
+        elif isinstance(node, ast.Attribute):
+            tokens.update(node.attr.lower().split("_"))
+            node = node.value
+        elif isinstance(node, ast.Name):
+            tokens.update(node.id.lower().split("_"))
+            node = None
+        else:
+            node = None
+    tokens.discard("")
+    return tokens
+
+
+def _is_lock_like(expr: ast.AST) -> bool:
+    return "lock" in _attr_tokens(expr)
+
+
+def _lock_component(expr: ast.AST, own: str) -> str:
+    """Which ranked component a lock expression belongs to: an explicit
+    component keyword in its chain wins, else the enclosing module's own."""
+    named = _attr_tokens(expr) & set(LOCK_HIERARCHY)
+    if named:
+        return min(named, key=lambda c: LOCK_HIERARCHY[c])
+    return own
+
+
+# --------------------------------------------------------------------- #
+# rules
+# --------------------------------------------------------------------- #
+def _check_broad_except(file: LintedFile) -> Iterable[Diagnostic]:
+    def is_broad(expr: Optional[ast.expr]) -> bool:
+        if expr is None:
+            return True  # bare except:
+        if isinstance(expr, ast.Name):
+            return expr.id in _BROAD_EXCEPTIONS
+        if isinstance(expr, ast.Attribute):
+            return expr.attr in _BROAD_EXCEPTIONS
+        if isinstance(expr, ast.Tuple):
+            return any(is_broad(e) for e in expr.elts)
+        return False
+
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.ExceptHandler) or not is_broad(node.type):
+            continue
+        if file.suppressed(node.lineno, ALLOW_BROAD_EXCEPT):
+            continue
+        caught = ("bare except" if node.type is None
+                  else ast.unparse(node.type))
+        yield emit("SP201",
+                   f"broad exception handler ({caught}) swallows failures "
+                   f"it cannot understand",
+                   location=file.location(node.lineno),
+                   details={"caught": caught, "module": file.module})
+
+
+def _check_assert(file: LintedFile) -> Iterable[Diagnostic]:
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Assert):
+            continue
+        if file.suppressed(node.lineno, ALLOW_ASSERT):
+            continue
+        yield emit("SP202",
+                   f"assert statement in library code "
+                   f"({ast.unparse(node.test)[:60]}) disappears under "
+                   f"python -O",
+                   location=file.location(node.lineno),
+                   details={"module": file.module})
+
+
+def _check_clock(file: LintedFile) -> Iterable[Diagnostic]:
+    if (file.module.startswith(TIMING_MODULE_PREFIXES)
+            or file.module in TIMING_ALLOWLIST):
+        return
+    for node in ast.walk(file.tree):
+        lineno = getattr(node, "lineno", None)
+        call: Optional[str] = None
+        if (isinstance(node, ast.Attribute)
+                and node.attr in _CLOCK_ATTRS
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "time"):
+            call = f"time.{node.attr}"
+        elif isinstance(node, ast.ImportFrom) and node.module == "time":
+            clocks = sorted(alias.name for alias in node.names
+                            if alias.name in _CLOCK_ATTRS)
+            if clocks:
+                call = f"from time import {', '.join(clocks)}"
+        if call is None or lineno is None:
+            continue
+        if file.suppressed(lineno, ALLOW_TIMING):
+            continue
+        yield emit("SP203",
+                   f"{call} in {file.module}, outside the timing layer",
+                   location=file.location(lineno),
+                   details={"module": file.module, "call": call})
+
+
+def _check_provenance(file: LintedFile) -> Iterable[Diagnostic]:
+    def is_executor_base(base: ast.expr) -> bool:
+        name = base.attr if isinstance(base, ast.Attribute) \
+            else getattr(base, "id", "")
+        return name.endswith("SessionExecutor")
+
+    def is_abstract(fn: ast.FunctionDef) -> bool:
+        return any("abstractmethod" in _attr_tokens(dec)
+                   for dec in fn.decorator_list)
+
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        if not any(is_executor_base(base) for base in node.bases):
+            continue
+        for item in node.body:
+            if not isinstance(item, ast.FunctionDef) or item.name != "solve":
+                continue
+            if is_abstract(item):
+                continue
+            stamps = any(
+                (isinstance(sub, ast.Name) and sub.id == "Provenance")
+                or (isinstance(sub, ast.Attribute)
+                    and sub.attr == "Provenance")
+                for sub in ast.walk(item))
+            if not stamps:
+                yield emit(
+                    "SP204",
+                    f"{node.name}.solve never constructs a Provenance "
+                    f"record — its Solutions are unauditable",
+                    location=file.location(item.lineno),
+                    details={"class": node.name, "module": file.module})
+
+
+def _check_lock_order(file: LintedFile) -> Iterable[Diagnostic]:
+    own = LOCK_COMPONENT_MODULES.get(file.module)
+    if own is None:
+        return
+    own_rank = LOCK_HIERARCHY[own]
+
+    def walk_held(node: ast.AST, held_rank: int,
+                  held_at: int) -> Iterable[Diagnostic]:
+        """Scan a region executed while a lock of ``held_rank`` is held."""
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.With):
+                lock_items = [item for item in child.items
+                              if _is_lock_like(item.context_expr)]
+                inner_rank = held_rank
+                for item in lock_items:
+                    component = _lock_component(item.context_expr, own)
+                    rank = LOCK_HIERARCHY[component]
+                    if (rank < held_rank
+                            and not file.suppressed(child.lineno,
+                                                    ALLOW_LOCK_ORDER)):
+                        yield emit(
+                            "SP205",
+                            f"acquires the {component!r} lock (rank {rank}) "
+                            f"while holding a rank-{held_rank} lock from "
+                            f"line {held_at}",
+                            location=file.location(child.lineno),
+                            details={"module": file.module,
+                                     "held_rank": held_rank,
+                                     "acquired": component,
+                                     "acquired_rank": rank})
+                    inner_rank = max(inner_rank, rank)
+                yield from walk_held(child, inner_rank,
+                                     child.lineno if lock_items else held_at)
+                continue
+            if isinstance(child, ast.Call):
+                lower = {c for c in _attr_tokens(child) & set(LOCK_HIERARCHY)
+                         if LOCK_HIERARCHY[c] < held_rank}
+                lineno = getattr(child, "lineno", held_at)
+                if lower and not file.suppressed(lineno, ALLOW_LOCK_ORDER):
+                    component = min(lower, key=lambda c: LOCK_HIERARCHY[c])
+                    yield emit(
+                        "SP205",
+                        f"calls into the {component!r} component (rank "
+                        f"{LOCK_HIERARCHY[component]}) while holding a "
+                        f"rank-{held_rank} lock from line {held_at}",
+                        location=file.location(lineno),
+                        details={"module": file.module,
+                                 "held_rank": held_rank,
+                                 "entered": component})
+                    continue  # one finding per offending call chain
+            yield from walk_held(child, held_rank, held_at)
+
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.With):
+            continue
+        lock_items = [item for item in node.items
+                      if _is_lock_like(item.context_expr)]
+        if not lock_items:
+            continue
+        rank = max(LOCK_HIERARCHY[_lock_component(item.context_expr, own)]
+                   for item in lock_items)
+        yield from walk_held(node, rank, node.lineno)
+
+
+def _check_fingerprint(file: LintedFile) -> Iterable[Diagnostic]:
+    for node in ast.walk(file.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        versions = [
+            (sub.elts[0].value, sub.elts[0].lineno)
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.Tuple) and sub.elts
+            and isinstance(sub.elts[0], ast.Constant)
+            and isinstance(sub.elts[0].value, str)
+            and sub.elts[0].value.startswith("sparstencil-")
+        ]
+        if not versions:
+            continue
+        consumed = frozenset(
+            sub.attr for sub in ast.walk(node)
+            if isinstance(sub, ast.Attribute)
+            and isinstance(sub.value, ast.Name) and sub.value.id == "options")
+        for version, lineno in versions:
+            pinned = FINGERPRINT_MANIFEST.get(version)
+            if pinned is None:
+                yield emit(
+                    "SP206",
+                    f"payload version {version!r} is not pinned in the "
+                    f"fingerprint manifest",
+                    location=file.location(lineno),
+                    details={"version": version, "module": file.module,
+                             "consumed": sorted(consumed)})
+                continue
+            added = sorted(consumed - pinned)
+            removed = sorted(pinned - consumed)
+            if added or removed:
+                yield emit(
+                    "SP206",
+                    f"payload {version!r} drifted from its pinned manifest "
+                    f"(added {added or 'none'}, removed {removed or 'none'})",
+                    location=file.location(lineno),
+                    details={"version": version, "module": file.module,
+                             "added": added, "removed": removed})
+
+
+_REPO_RULES = (
+    _check_broad_except,
+    _check_assert,
+    _check_clock,
+    _check_provenance,
+    _check_lock_order,
+    _check_fingerprint,
+)
+
+
+# --------------------------------------------------------------------- #
+# engine
+# --------------------------------------------------------------------- #
+def lint_file(path: Union[str, Path]) -> List[Diagnostic]:
+    """Run every Tier-2 rule over one Python source file."""
+    path = Path(path)
+    source = path.read_text(encoding="utf-8")
+    lines = tuple(source.splitlines())
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [emit("SP200", f"file does not parse: {exc.msg}",
+                     location=f"{path}:{exc.lineno or 0}",
+                     details={"error": exc.msg or ""})]
+    file = LintedFile(path=path, module=module_name_of(path), lines=lines,
+                      pragmas=_parse_pragmas(lines), tree=tree)
+    # the lock-order walk re-enters nested `with` blocks, so identical
+    # findings can surface twice — dedupe on (code, location, message)
+    unique: Dict[Tuple[str, str, str], Diagnostic] = {}
+    for rule in _REPO_RULES:
+        for finding in rule(file):
+            unique.setdefault(
+                (finding.code, finding.location, finding.message), finding)
+    return list(unique.values())
+
+
+def iter_python_files(paths: Sequence[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            out.extend(sorted(entry.rglob("*.py")))
+        else:
+            out.append(entry)
+    return out
+
+
+def lint_paths(paths: Sequence[Union[str, Path]]) -> DiagnosticReport:
+    """Lint every ``.py`` file under ``paths``; one merged report."""
+    findings: List[Diagnostic] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_file(path))
+    return DiagnosticReport.build(findings)

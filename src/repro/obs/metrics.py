@@ -346,7 +346,7 @@ class MetricsRegistry:
                 continue
             try:
                 out[name] = fn()
-            except Exception as exc:  # a broken provider must not kill export
+            except Exception as exc:  # lint: allow-broad-except — a broken provider must not kill export
                 out[name] = {"error": f"{type(exc).__name__}: {exc}"}
         return out
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import cached_property
-from typing import Dict, List, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -261,6 +261,23 @@ class StencilProgram:
                               for source, pattern in stage.taps)
             parts.append(f"{stage.name} = {taps}")
         return f"{self.name}: " + "; ".join(parts) + f" -> {self.output}"
+
+    def lint(self, *, grid_shape: Optional[Tuple[int, ...]] = None,
+             boundary: str = "dirichlet", devices: int = 1,
+             spec: Any = None) -> Any:
+        """Static diagnostics for this program: fusion blockers and
+        topology hygiene, reported as a
+        :class:`~repro.lint.DiagnosticReport` without running anything.
+
+        ``grid_shape``/``boundary``/``devices``/``spec`` feed the modelled
+        cost of the halo exchanges a mixed-radius fusion break would force
+        (SP102 details); without them the break is still reported, just
+        unpriced.
+        """
+        from repro.lint.domain import lint_program
+
+        return lint_program(self, grid_shape=grid_shape, boundary=boundary,
+                            devices=devices, spec=spec)
 
     @classmethod
     def chain(cls, name: str,

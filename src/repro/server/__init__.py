@@ -31,6 +31,7 @@ requests and drives those halves as fast as the (simulated) hardware allows:
 
 from repro.server.queue import (
     DeadlineExceededError,
+    LintRejectedError,
     QueuedRequest,
     QueueFullError,
     RequestQueue,
@@ -51,6 +52,7 @@ __all__ = [
     "ServerError",
     "QueueFullError",
     "DeadlineExceededError",
+    "LintRejectedError",
     "ServerClosedError",
     "QueuedRequest",
     "RequestQueue",

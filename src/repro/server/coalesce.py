@@ -19,8 +19,19 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.obs.metrics import global_registry
 from repro.server.queue import QueuedRequest, RequestQueue
 from repro.util.validation import require, require_positive_int
+
+
+def _coalesce_errors():
+    """Counter of faults the collection loop degraded around (fetched per
+    use: tests reset the global registry).  The degradation is deliberate
+    — popped requests are always dispatched, never dropped — but the
+    swallowed fault must not stay invisible."""
+    return global_registry().counter(
+        "server.coalesce_errors",
+        "faults the coalescer degraded around instead of dropping requests")
 
 __all__ = ["MicroBatch", "Coalescer", "coalesce"]
 
@@ -141,8 +152,9 @@ class Coalescer:
                 if item is None:
                     break  # closed mid-window: dispatch what we have
                 gathered.append(item)
-        except Exception:
-            pass  # dispatch what was gathered rather than lose it
+        except Exception:  # lint: allow-broad-except — dispatch, never drop
+            # dispatch what was gathered rather than lose it
+            _coalesce_errors().inc()
         if gathered:
             # The ratio's contract — requests per *non-empty* dispatch
             # window — is encoded here rather than implied: today the EOF
@@ -157,7 +169,8 @@ class Coalescer:
             return coalesce(gathered, self.max_batch_size,
                             window_start=window_open,
                             window_end=window_close)
-        except Exception:
+        except Exception:  # lint: allow-broad-except — degrade to singletons
+            _coalesce_errors().inc()
             return [MicroBatch(item.fingerprint, (item,),
                                window_start=window_open,
                                window_end=window_close)

@@ -36,10 +36,12 @@ from dataclasses import dataclass, replace
 from typing import Any, Dict, Optional, Union
 
 from repro.core.pipeline import StencilRunResult
+from repro.obs.metrics import global_registry
 from repro.obs.trace import NULL_TRACER
 from repro.server.coalesce import Coalescer, MicroBatch
 from repro.server.queue import (
     DeadlineExceededError,
+    LintRejectedError,
     QueuedRequest,
     RequestQueue,
     ServerClosedError,
@@ -48,7 +50,7 @@ from repro.server.queue import (
 from repro.server.scheduler import RouteCancelledError
 from repro.server.telemetry import ServerTelemetry
 from repro.service.cache import CompileCache, rebrand
-from repro.session.problem import Problem
+from repro.session.problem import Problem, SolvePolicy
 from repro.stencils.grid import Grid
 from repro.stencils.pattern import StencilPattern
 from repro.tcu.spec import MultiDeviceSpec
@@ -82,6 +84,13 @@ class ServerConfig:
         routing decision.
     cache_capacity:
         Capacity of the server-owned compile cache when none is injected.
+    lint_admission:
+        Opt-in pre-flight gate: run the Tier-1 diagnostics
+        (:func:`repro.lint.check_problem`) on every submission and reject
+        requests carrying ``error``-severity findings with
+        :class:`~repro.server.queue.LintRejectedError` *before* they take
+        a queue slot.  Rejections increment the ``lint.rejected`` counter
+        in the global :class:`~repro.obs.MetricsRegistry`.
     """
 
     queue_bound: int = 128
@@ -95,6 +104,7 @@ class ServerConfig:
     overlap: bool = True
     cache_capacity: int = 128
     latency_window: int = 2048
+    lint_admission: bool = False
 
 
 @dataclass(frozen=True)
@@ -280,8 +290,10 @@ class StencilServer:
         """Admit one :class:`~repro.session.Problem`; returns immediately.
 
         Raises :class:`~repro.server.queue.QueueFullError` (backpressure),
-        :class:`~repro.server.queue.DeadlineExceededError` (dead on arrival)
-        or :class:`~repro.server.queue.ServerClosedError` — typed, never a
+        :class:`~repro.server.queue.DeadlineExceededError` (dead on arrival),
+        :class:`~repro.server.queue.LintRejectedError` (error-severity
+        pre-flight findings, when ``lint_admission`` is on) or
+        :class:`~repro.server.queue.ServerClosedError` — typed, never a
         silent drop.
         """
         request = problem
@@ -291,6 +303,8 @@ class StencilServer:
         deadline = None if deadline_seconds is None \
             else time.perf_counter() + float(deadline_seconds)
         compile_request = request.compile_request()
+        if self.config.lint_admission:
+            self._lint_admission(request, deadline_seconds)
         span = None
         if self.tracer.enabled:
             # Child of the ambient span when the submitter is inside a
@@ -322,6 +336,32 @@ class StencilServer:
             raise
         item.future.add_done_callback(lambda _: self._settle_pending())
         return SubmitHandle(item)
+
+    def _lint_admission(self, request: Problem,
+                        deadline_seconds: Optional[float]) -> None:
+        """The opt-in pre-flight gate (``ServerConfig(lint_admission=True)``).
+
+        Runs the Tier-1 diagnostics against the server's own scheduler and
+        compile cache — the one compile it may trigger is the same compile
+        dispatch would pay — and rejects requests carrying error-severity
+        findings *before* they take a queue slot.  Rejections are counted
+        by the server telemetry and under ``lint.rejected`` in the global
+        metrics registry.
+        """
+        from repro.lint.domain import check_problem
+
+        report = check_problem(
+            request,
+            SolvePolicy(mode="auto", deadline_seconds=deadline_seconds),
+            scheduler=self.scheduler, cache=self.cache)
+        if report.ok:
+            return
+        global_registry().counter(
+            "lint.rejected",
+            "submissions rejected by the admission lint gate").inc()
+        self.telemetry.submitted()
+        self.telemetry.rejected("LintRejectedError")
+        raise LintRejectedError(report)
 
     def drain(self, timeout: Optional[float] = None) -> None:
         """Block until every accepted request has resolved (ok or error)."""
@@ -402,7 +442,7 @@ class StencilServer:
         while True:
             try:
                 batches = await self.coalescer.collect(self.queue)
-            except Exception:
+            except Exception:  # lint: allow-broad-except — counted, loop lives
                 # collect() only raises before it has popped anything (its
                 # post-pop paths degrade internally), so continuing here
                 # cannot strand a request's future — count it, keep serving
@@ -540,7 +580,7 @@ class StencilServer:
             finally:
                 self.scheduler.ledger.release(lease,
                                               modelled_seconds=modelled)
-        except Exception as exc:  # noqa: BLE001 — futures carry the failure
+        except Exception as exc:  # noqa: BLE001  # lint: allow-broad-except — futures carry the failure
             for item in live:
                 if not item.future.done():
                     self._resolve_error(item, exc, type(exc).__name__)

@@ -28,6 +28,7 @@ __all__ = [
     "QueueFullError",
     "DeadlineExceededError",
     "ServerClosedError",
+    "LintRejectedError",
     "QueuedRequest",
     "RequestQueue",
 ]
@@ -54,6 +55,23 @@ class DeadlineExceededError(ServerError):
 
 class ServerClosedError(ServerError):
     """Submission rejected because the server is shutting down."""
+
+
+class LintRejectedError(ServerError):
+    """Submission rejected by the opt-in pre-flight lint gate
+    (``ServerConfig(lint_admission=True)``): the request carries
+    error-severity diagnostics and would fail — or waste devices — at
+    execution time.  :attr:`report` holds the full
+    :class:`repro.lint.DiagnosticReport` so the caller can see every
+    finding, not just the summary line."""
+
+    def __init__(self, report: Any) -> None:
+        errors = getattr(report, "errors", ())
+        summary = "; ".join(f"{d.code}: {d.message}" for d in errors)
+        super().__init__(
+            f"request rejected by admission lint ({len(errors)} error "
+            f"finding(s)): {summary}")
+        self.report = report
 
 
 @dataclass
@@ -179,7 +197,8 @@ class RequestQueue:
         Raises :class:`asyncio.TimeoutError` when ``timeout`` elapses with
         nothing queued — the coalescer uses that to end its batching window.
         """
-        assert self._wakeup is not None, "bind_loop() must run before get()"
+        if self._wakeup is None:
+            raise RuntimeError("bind_loop() must run before get()")
         deadline = None if timeout is None else time.perf_counter() + timeout
         while True:
             with self._lock:

@@ -35,12 +35,21 @@ import numpy as np
 
 from repro.core.morphing import MorphConfig
 from repro.core.pipeline import CompiledStencil
+from repro.obs.metrics import global_registry
 from repro.stencils.partition import GridPartition
 from repro.tcu.occupancy import DeviceLease, OccupancyLedger
 from repro.tcu.spec import MultiDeviceSpec
-from repro.util.validation import require, require_positive_int
+from repro.util.validation import ValidationError, require, require_positive_int
 
 __all__ = ["RouteCancelledError", "RoutingDecision", "DevicePoolScheduler"]
+
+
+def _infeasible_partitions():
+    """The global-registry counter of sharding candidates the partition
+    geometry rejected (fetched per use: tests reset the registry)."""
+    return global_registry().counter(
+        "scheduler.infeasible_partitions",
+        "sharding candidates rejected by partition geometry")
 
 
 class RouteCancelledError(RuntimeError):
@@ -167,7 +176,11 @@ class DevicePoolScheduler:
             feasible = GridPartition.max_halo_depth(
                 compiled.grid_shape, radius, devices, align=align,
                 boundary=compiled.boundary)
-        except Exception:
+        except ValidationError:
+            # the geometry cannot host this shard count at all — a
+            # modelling fact, not a fault, but counted so a pool that
+            # keeps proposing infeasible candidates stays visible
+            _infeasible_partitions().inc()
             return None
         if self.halo_depth is not None:
             depths = [min(self.halo_depth, feasible)]
@@ -183,7 +196,8 @@ class DevicePoolScheduler:
                 partition = GridPartition.build(
                     compiled.grid_shape, radius, devices, align=align,
                     boundary=compiled.boundary, halo_depth=depth)
-            except Exception:
+            except ValidationError:
+                _infeasible_partitions().inc()
                 continue
             if partition.n_shards > devices or partition.n_shards < 2:
                 return None

@@ -25,7 +25,7 @@ from repro.obs.metrics import global_registry
 from repro.obs.trace import span as obs_span
 from repro.service.fingerprint import CompileRequest
 from repro.stencils.pattern import StencilPattern
-from repro.util.validation import require_positive_int
+from repro.util.validation import require, require_positive_int
 
 __all__ = ["CacheStats", "CacheEntry", "CompileCache", "rebrand"]
 
@@ -341,7 +341,8 @@ class CompileCache:
                 self.stats.evictions += 1
 
     def _path_for(self, fingerprint: str) -> Path:
-        assert self.persist_dir is not None
+        require(self.persist_dir is not None,
+                "cache persistence is disabled (no persist_dir)")
         return self.persist_dir / f"{fingerprint}.plan.pkl"
 
     def _persist(self, fingerprint: str, compiled: CompiledStencil,
@@ -362,7 +363,7 @@ class CompileCache:
             with tmp.open("wb") as handle:
                 pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
             tmp.replace(path)
-        except Exception:
+        except Exception:  # lint: allow-broad-except — best-effort persist
             # best-effort: an unwritable directory or an unpicklable plan
             # (e.g. exotic pattern metadata) must never fail the solve — the
             # plan is already served from memory
@@ -381,7 +382,7 @@ class CompileCache:
         try:
             with path.open("rb") as handle:
                 payload = pickle.load(handle)
-        except Exception:
+        except Exception:  # lint: allow-broad-except — corrupt persisted plan
             # Corrupt, truncated, or written by an incompatible build
             # (ModuleNotFoundError, UnpicklingError, ...): a persisted plan is
             # an optimisation, never a correctness dependency — recompile.

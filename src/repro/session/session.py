@@ -328,6 +328,30 @@ class StencilSession:
         return self.scheduler.decide(compiled, problem.iterations,
                                      free_devices=self.pool.device_count)
 
+    def check(self, problem: Problem, policy: Optional[SolvePolicy] = None,
+              **policy_overrides: Any) -> Any:
+        """Pre-flight ``problem`` without sweeping: the Tier-1 diagnostics.
+
+        Runs the :mod:`repro.lint` domain analyzers against this session's
+        scheduler and compile cache and returns a
+        :class:`~repro.lint.DiagnosticReport`.  The report never executes a
+        sweep — the one compile it may trigger goes through the session
+        cache, so a subsequent :meth:`solve` reuses it for free.  Accepts
+        the same policy spelling as :meth:`solve`
+        (``session.check(problem, mode="sharded", devices=4)``).
+        """
+        from repro.lint.domain import check_problem
+
+        require(isinstance(problem, Problem),
+                f"check() takes a Problem, got {type(problem).__name__}")
+        if policy is None:
+            policy = SolvePolicy(**policy_overrides)
+        elif policy_overrides:
+            policy = replace(policy, **policy_overrides)
+        return check_problem(problem, policy,
+                             scheduler=self.scheduler, cache=self.cache,
+                             devices=self.pool.device_count)
+
     def compile(self, problem: Problem) -> Any:
         """Compile (or fetch) the plan for ``problem`` through the cache.
 

@@ -97,7 +97,10 @@ def _run_engine(launch: KernelLaunch) -> tuple[Optional[np.ndarray], int]:
     """Run the functional side of the launch; return (output, fragment_ops)."""
     if launch.engine == "ffma":
         return launch.precomputed_result, 0
-    assert launch.a is not None and launch.b is not None and launch.fragment is not None
+    require(launch.a is not None and launch.b is not None
+            and launch.fragment is not None,
+            f"{launch.engine} launch {launch.name!r} is missing its MMA "
+            f"operands or fragment")
     if launch.engine == "sparse_mma":
         result = sparse_mma(launch.a, launch.b, launch.fragment, dtype=launch.dtype)
         return result.d, result.fragment_ops
@@ -117,7 +120,9 @@ def execute_launch(launch: KernelLaunch, spec: GPUSpec = A100_SPEC) -> LaunchRes
     if launch.engine == "ffma":
         per_iter_compute = ffma_time(launch.flops, spec, dtype=launch.dtype)
     else:
-        assert launch.fragment is not None
+        require(launch.fragment is not None,
+                f"launch {launch.name!r} needs a fragment to price "
+                f"{launch.engine} compute")
         per_iter_compute = compute_time(fragment_ops, spec, launch.fragment,
                                         dtype=launch.dtype)
     per_iter_memory = memory_time(launch.traffic, spec)

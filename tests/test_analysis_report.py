@@ -53,6 +53,29 @@ class TestRenderMarkdownReport:
         assert out.exists()
         assert out.read_text().startswith("# SparStencil reproduction")
 
+    def test_lint_section_renders_cli_json_export(self, tmp_path):
+        from repro.lint.cli import main as lint_main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("assert True\n")
+        results = tmp_path / "results"
+        results.mkdir()
+        assert lint_main([str(bad),
+                          "--json", str(results / "lint_report.json")]) == 1
+        report = render_markdown_report(results)
+        assert "## Static analysis" in report
+        assert "1 errors" in report
+        assert "SP202" in report
+
+    def test_lint_section_clean_report(self, tmp_path):
+        (tmp_path / "lint_report.json").write_text(json.dumps({
+            "paths": ["src"], "ok": True,
+            "counts": {"error": 0, "warning": 0, "info": 0},
+            "diagnostics": [],
+        }))
+        report = render_markdown_report(tmp_path)
+        assert "Clean — no findings" in report
+
     def test_report_renders_from_real_results_if_available(self):
         real = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
         if not real.exists() or not any(real.glob("*.json")):

@@ -1,0 +1,157 @@
+"""The shared diagnostic vocabulary: codes, severities, reports, CLI."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import Diagnostic, DiagnosticReport, Severity, rule_table
+from repro.lint.cli import main as lint_main
+from repro.lint.diagnostics import emit, register_rule, rule_info
+from repro.util.validation import ValidationError
+
+
+class TestSeverity:
+    def test_rank_orders_error_first(self):
+        assert Severity.ERROR.rank < Severity.WARNING.rank < Severity.INFO.rank
+
+    def test_is_a_string_enum(self):
+        assert Severity("error") is Severity.ERROR
+        assert Severity.WARNING.value == "warning"
+
+
+class TestRegistry:
+    def test_both_tiers_registered(self):
+        table = rule_table()
+        codes = {info.code for info in table}
+        # a representative spread from each tier
+        for code in ("SP100", "SP102", "SP110", "SP120", "SP130",
+                     "SP200", "SP201", "SP202", "SP203", "SP204",
+                     "SP205", "SP206"):
+            assert code in codes, code
+        assert all(info.tier in (1, 2) for info in table)
+        # SP1xx is tier 1, SP2xx tier 2 — by construction, but pin it
+        for info in table:
+            assert info.tier == (1 if info.code.startswith("SP1") else 2)
+
+    def test_table_is_code_sorted_and_documented(self):
+        table = rule_table()
+        assert [i.code for i in table] == sorted(i.code for i in table)
+        assert all(info.title for info in table)
+        assert all(info.hint for info in table)
+
+    def test_register_is_idempotent_but_rejects_redefinition(self):
+        info = rule_info("SP201")
+        again = register_rule(info.code, info.title, info.severity,
+                              tier=info.tier, hint=info.hint)
+        assert again == info
+        with pytest.raises(ValidationError):
+            register_rule("SP201", "something else entirely",
+                          Severity.INFO, tier=1)
+
+    def test_bad_code_shapes_rejected(self):
+        with pytest.raises(ValidationError):
+            register_rule("XX999", "bad prefix", Severity.ERROR, tier=2)
+        with pytest.raises(ValidationError):
+            register_rule("SP999", "bad tier", Severity.ERROR, tier=3)
+        with pytest.raises(ValidationError):
+            rule_info("SP998")
+
+    def test_emit_defaults_severity_and_hint_from_registry(self):
+        diag = emit("SP202", "an assert")
+        info = rule_info("SP202")
+        assert diag.severity is info.severity
+        assert diag.hint == info.hint
+        overridden = emit("SP202", "an assert", severity=Severity.INFO,
+                          hint="")
+        assert overridden.severity is Severity.INFO
+        assert overridden.hint == ""
+
+
+def _sample_report() -> DiagnosticReport:
+    return DiagnosticReport.build([
+        emit("SP132", "leftover sweeps", location="problem.iterations"),
+        emit("SP201", "broad except", location="src/x.py:3"),
+        emit("SP110", "halo clamped", location="policy.halo_depth"),
+        emit("SP201", "broad except", location="src/x.py:9"),
+    ])
+
+
+class TestDiagnosticReport:
+    def test_severity_ordering_and_views(self):
+        report = _sample_report()
+        assert report.codes == ("SP201", "SP201", "SP110", "SP132")
+        assert len(report.errors) == 2
+        assert len(report.warnings) == 1
+        assert len(report.infos) == 1
+        assert not report.ok
+        assert report.has("SP110") and not report.has("SP131")
+        assert len(report.by_code("SP201")) == 2
+        assert len(report) == 4 and len(list(report)) == 4
+
+    def test_empty_report_is_ok(self):
+        report = DiagnosticReport.build([])
+        assert report.ok
+        assert report.render() == "clean: no findings"
+        report.raise_if_errors()  # must not raise
+
+    def test_merged_resorts(self):
+        errors_only = DiagnosticReport.build(
+            [emit("SP201", "x", location="a.py:1")])
+        infos_only = DiagnosticReport.build(
+            [emit("SP103", "not a chain", location="program:p")])
+        merged = infos_only.merged(errors_only)
+        assert merged.codes == ("SP201", "SP103")
+
+    def test_raise_if_errors_summarises(self):
+        with pytest.raises(ValidationError, match="SP201"):
+            _sample_report().raise_if_errors()
+
+    def test_render_and_dict_roundtrip(self):
+        report = _sample_report()
+        text = report.render()
+        assert "2 error(s)" in text and "SP110" in text and "hint:" in text
+        payload = report.as_dict()
+        assert payload["ok"] is False
+        assert payload["counts"] == {"error": 2, "warning": 1, "info": 1}
+        assert json.dumps(payload)  # JSON-serialisable end to end
+        restored = payload["diagnostics"][0]
+        assert restored["code"] == "SP201"
+        assert restored["severity"] == "error"
+
+    def test_diagnostic_render_includes_location_and_hint(self):
+        diag = Diagnostic(code="SP202", severity=Severity.ERROR,
+                          message="boom", location="src/a.py:7",
+                          hint="use ValidationError")
+        text = diag.render()
+        assert "SP202 error at src/a.py:7: boom" in text
+        assert "hint: use ValidationError" in text
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = tmp_path / "clean.py"
+        path.write_text("def f():\n    return 1\n")
+        assert lint_main([str(path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_error_finding_exits_one_and_json_export(self, tmp_path, capsys):
+        path = tmp_path / "bad.py"
+        path.write_text("assert True\n")
+        out_json = tmp_path / "report.json"
+        assert lint_main([str(path), "--json", str(out_json)]) == 1
+        assert "SP202" in capsys.readouterr().out
+        payload = json.loads(out_json.read_text())
+        assert payload["paths"] == [str(path)]
+        assert payload["counts"]["error"] == 1
+        assert payload["diagnostics"][0]["code"] == "SP202"
+
+    def test_missing_path_exits_two(self, tmp_path):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+
+    def test_codes_listing_covers_both_tiers(self, capsys):
+        assert lint_main(["--codes"]) == 0
+        out = capsys.readouterr().out
+        assert "SP102" in out and "SP206" in out
+        assert "tier 1" in out and "tier 2" in out

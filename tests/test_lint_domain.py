@@ -1,0 +1,298 @@
+"""Tier-1 domain diagnostics: golden tests per code, the ISSUE acceptance
+scenarios, and the opt-in server admission gate.
+
+Every scenario here is *static* — no test executes a sweep; the checks run
+against the same compile cache a later solve would hit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    LintRejectedError,
+    Problem,
+    ServerConfig,
+    SolvePolicy,
+    StencilProgram,
+    StencilServer,
+    StencilSession,
+    check_problem,
+    global_registry,
+    make_grid,
+    reset_global_registry,
+)
+from repro.lint.domain import check_config, lint_program_wiring
+from repro.programs.program import ProgramStage
+from repro.server.queue import DeadlineExceededError
+from repro.session.session import SessionConfig
+from repro.stencils.pattern import StencilPattern
+
+
+def heat(radius: int = 1) -> StencilPattern:
+    weights = [0.6] + [0.4 / (4 * radius)] * (4 * radius)
+    return StencilPattern.star(2, radius, weights=weights,
+                               name=f"heat-2d-r{radius}")
+
+
+def problem(shape=(40, 44), iterations=2, *, boundary="dirichlet",
+            pattern=None, **options) -> Problem:
+    return Problem(pattern or heat(), make_grid(shape, seed=0,
+                                                boundary=boundary),
+                   iterations, options=options)
+
+
+class TestProgramWiring:
+    def test_sp106_duplicate_stage_name(self):
+        stages = [ProgramStage.kernel("a", heat()),
+                  ProgramStage.kernel("a", heat())]
+        report = lint_program_wiring("dup", stages)
+        assert report.has("SP106")
+        assert report.by_code("SP106")[0].details["stage"] == "a"
+
+    def test_sp104_unknown_tap_source(self):
+        stages = [ProgramStage.kernel("a", heat(), source="ghost")]
+        report = lint_program_wiring("dangling", stages)
+        assert report.has("SP104")
+        assert report.by_code("SP104")[0].details["source"] == "ghost"
+
+    def test_sp104_unknown_output(self):
+        stages = [ProgramStage.kernel("a", heat())]
+        report = lint_program_wiring("noout", stages, output="nope")
+        assert report.has("SP104")
+
+    def test_sp105_dependency_cycle(self):
+        stages = [ProgramStage.kernel("a", heat(), source="b"),
+                  ProgramStage.kernel("b", heat(), source="a"),
+                  ProgramStage.kernel("out", heat(), source="b")]
+        report = lint_program_wiring("loopy", stages, output="out")
+        assert report.has("SP105")
+        assert set(report.by_code("SP105")[0].details["cycle"]) >= {"a", "b"}
+
+    def test_sp101_dead_stage(self):
+        stages = [ProgramStage.kernel("live", heat()),
+                  ProgramStage.kernel("dead", heat()),
+                  ProgramStage.kernel("out", heat(), source="live")]
+        report = lint_program_wiring("wasteful", stages, output="out")
+        assert report.codes == ("SP101",)
+        assert report.by_code("SP101")[0].details["stage"] == "dead"
+
+    def test_clean_wiring_is_clean(self):
+        stages = [ProgramStage.kernel("a", heat()),
+                  ProgramStage.kernel("b", heat(), source="a")]
+        assert lint_program_wiring("fine", stages).ok
+
+
+class TestProgramLint:
+    def test_sp102_mixed_radius_chain_names_pair_and_split_cost(self):
+        """ISSUE acceptance: a fusion-blocking mixed-radius program is
+        flagged with the stage pair and the modelled cost of the split."""
+        program = StencilProgram.chain("mixed", [("a", heat(1)),
+                                                 ("b", heat(1)),
+                                                 ("c", heat(2))])
+        report = program.lint(grid_shape=(64, 64), devices=2)
+        assert report.codes == ("SP102",)
+        finding = report.by_code("SP102")[0]
+        assert finding.details["pair"] == ["b", "c"]
+        assert finding.details["radii"] == [1, 2]
+        assert finding.details["groups"] == [["a", "b"], ["c"]]
+        assert finding.details["split_exchange_seconds"] > 0.0
+        assert report.ok  # a warning, not an error: it runs, just slower
+
+    def test_sp102_unpriced_without_deployment_geometry(self):
+        program = StencilProgram.chain("mixed", [("a", heat(1)),
+                                                 ("b", heat(2))])
+        finding = program.lint().by_code("SP102")[0]
+        assert "split_exchange_seconds" not in finding.details
+
+    def test_uniform_chain_is_clean(self):
+        program = StencilProgram.chain("uniform", [("a", heat()),
+                                                   ("b", heat())])
+        assert program.lint(grid_shape=(64, 64), devices=4).ok
+
+    def test_sp103_non_chain_program(self):
+        program = StencilProgram(
+            name="rk2ish",
+            stages=(ProgramStage.kernel("mid", heat()),
+                    ProgramStage.combine("out", ("state", heat()),
+                                         ("mid", heat()))))
+        report = program.lint()
+        assert report.codes == ("SP103",)
+        assert report.ok  # informational only
+
+    def test_check_problem_routes_program_problems(self):
+        program = StencilProgram.chain("mixed", [("a", heat(1)),
+                                                 ("b", heat(2))])
+        prob = Problem(program=program, grid=make_grid((64, 64), seed=0),
+                       iterations=2)
+        report = check_problem(prob, SolvePolicy(devices=2), devices=2)
+        assert report.has("SP102")
+
+    def test_program_cannot_be_served_or_baselined(self):
+        program = StencilProgram.chain("p", [("a", heat())])
+        prob = Problem(program=program, grid=make_grid((64, 64), seed=0),
+                       iterations=2)
+        assert check_problem(prob, SolvePolicy(mode="served")).has("SP122")
+        assert check_problem(
+            prob, SolvePolicy(mode="baseline:TCStencil")).has("SP122")
+
+
+class TestProblemChecks:
+    def test_sp100_uncompilable_problem(self):
+        prob = problem((4, 4), 1, pattern=StencilPattern.star(2, 3))
+        report = check_problem(prob)
+        assert report.codes == ("SP100",)
+        assert not report.ok
+
+    def test_sp120_unknown_backend(self):
+        report = check_problem(problem(backend="nonexistent"))
+        assert report.codes == ("SP120",)
+        assert "registered" in report.by_code("SP120")[0].message
+
+    def test_sp121_baseline_boundary(self):
+        report = check_problem(problem(boundary="periodic"),
+                               SolvePolicy(mode="baseline:TCStencil"))
+        assert report.has("SP121")
+
+    def test_sp122_backend_conflict(self):
+        report = check_problem(problem(backend="numpy"),
+                               SolvePolicy(backend="tcu-sim"))
+        assert report.codes == ("SP122",)
+
+    def test_sp122_boundary_conflict(self):
+        prob = Problem(heat(), make_grid((40, 44), seed=0,
+                                         boundary="periodic"),
+                       2, options={"boundary": "dirichlet"})
+        report = check_problem(prob)
+        assert report.has("SP122")
+
+    def test_sp131_deadline_below_modelled_sweep(self):
+        """ISSUE acceptance: an impossible deadline is rejected from the
+        model alone — no sweep runs."""
+        report = check_problem(problem(),
+                               SolvePolicy(deadline_seconds=1e-12))
+        assert report.codes == ("SP131",)
+        finding = report.by_code("SP131")[0]
+        assert finding.details["modelled_sweep_seconds"] > 1e-12
+        assert not report.ok
+
+    def test_sp132_temporal_fusion_remainder(self):
+        report = check_problem(problem(iterations=4, temporal_fusion=3))
+        assert report.codes == ("SP132",)
+        assert report.ok
+
+    def test_clean_problem_is_clean(self):
+        assert check_problem(problem()).ok
+
+
+class TestShardingGeometry:
+    def test_sp110_over_deep_halo_request(self):
+        """ISSUE acceptance: halo_depth beyond the geometry's maximum is
+        flagged with the feasible depth the executor would clamp to."""
+        report = check_problem(
+            problem(), SolvePolicy(mode="sharded", devices=2, halo_depth=50),
+            devices=2)
+        assert report.has("SP110")
+        finding = report.by_code("SP110")[0]
+        assert finding.details["requested"] == 50
+        assert 1 <= finding.details["feasible"] < 50
+
+    def test_sp111_periodic_not_tile_divisible(self):
+        report = check_problem(
+            problem((41, 45), boundary="periodic"),
+            SolvePolicy(mode="sharded", devices=2), devices=2)
+        assert report.has("SP111")
+
+    def test_sp112_infeasible_shard_count(self):
+        report = check_problem(
+            problem(), SolvePolicy(mode="sharded", devices=512), devices=512)
+        assert report.has("SP112")
+        assert not report.ok
+
+    def test_sp130_sub_crossover_sharding(self):
+        """ISSUE acceptance: explicitly sharding a problem the perf model
+        routes single-device carries the model's reason."""
+        report = check_problem(
+            problem(), SolvePolicy(mode="sharded", devices=2), devices=2)
+        assert report.codes == ("SP130",)
+        finding = report.by_code("SP130")[0]
+        assert finding.details["reason"]
+        assert report.ok  # it will run, just wastefully
+
+    def test_auto_mode_small_problem_has_no_sp130(self):
+        report = check_problem(problem(), SolvePolicy(mode="auto"),
+                               devices=2)
+        assert not report.has("SP130")
+
+
+class TestConfigChecks:
+    def test_sp133_deadline_inside_window(self):
+        report = check_config(ServerConfig(default_deadline_seconds=0.001,
+                                           window_seconds=0.002))
+        assert report.codes == ("SP133",)
+
+    def test_sp134_batch_exceeds_queue_bound(self):
+        report = check_config(ServerConfig(queue_bound=4, max_batch_size=8))
+        assert report.codes == ("SP134",)
+
+    def test_session_config_is_duck_typed(self):
+        report = check_config(SessionConfig(queue_bound=2, max_batch_size=16))
+        assert report.has("SP134")
+
+    def test_default_configs_are_clean(self):
+        assert check_config(ServerConfig()).ok
+        assert check_config(SessionConfig()).ok
+
+
+class TestSessionCheck:
+    def test_check_accepts_policy_or_overrides(self, heat2d, small_grid_2d):
+        with StencilSession() as session:
+            prob = Problem(heat2d, small_grid_2d, 2)
+            assert session.check(prob).ok
+            report = session.check(prob, mode="sharded", devices=2)
+            assert report.has("SP130")
+            same = session.check(prob, SolvePolicy(mode="sharded"),
+                                 devices=2)
+            assert same.has("SP130")
+
+    def test_check_warms_the_session_cache(self, heat2d, small_grid_2d):
+        with StencilSession() as session:
+            prob = Problem(heat2d, small_grid_2d, 2)
+            assert session.check(prob).ok
+            misses_after_check = session.cache.stats.misses
+            session.solve(prob)
+            # the solve's compile was the check's compile — a pure hit
+            assert session.cache.stats.misses == misses_after_check
+            assert session.cache.stats.hits >= 1
+
+    def test_check_rejects_non_problems(self):
+        with StencilSession() as session:
+            with pytest.raises(Exception, match="takes a Problem"):
+                session.check("not a problem")
+
+
+class TestAdmissionGate:
+    def test_gate_rejects_error_findings_before_queueing(self, heat2d):
+        reset_global_registry()
+        config = ServerConfig(lint_admission=True)
+        with StencilServer(devices=1, config=config) as server:
+            prob = Problem(heat2d, make_grid((40, 44), seed=0), 2)
+            with pytest.raises(LintRejectedError) as excinfo:
+                server.submit_problem(prob, deadline_seconds=1e-12)
+            assert excinfo.value.report.has("SP131")
+            assert "SP131" in str(excinfo.value)
+            assert global_registry().counter("lint.rejected").value == 1
+            snapshot = server.telemetry.snapshot()
+            assert snapshot["rejected"].get("LintRejectedError") == 1
+            # a clean request still flows end to end through the gate
+            ok = server.submit_problem(prob)
+            assert ok.result(120).output.shape == (40, 44)
+        assert global_registry().counter("lint.rejected").value == 1
+
+    def test_gate_off_keeps_legacy_rejection_type(self, heat2d):
+        reset_global_registry()
+        with StencilServer(devices=1) as server:
+            prob = Problem(heat2d, make_grid((40, 44), seed=0), 2)
+            with pytest.raises(DeadlineExceededError):
+                server.submit_problem(prob, deadline_seconds=1e-12)
+        assert global_registry().counter("lint.rejected").value == 0

@@ -1,0 +1,308 @@
+"""Tier-2 repo-invariant linter: one firing corpus per rule, pragma
+suppression, and the merged tree staying clean."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import lint_file, lint_paths
+from repro.lint.config import FINGERPRINT_MANIFEST, LOCK_COMPONENT_MODULES
+from repro.lint.repo import module_name_of
+
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def write(tmp_path: Path, name: str, source: str) -> Path:
+    path = tmp_path / name
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def codes_of(findings) -> list:
+    return sorted(d.code for d in findings)
+
+
+class TestSyntax:
+    def test_sp200_unparseable_file(self, tmp_path):
+        path = write(tmp_path, "broken.py", "def f(:\n")
+        findings = lint_file(path)
+        assert codes_of(findings) == ["SP200"]
+        assert findings[0].severity.value == "error"
+
+
+class TestBroadExcept:
+    def test_sp201_fires_on_every_spelling(self, tmp_path):
+        path = write(tmp_path, "handlers.py", """\
+            def f():
+                try:
+                    work()
+                except Exception:
+                    pass
+                try:
+                    work()
+                except (ValueError, BaseException):
+                    pass
+                try:
+                    work()
+                except:
+                    pass
+            """)
+        findings = [d for d in lint_file(path) if d.code == "SP201"]
+        assert len(findings) == 3
+        assert any("bare except" in d.message for d in findings)
+
+    def test_sp201_narrow_handler_is_fine(self, tmp_path):
+        path = write(tmp_path, "narrow.py", """\
+            def f():
+                try:
+                    work()
+                except (ValueError, KeyError):
+                    raise
+            """)
+        assert not [d for d in lint_file(path) if d.code == "SP201"]
+
+    def test_sp201_pragma_on_line_or_line_above(self, tmp_path):
+        path = write(tmp_path, "allowed.py", """\
+            def f():
+                try:
+                    work()
+                except Exception:  # lint: allow-broad-except — reviewed
+                    pass
+                try:
+                    work()
+                # lint: allow-broad-except — reviewed
+                except Exception:
+                    pass
+            """)
+        assert not [d for d in lint_file(path) if d.code == "SP201"]
+
+
+class TestAssert:
+    def test_sp202_fires_and_names_the_test(self, tmp_path):
+        path = write(tmp_path, "checks.py", """\
+            def f(x):
+                assert x > 0, "x must be positive"
+                return x
+            """)
+        findings = [d for d in lint_file(path) if d.code == "SP202"]
+        assert len(findings) == 1
+        assert "x > 0" in findings[0].message
+        assert "python -O" in findings[0].message
+
+    def test_sp202_pragma_suppresses(self, tmp_path):
+        path = write(tmp_path, "checks.py", """\
+            def f(x):
+                assert x > 0  # lint: allow-assert
+                return x
+            """)
+        assert not [d for d in lint_file(path) if d.code == "SP202"]
+
+
+class TestClock:
+    def test_sp203_attribute_and_from_import(self, tmp_path):
+        path = write(tmp_path, "clocky.py", """\
+            import time
+            from time import perf_counter, sleep
+
+            def f():
+                return time.monotonic() - perf_counter()
+            """)
+        findings = [d for d in lint_file(path) if d.code == "SP203"]
+        # the from-import line and the time.monotonic read; `sleep` is
+        # not a clock and `perf_counter()` as a bare name is covered by
+        # flagging its import
+        assert len(findings) == 2
+        calls = {d.details["call"] for d in findings}
+        assert "time.monotonic" in calls
+        assert "from time import perf_counter" in calls
+
+    def test_sp203_allowlisted_module_is_exempt(self, tmp_path):
+        # same source, but placed at a module path the allowlist names
+        path = write(tmp_path, "repro/service/cache.py", """\
+            import time
+
+            def f():
+                return time.perf_counter()
+            """)
+        assert module_name_of(path) == "repro.service.cache"
+        assert not [d for d in lint_file(path) if d.code == "SP203"]
+
+    def test_sp203_timing_layer_is_exempt(self, tmp_path):
+        path = write(tmp_path, "repro/obs/trace.py", """\
+            import time
+
+            def now():
+                return time.perf_counter()
+            """)
+        assert not [d for d in lint_file(path) if d.code == "SP203"]
+
+    def test_sp203_pragma_suppresses(self, tmp_path):
+        path = write(tmp_path, "clocky.py", """\
+            import time
+
+            def f():
+                return time.monotonic()  # lint: allow-timing
+            """)
+        assert not [d for d in lint_file(path) if d.code == "SP203"]
+
+
+class TestProvenance:
+    def test_sp204_solve_without_provenance(self, tmp_path):
+        path = write(tmp_path, "executor.py", """\
+            class SilentSessionExecutor(SessionExecutor):
+                def solve(self, problem, policy):
+                    return run(problem)
+            """)
+        findings = [d for d in lint_file(path) if d.code == "SP204"]
+        assert len(findings) == 1
+        assert findings[0].details["class"] == "SilentSessionExecutor"
+
+    def test_sp204_stamping_solve_is_fine(self, tmp_path):
+        path = write(tmp_path, "executor.py", """\
+            class GoodSessionExecutor(SessionExecutor):
+                def solve(self, problem, policy):
+                    return Solution(out, provenance=Provenance(executor="x"))
+            """)
+        assert not [d for d in lint_file(path) if d.code == "SP204"]
+
+    def test_sp204_abstract_solve_and_other_classes_exempt(self, tmp_path):
+        path = write(tmp_path, "executor.py", """\
+            import abc
+
+            class BaseSessionExecutor(abc.ABC):
+                pass
+
+            class AbstractSessionExecutor(BaseSessionExecutor):
+                @abc.abstractmethod
+                def solve(self, problem, policy):
+                    ...
+
+            class NotAnExecutor:
+                def solve(self, problem, policy):
+                    return run(problem)
+            """)
+        assert not [d for d in lint_file(path) if d.code == "SP204"]
+
+
+class TestLockOrder:
+    def test_sp205_acquiring_lower_rank_lock_while_held(self, tmp_path):
+        # telemetry (rank 2) acquiring the cache lock (rank 0) inverts
+        # the declared cache -> ledger -> telemetry hierarchy
+        path = write(tmp_path, "repro/server/telemetry.py", """\
+            class T:
+                def snapshot(self):
+                    with self._lock:
+                        with self.cache_lock:
+                            return {}
+            """)
+        assert module_name_of(path) in LOCK_COMPONENT_MODULES
+        findings = [d for d in lint_file(path) if d.code == "SP205"]
+        assert len(findings) == 1
+        assert findings[0].details["acquired"] == "cache"
+
+    def test_sp205_calling_lower_rank_component_while_held(self, tmp_path):
+        path = write(tmp_path, "repro/server/telemetry.py", """\
+            class T:
+                def snapshot(self):
+                    with self._lock:
+                        return self.cache.metrics_snapshot()
+            """)
+        findings = [d for d in lint_file(path) if d.code == "SP205"]
+        assert len(findings) == 1
+        assert findings[0].details["entered"] == "cache"
+
+    def test_sp205_respecting_the_hierarchy_is_fine(self, tmp_path):
+        # cache (rank 0) may call upward into telemetry, and plain
+        # lock-free code is never flagged
+        path = write(tmp_path, "repro/service/cache.py", """\
+            class C:
+                def get(self, key):
+                    with self._lock:
+                        self.telemetry_hook(key)
+                        return self._plans[key]
+            """)
+        assert not [d for d in lint_file(path) if d.code == "SP205"]
+
+    def test_sp205_unranked_module_is_exempt(self, tmp_path):
+        path = write(tmp_path, "elsewhere.py", """\
+            def f(lock, cache_lock):
+                with lock:
+                    with cache_lock:
+                        pass
+            """)
+        assert not [d for d in lint_file(path) if d.code == "SP205"]
+
+    def test_sp205_pragma_suppresses(self, tmp_path):
+        path = write(tmp_path, "repro/server/telemetry.py", """\
+            class T:
+                def snapshot(self):
+                    with self._lock:
+                        # lint: allow-lock-order — reviewed
+                        with self.cache_lock:
+                            return {}
+            """)
+        assert not [d for d in lint_file(path) if d.code == "SP205"]
+
+
+class TestFingerprint:
+    @staticmethod
+    def _payload_source(fields) -> str:
+        reads = "\n".join(f"        options.{field}," for field in fields)
+        return ("def payload(options):\n"
+                "    return (\"sparstencil-compile-v4\",\n"
+                f"{reads}\n"
+                "    )\n")
+
+    def test_sp206_added_field_is_drift(self, tmp_path):
+        pinned = sorted(FINGERPRINT_MANIFEST["sparstencil-compile-v4"])
+        path = write(tmp_path, "fp.py",
+                     self._payload_source(pinned + ["sneaky_new_field"]))
+        findings = [d for d in lint_file(path) if d.code == "SP206"]
+        assert len(findings) == 1
+        assert findings[0].details["added"] == ["sneaky_new_field"]
+        assert findings[0].details["removed"] == []
+
+    def test_sp206_unknown_version_is_flagged(self, tmp_path):
+        path = write(tmp_path, "fp.py", """\
+            def payload(options):
+                return ("sparstencil-compile-v99", options.backend)
+            """)
+        findings = [d for d in lint_file(path) if d.code == "SP206"]
+        assert len(findings) == 1
+        assert "not pinned" in findings[0].message
+
+    def test_sp206_exact_manifest_is_clean(self, tmp_path):
+        pinned = sorted(FINGERPRINT_MANIFEST["sparstencil-compile-v4"])
+        path = write(tmp_path, "fp.py", self._payload_source(pinned))
+        assert not [d for d in lint_file(path) if d.code == "SP206"]
+
+
+class TestModuleNaming:
+    def test_rooted_at_last_repro_segment(self, tmp_path):
+        path = tmp_path / "deep" / "repro" / "obs" / "metrics.py"
+        assert module_name_of(path) == "repro.obs.metrics"
+
+    def test_init_maps_to_package(self, tmp_path):
+        path = tmp_path / "repro" / "lint" / "__init__.py"
+        assert module_name_of(path) == "repro.lint"
+
+    def test_outside_files_get_bare_stem(self, tmp_path):
+        # corpus files must never inherit an allowlisted module name
+        assert module_name_of(tmp_path / "cache.py") == "cache"
+
+
+class TestRealTree:
+    def test_merged_src_tree_is_strict_clean(self):
+        report = lint_paths([REPO_SRC])
+        assert report.ok, report.render()
+        assert not report.warnings, report.render()
+
+    def test_lint_paths_merges_directories_and_files(self, tmp_path):
+        write(tmp_path, "pkg/a.py", "assert True\n")
+        write(tmp_path, "pkg/b.py", "x = 1\n")
+        report = lint_paths([tmp_path / "pkg"])
+        assert report.codes == ("SP202",)
